@@ -1,0 +1,107 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Section 7) on the synthetic SPEC stand-ins, and
+   optionally runs Bechamel micro-benchmarks of the compiler algorithms
+   themselves.
+
+   Usage:
+     bench/main.exe                 regenerate all tables and figures
+     bench/main.exe table1 fig5l …  regenerate a subset
+     bench/main.exe micro           Bechamel micro-benchmarks *)
+
+open Dmp_experiments
+
+let all_targets =
+  [ "table1"; "table2"; "fig5l"; "fig5r"; "fig6"; "fig7"; "fig8"; "fig9";
+    "fig10"; "ablations" ]
+
+let run_target runner = function
+  | "table1" -> print_string (Table1.render ())
+  | "table2" -> print_string (Table2.render (Table2.compute runner))
+  | "fig5l" -> print_string (Report.render (Fig5.left runner))
+  | "fig5r" -> print_string (Report.render (Fig5.right runner))
+  | "fig6" -> print_string (Report.render (Fig6.run runner))
+  | "fig7" -> print_string (Fig7.render (Fig7.run runner))
+  | "fig8" -> print_string (Report.render (Fig8.run runner))
+  | "fig9" -> print_string (Report.render (Fig9.run runner))
+  | "fig10" -> print_string (Fig10.render (Fig10.run runner))
+  | "ablations" -> print_string (Ablations.render (Ablations.run runner))
+  | t -> Printf.eprintf "unknown target %s\n" t
+
+(* Bechamel micro-benchmarks: the compile-time cost of each analysis
+   stage on a real workload binary (gcc has the largest CFG). One
+   Test.make per pipeline stage. *)
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let spec = Dmp_workload.Registry.find "gcc" in
+  let linked = Dmp_workload.Spec.linked spec in
+  let input = spec.Dmp_workload.Spec.input Dmp_workload.Input_gen.Reduced in
+  let profile =
+    Dmp_profile.Profile.collect ~max_insts:100_000 linked ~input
+  in
+  let ctx = Dmp_core.Context.create linked profile in
+  let tests =
+    [
+      Test.make ~name:"context-build"
+        (Staged.stage (fun () ->
+             ignore (Dmp_core.Context.create linked profile)));
+      Test.make ~name:"alg-exact"
+        (Staged.stage (fun () -> ignore (Dmp_core.Alg_exact.find ctx)));
+      Test.make ~name:"alg-freq"
+        (Staged.stage (fun () -> ignore (Dmp_core.Alg_freq.find ctx)));
+      Test.make ~name:"loop-select"
+        (Staged.stage (fun () -> ignore (Dmp_core.Loop_select.find ctx)));
+      Test.make ~name:"select-all-best-heur"
+        (Staged.stage (fun () ->
+             ignore (Dmp_core.Select.run linked profile)));
+      Test.make ~name:"profile-100k"
+        (Staged.stage (fun () ->
+             ignore
+               (Dmp_profile.Profile.collect ~max_insts:100_000 linked
+                  ~input)));
+      Test.make ~name:"simulate-100k-baseline"
+        (Staged.stage (fun () ->
+             ignore
+               (Dmp_uarch.Sim.run ~config:Dmp_uarch.Config.baseline
+                  ~max_insts:100_000 linked ~input)));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all
+          (Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ())
+          Instance.[ monotonic_clock ]
+          test
+      in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some (est :: _) ->
+              Printf.printf "%-32s %12.0f ns/run\n" name est
+          | Some [] | None -> Printf.printf "%-32s (no estimate)\n" name)
+        analysis)
+    tests
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "micro" ] -> micro ()
+  | [] ->
+      let runner = Runner.create () in
+      List.iter
+        (fun t ->
+          run_target runner t;
+          print_newline ())
+        all_targets
+  | targets ->
+      let runner = Runner.create () in
+      List.iter
+        (fun t ->
+          run_target runner t;
+          print_newline ())
+        targets

@@ -1,0 +1,266 @@
+(* Command-line driver for the DMP compiler/simulator toolchain. *)
+
+open Cmdliner
+open Dmp_workload
+open Dmp_experiments
+module Linked = Dmp_ir.Linked
+module Program = Dmp_ir.Program
+module Func = Dmp_ir.Func
+module Block = Dmp_ir.Block
+
+let bench_arg =
+  let doc = "Benchmark name (see `dmp list`)." in
+  Arg.(value & opt string "gzip" & info [ "b"; "benchmark" ] ~doc)
+
+let set_arg =
+  let doc = "Input set: reduced, train or ref." in
+  Arg.(value & opt string "reduced" & info [ "s"; "input-set" ] ~doc)
+
+let algo_arg =
+  let doc =
+    "Selection algorithm: " ^ String.concat ", " Variants.names ^ "."
+  in
+  Arg.(value & opt string "all-best-heur" & info [ "a"; "algo" ] ~doc)
+
+let max_insts_arg =
+  let doc = "Stop simulation after this many retired instructions." in
+  Arg.(value & opt (some int) None & info [ "max-insts" ] ~doc)
+
+let lookup_variant name =
+  match Variants.of_string name with
+  | Some v -> v
+  | None ->
+      Printf.eprintf "unknown algorithm %s; known: %s\n" name
+        (String.concat ", " Variants.names);
+      exit 2
+
+let lookup_set s = Input_gen.set_of_string s
+
+let pipeline bench set =
+  let spec = Registry.find bench in
+  let linked = Spec.linked spec in
+  let input = spec.Spec.input (lookup_set set) in
+  let profile = Dmp_profile.Profile.collect linked ~input in
+  (spec, linked, input, profile)
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun spec ->
+        Printf.printf "%-10s %s\n" spec.Spec.name spec.Spec.description)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available benchmarks")
+    Term.(const run $ const ())
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let ann_file_arg =
+    Arg.(value & opt (some string) None
+           & info [ "annotation-file" ]
+               ~doc:"Load a serialised annotation instead of selecting.")
+  in
+  let run bench set algo max_insts ann_file =
+    let _, linked, input, profile = pipeline bench set in
+    let ann =
+      match ann_file with
+      | Some file -> (
+          let ic = open_in file in
+          let n = in_channel_length ic in
+          let text = really_input_string ic n in
+          close_in ic;
+          match Dmp_core.Annotation.of_string text with
+          | Ok a -> a
+          | Error m ->
+              Printf.eprintf "bad annotation file: %s\n" m;
+              exit 2)
+      | None -> Variants.annotate (lookup_variant algo) linked profile
+    in
+    let base =
+      Dmp_uarch.Sim.run ~config:Dmp_uarch.Config.baseline ?max_insts linked
+        ~input
+    in
+    let dmp =
+      Dmp_uarch.Sim.run ~config:Dmp_uarch.Config.dmp ~annotation:ann
+        ?max_insts linked ~input
+    in
+    Fmt.pr "--- baseline ---@.%a@." Dmp_uarch.Stats.pp base;
+    Fmt.pr "--- DMP (%s, %d diverge branches) ---@.%a@." algo
+      (Dmp_core.Annotation.count ann)
+      Dmp_uarch.Stats.pp dmp;
+    Fmt.pr "IPC %.3f -> %.3f (%+.1f%%)@." (Dmp_uarch.Stats.ipc base)
+      (Dmp_uarch.Stats.ipc dmp)
+      (Runner.speedup_pct ~base dmp)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Profile, select diverge branches, and simulate")
+    Term.(
+      const run $ bench_arg $ set_arg $ algo_arg $ max_insts_arg
+      $ ann_file_arg)
+
+(* ---- annotate ---- *)
+
+let annotate_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None
+           & info [ "o"; "output" ]
+               ~doc:"Write the annotation in its serialised form to FILE.")
+  in
+  let run bench set algo out =
+    let _, linked, _, profile = pipeline bench set in
+    let ann = Variants.annotate (lookup_variant algo) linked profile in
+    match out with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Dmp_core.Annotation.to_string ann);
+        close_out oc;
+        Printf.printf "wrote %d diverge branches to %s\n"
+          (Dmp_core.Annotation.count ann) file
+    | None ->
+        Fmt.pr "%d diverge branches (%s):@.%a@."
+          (Dmp_core.Annotation.count ann)
+          algo Dmp_core.Annotation.pp ann
+  in
+  Cmd.v
+    (Cmd.info "annotate"
+       ~doc:"Show the diverge branches and CFM points the compiler selects")
+    Term.(const run $ bench_arg $ set_arg $ algo_arg $ out_arg)
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let run bench set =
+    let _, linked, _, profile = pipeline bench set in
+    Printf.printf "retired=%d branch-execs=%d mispredictions=%d mpki=%.2f\n"
+      (Dmp_profile.Profile.retired profile)
+      (Dmp_profile.Profile.total_branch_executions profile)
+      (Dmp_profile.Profile.total_mispredictions profile)
+      (Dmp_profile.Profile.mpki profile);
+    List.iter
+      (fun addr ->
+        match Dmp_profile.Profile.branch profile ~addr with
+        | Some s when s.Dmp_profile.Profile.executed > 0 ->
+            let l = Linked.loc linked addr in
+            let f = Program.func linked.Linked.program l.Linked.func in
+            let b = Func.block f l.Linked.block in
+            Printf.printf "br@%-6d %-24s exec=%-8d taken=%.3f misp=%.3f\n"
+              addr
+              (f.Func.name ^ "/" ^ b.Block.label)
+              s.Dmp_profile.Profile.executed
+              (float_of_int s.Dmp_profile.Profile.taken
+              /. float_of_int s.Dmp_profile.Profile.executed)
+              (float_of_int s.Dmp_profile.Profile.mispredicted
+              /. float_of_int s.Dmp_profile.Profile.executed)
+        | Some _ | None -> ())
+      (Dmp_profile.Profile.branch_addrs profile)
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Show the per-branch edge/misprediction profile")
+    Term.(const run $ bench_arg $ set_arg)
+
+(* ---- cfg ---- *)
+
+let cfg_cmd =
+  let func_arg =
+    Arg.(value & opt string "main" & info [ "f"; "function" ]
+           ~doc:"Function to dump.")
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.")
+  in
+  let run bench func dot =
+    let spec = Registry.find bench in
+    let program = Lazy.force spec.Spec.program in
+    match Program.find_func program func with
+    | None ->
+        Printf.eprintf "no function %s in %s\n" func bench;
+        exit 2
+    | Some fi ->
+        let f = Program.func program fi in
+        if dot then
+          print_string (Dmp_cfg.Dot.of_cfg (Dmp_cfg.Cfg.of_func f))
+        else Fmt.pr "%a@." Func.pp f
+  in
+  Cmd.v (Cmd.info "cfg" ~doc:"Dump a benchmark function's CFG")
+    Term.(const run $ bench_arg $ func_arg $ dot_arg)
+
+(* ---- asm / disasm ---- *)
+
+let asm_cmd =
+  let run bench =
+    let spec = Registry.find bench in
+    print_string (Dmp_ir.Asm.to_string (Lazy.force spec.Spec.program))
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Dump a benchmark program as textual assembly")
+    Term.(const run $ bench_arg)
+
+let disasm_cmd =
+  let run bench =
+    let spec = Registry.find bench in
+    let linked = Spec.linked spec in
+    let image = Dmp_ir.Encode.encode linked in
+    List.iter
+      (fun (name, entry, size) ->
+        Printf.printf "%s:  ; entry %d, %d instructions\n" name entry size)
+      image.Dmp_ir.Encode.symbols;
+    Array.iteri
+      (fun addr w ->
+        Printf.printf "%6d: %016x  %s\n" addr w
+          (Dmp_ir.Encode.disassemble_word w))
+      image.Dmp_ir.Encode.code
+  in
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:"Encode a benchmark to binary and disassemble the image")
+    Term.(const run $ bench_arg)
+
+(* ---- experiment ---- *)
+
+let experiment_cmd =
+  let target_arg =
+    Arg.(
+      value
+      & pos 0 string "table2"
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "table1, table2, fig5l, fig5r, fig6, fig7, fig8, fig9, fig10, \
+             ablations")
+  in
+  let run target =
+    let runner = Runner.create () in
+    let out =
+      match target with
+      | "table1" -> Table1.render ()
+      | "table2" -> Table2.render (Table2.compute runner)
+      | "fig5l" -> Report.render (Fig5.left runner)
+      | "fig5r" -> Report.render (Fig5.right runner)
+      | "fig6" -> Report.render (Fig6.run runner)
+      | "fig7" -> Fig7.render (Fig7.run runner)
+      | "fig8" -> Report.render (Fig8.run runner)
+      | "fig9" -> Report.render (Fig9.run runner)
+      | "fig10" -> Fig10.render (Fig10.run runner)
+      | "ablations" -> Ablations.render (Ablations.run runner)
+      | t -> Printf.sprintf "unknown experiment target %s\n" t
+    in
+    print_string out
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a table or figure of the paper")
+    Term.(const run $ target_arg)
+
+let () =
+  let info =
+    Cmd.info "dmp" ~version:"1.0.0"
+      ~doc:
+        "Profile-assisted compiler support for dynamic predication in \
+         diverge-merge processors (CGO 2007 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; annotate_cmd; profile_cmd; cfg_cmd;
+            asm_cmd; disasm_cmd; experiment_cmd ]))

@@ -1,0 +1,1 @@
+examples/binary_analysis.ml: Array Dmp_core Dmp_ir Dmp_profile Dmp_uarch Dmp_workload Encode Fmt Func Input_gen Lazy Linked List Program Recover Registry Spec

@@ -1,0 +1,1 @@
+examples/binary_analysis.mli:

@@ -1,0 +1,1 @@
+examples/cost_model.ml: Candidate Cost_model Dmp_core Fmt List Params

@@ -1,0 +1,1 @@
+examples/custom_machine.ml: Config Dmp_core Dmp_profile Dmp_uarch Dmp_workload Fmt Input_gen List Printf Registry Sim Spec Stats

@@ -1,0 +1,1 @@
+examples/parser_loop.ml: Array Build Dmp_core Dmp_ir Dmp_profile Dmp_uarch Fmt Linked List Program Random Reg Term

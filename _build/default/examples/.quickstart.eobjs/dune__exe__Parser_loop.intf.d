@@ -1,0 +1,1 @@
+examples/parser_loop.mli:

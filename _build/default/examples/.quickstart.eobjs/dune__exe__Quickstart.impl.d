@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Build Dmp_core Dmp_ir Dmp_profile Dmp_uarch Fmt Linked Program Random Reg Term

@@ -1,0 +1,1 @@
+examples/static_vs_dynamic.ml: Array Build Dmp_core Dmp_exec Dmp_ir Dmp_profile Dmp_uarch Fmt Linked Program Random Reg Term

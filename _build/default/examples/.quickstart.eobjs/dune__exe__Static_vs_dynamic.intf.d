@@ -1,0 +1,1 @@
+examples/static_vs_dynamic.mli:

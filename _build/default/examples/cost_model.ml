@@ -1,0 +1,99 @@
+(* Exploring the analytical cost-benefit model of Section 4.
+
+   We evaluate Equation (15) — "select a branch as a diverge branch if
+   its expected dynamic-predication cost is negative" — across hammock
+   sizes and merge probabilities, reproducing the intuition behind
+   Figure 7: big hammocks and low merge probabilities are not worth
+   predicating.
+
+   Run with: dune exec examples/cost_model.exe *)
+
+open Dmp_core
+
+let synthetic_cfm ~side_insts ~merge_prob =
+  {
+    Candidate.cfm_block = 0;
+    cfm_addr = 0;
+    exact = merge_prob >= 1.;
+    merge_prob;
+    longest_t = side_insts;
+    longest_nt = side_insts;
+    avg_t = float_of_int side_insts;
+    avg_nt = float_of_int side_insts;
+    freq_t = side_insts;
+    freq_nt = side_insts;
+    prob_t = 1.;
+    prob_nt = 1.;
+    max_cbr = 1;
+    select_uops = 2;
+    blocks_on_paths = Candidate.Int_set.empty;
+  }
+
+let () =
+  let params = Params.for_cost_model in
+  Fmt.pr "machine: fetch width %d, misprediction penalty %d cycles, \
+          Acc_Conf %.0f%%@.@."
+    params.Params.fetch_width params.Params.misp_penalty
+    (params.Params.acc_conf *. 100.);
+  let sides = [ 4; 8; 16; 32; 64; 96; 128 ] in
+  let probs = [ 1.0; 0.95; 0.8; 0.5; 0.3; 0.1 ] in
+  Fmt.pr "dpred cost (fetch cycles; negative = select the branch), \
+          taken probability 0.5:@.";
+  Fmt.pr "%-14s" "side insts";
+  List.iter (fun p -> Fmt.pr " merge=%.2f" p) probs;
+  Fmt.pr "@.";
+  List.iter
+    (fun side ->
+      Fmt.pr "%-14d" side;
+      List.iter
+        (fun merge_prob ->
+          let cfm = synthetic_cfm ~side_insts:side ~merge_prob in
+          let overhead =
+            Cost_model.dpred_overhead params Cost_model.Edge_weighted [ cfm ]
+              ~taken_prob:0.5
+          in
+          let cost = Cost_model.dpred_cost params ~overhead in
+          Fmt.pr " %+9.2f%s" cost (if cost < 0. then "*" else " "))
+        probs;
+      Fmt.pr "@.")
+    sides;
+  Fmt.pr "@.(*) selected as a diverge branch (Equation 15)@.@.";
+  (* The three path-estimation methods of Section 4.1.1 on an
+     asymmetric hammock. *)
+  let asym =
+    { (synthetic_cfm ~side_insts:20 ~merge_prob:0.95) with
+      Candidate.longest_t = 48;
+      longest_nt = 12;
+      avg_t = 22.;
+      avg_nt = 10.;
+      freq_t = 16;
+      freq_nt = 10;
+    }
+  in
+  Fmt.pr "asymmetric hammock (longest 48/12, avg 22/10, frequent 16/10):@.";
+  List.iter
+    (fun m ->
+      let overhead =
+        Cost_model.dpred_overhead params m [ asym ] ~taken_prob:0.6
+      in
+      Fmt.pr "  %-14s overhead %.2f cycles -> cost %+.2f@."
+        (Cost_model.path_method_to_string m)
+        overhead
+        (Cost_model.dpred_cost params ~overhead))
+    [ Cost_model.Most_frequent; Cost_model.Longest;
+      Cost_model.Edge_weighted ];
+  (* Loop cost model (Section 5.1). *)
+  Fmt.pr "@.loop cost model (body 12 insts, 2 select-uops/iter, 3 dpred \
+          iterations):@.";
+  List.iter
+    (fun (p_late, extra) ->
+      let cost =
+        Cost_model.loop_cost params ~n_body:12 ~n_select:2 ~dpred_iter:3.
+          ~extra_iter:extra ~p_correct:0.5
+          ~p_early:((1. -. 0.5 -. p_late) /. 2.)
+          ~p_late
+          ~p_noexit:((1. -. 0.5 -. p_late) /. 2.)
+      in
+      Fmt.pr "  P(late-exit)=%.2f extra-iters=%.1f -> cost %+.2f cycles@."
+        p_late extra cost)
+    [ (0.4, 1.); (0.3, 2.); (0.2, 3.); (0.1, 4.) ]

@@ -1,0 +1,53 @@
+(* Machine sensitivity: DMP's benefit grows with the misprediction
+   penalty (deeper front end) and shrinks when the window is small —
+   the design-space intuition behind the DMP papers.
+
+   Runs the twolf stand-in across machine configurations.
+
+   Run with: dune exec examples/custom_machine.exe *)
+
+open Dmp_workload
+open Dmp_uarch
+
+let () =
+  let spec = Registry.find "twolf" in
+  let linked = Spec.linked spec in
+  let input = spec.Spec.input Input_gen.Reduced in
+  let profile =
+    Dmp_profile.Profile.collect ~max_insts:300_000 linked ~input
+  in
+  let annotation = Dmp_core.Select.run linked profile in
+  let run config =
+    Sim.run ~config ~max_insts:300_000 linked ~input
+  in
+  let compare_at label config =
+    let base = run { config with Config.dmp_enabled = false } in
+    let dmp =
+      Sim.run ~config:{ config with Config.dmp_enabled = true } ~annotation
+        ~max_insts:300_000 linked ~input
+    in
+    Fmt.pr "%-34s base IPC %5.2f  DMP IPC %5.2f  (%+5.1f%%)@." label
+      (Stats.ipc base) (Stats.ipc dmp)
+      ((Stats.ipc dmp /. Stats.ipc base -. 1.) *. 100.)
+  in
+  Fmt.pr "front-end depth sweep (misprediction penalty):@.";
+  List.iter
+    (fun depth ->
+      compare_at
+        (Printf.sprintf "  front_depth=%d (penalty>=%d)" depth (depth + 2))
+        { Config.baseline with Config.front_depth = depth })
+    [ 11; 23; 35; 47 ];
+  Fmt.pr "@.reorder-buffer size sweep:@.";
+  List.iter
+    (fun rob ->
+      compare_at
+        (Printf.sprintf "  rob_size=%d" rob)
+        { Config.baseline with Config.rob_size = rob })
+    [ 128; 256; 512; 1024 ];
+  Fmt.pr "@.fetch width sweep:@.";
+  List.iter
+    (fun fw ->
+      compare_at
+        (Printf.sprintf "  fetch_width=%d" fw)
+        { Config.baseline with Config.fetch_width = fw })
+    [ 4; 8; 16 ]

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Block Dmp_ir Func List Term

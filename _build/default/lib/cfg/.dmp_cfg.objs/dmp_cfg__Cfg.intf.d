@@ -1,0 +1,1 @@
+lib/cfg/cfg.mli: Block Dmp_ir Func

@@ -1,0 +1,1 @@
+lib/cfg/dom.mli: Cfg

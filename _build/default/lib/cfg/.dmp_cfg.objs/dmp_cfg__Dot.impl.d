@@ -1,0 +1,1 @@
+lib/cfg/dot.ml: Block Buffer Cfg Dmp_ir Func Int List Printf String

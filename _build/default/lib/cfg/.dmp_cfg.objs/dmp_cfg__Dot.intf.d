@@ -1,0 +1,1 @@
+lib/cfg/dot.mli: Cfg

@@ -1,0 +1,1 @@
+lib/cfg/live.ml: Array Block Dmp_ir Func Instr Int List Reg Set Term

@@ -1,0 +1,1 @@
+lib/cfg/live.mli: Dmp_ir Set

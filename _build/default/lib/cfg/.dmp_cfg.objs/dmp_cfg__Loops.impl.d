@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Array Cfg Dom Hashtbl Int List

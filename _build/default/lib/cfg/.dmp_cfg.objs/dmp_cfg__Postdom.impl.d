@@ -1,0 +1,1 @@
+lib/cfg/postdom.ml: Cfg Dom Int List

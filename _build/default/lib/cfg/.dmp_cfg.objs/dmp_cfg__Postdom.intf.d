@@ -1,0 +1,1 @@
+lib/cfg/postdom.mli: Cfg

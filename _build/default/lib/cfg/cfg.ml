@@ -1,0 +1,78 @@
+open Dmp_ir
+
+type dir = Taken | Fallthrough | Always
+
+type t = {
+  func : Func.t;
+  succs : (int * dir) list array;
+  preds : int list array;
+  exits : int list;
+}
+
+let dir_to_string = function
+  | Taken -> "T"
+  | Fallthrough -> "NT"
+  | Always -> "U"
+
+let of_func func =
+  let n = Func.num_blocks func in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  let exits = ref [] in
+  for i = 0 to n - 1 do
+    let b = Func.block func i in
+    match b.Block.term with
+    | Term.Branch { target; fall; _ } ->
+        succs.(i) <- [ (target, Taken); (fall, Fallthrough) ];
+        preds.(target) <- i :: preds.(target);
+        if target <> fall then preds.(fall) <- i :: preds.(fall)
+    | Term.Jump l ->
+        succs.(i) <- [ (l, Always) ];
+        preds.(l) <- i :: preds.(l)
+    | Term.Ret | Term.Halt -> exits := i :: !exits
+  done;
+  { func; succs; preds; exits = List.rev !exits }
+
+let num_nodes t = Func.num_blocks t.func
+let entry = Func.entry
+let successors t i = t.succs.(i)
+let successor_blocks t i = List.map fst t.succs.(i)
+let predecessors t i = t.preds.(i)
+let block t i = Func.block t.func i
+let block_size t i = Block.size (block t i)
+let is_conditional t i = Block.is_conditional (block t i)
+let exits t = t.exits
+
+let reachable t =
+  let n = num_nodes t in
+  let seen = Array.make n false in
+  let rec go i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter go (successor_blocks t i)
+    end
+  in
+  go entry;
+  seen
+
+let postorder t =
+  let n = num_nodes t in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec go i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter go (successor_blocks t i);
+      order := i :: !order
+    end
+  in
+  go entry;
+  (* [order] is now reverse postorder; postorder is its reverse. *)
+  List.rev !order
+
+let reverse_postorder t = List.rev (postorder t)
+
+let branch_successors t i =
+  match (block t i).Block.term with
+  | Term.Branch { target; fall; _ } -> Some (target, fall)
+  | Term.Jump _ | Term.Ret | Term.Halt -> None

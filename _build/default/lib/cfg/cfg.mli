@@ -1,0 +1,33 @@
+(** Per-function control-flow graph over block indices. *)
+
+open Dmp_ir
+
+type dir = Taken | Fallthrough | Always
+
+type t = {
+  func : Func.t;
+  succs : (int * dir) list array;
+  preds : int list array;
+  exits : int list;
+}
+
+val dir_to_string : dir -> string
+val of_func : Func.t -> t
+val num_nodes : t -> int
+val entry : int
+val successors : t -> int -> (int * dir) list
+val successor_blocks : t -> int -> int list
+val predecessors : t -> int -> int list
+val block : t -> int -> Block.t
+val block_size : t -> int -> int
+val is_conditional : t -> int -> bool
+
+val exits : t -> int list
+(** Blocks ending in [Ret] or [Halt]. *)
+
+val reachable : t -> bool array
+val postorder : t -> int list
+val reverse_postorder : t -> int list
+
+val branch_successors : t -> int -> (int * int) option
+(** [(taken, fall)] if block [i] ends in a conditional branch. *)

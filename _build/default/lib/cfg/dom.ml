@@ -1,0 +1,79 @@
+(* Cooper, Harvey, Kennedy: "A Simple, Fast Dominance Algorithm". The
+   solver is generic over an adjacency so that post-dominators reuse it on
+   the reversed graph (see {!Postdom}). *)
+
+type t = { entry : int; idom : int array }
+
+let undefined = -1
+
+let compute ~num_nodes ~entry ~succs ~preds =
+  (* Postorder numbering from [entry]. *)
+  let po_num = Array.make num_nodes undefined in
+  let order = ref [] in
+  let seen = Array.make num_nodes false in
+  let rec dfs i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter dfs (succs i);
+      order := i :: !order
+    end
+  in
+  dfs entry;
+  let rpo = !order in
+  let counter = ref 0 in
+  List.iter
+    (fun i ->
+      po_num.(i) <- num_nodes - 1 - !counter;
+      incr counter)
+    rpo;
+  let idom = Array.make num_nodes undefined in
+  idom.(entry) <- entry;
+  let rec intersect b1 b2 =
+    if b1 = b2 then b1
+    else if po_num.(b1) < po_num.(b2) then intersect idom.(b1) b2
+    else intersect b1 idom.(b2)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> entry then begin
+          let processed =
+            List.filter (fun p -> idom.(p) <> undefined) (preds b)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { entry; idom }
+
+let idom t i =
+  if i = t.entry then None
+  else
+    let d = t.idom.(i) in
+    if d = undefined then None else Some d
+
+let reachable t i = t.idom.(i) <> undefined
+
+let dominates t a b =
+  if not (reachable t b) then false
+  else
+    let rec up x = if x = a then true else if x = t.entry then a = t.entry
+      else up t.idom.(x)
+    in
+    up b
+
+let strictly_dominates t a b = a <> b && dominates t a b
+
+let of_cfg cfg =
+  compute ~num_nodes:(Cfg.num_nodes cfg) ~entry:Cfg.entry
+    ~succs:(Cfg.successor_blocks cfg)
+    ~preds:(Cfg.predecessors cfg)

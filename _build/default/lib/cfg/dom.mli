@@ -1,0 +1,17 @@
+(** Dominator tree via the Cooper–Harvey–Kennedy algorithm (the
+    algorithm the paper cites for IPOSDOM computation). *)
+
+type t
+
+val compute :
+  num_nodes:int -> entry:int -> succs:(int -> int list) ->
+  preds:(int -> int list) -> t
+(** Generic solver; {!Postdom} reuses it on the reversed graph. *)
+
+val idom : t -> int -> int option
+(** Immediate dominator; [None] for the entry or unreachable nodes. *)
+
+val reachable : t -> int -> bool
+val dominates : t -> int -> int -> bool
+val strictly_dominates : t -> int -> int -> bool
+val of_cfg : Cfg.t -> t

@@ -1,0 +1,29 @@
+open Dmp_ir
+
+let escape s =
+  String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
+                      (List.init (String.length s) (String.get s)))
+
+let of_cfg ?(highlight = []) cfg =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "digraph %s {\n" (escape cfg.Cfg.func.Func.name);
+  add "  node [shape=box fontname=\"monospace\"];\n";
+  let n = Cfg.num_nodes cfg in
+  for i = 0 to n - 1 do
+    let b = Cfg.block cfg i in
+    let style =
+      if List.exists (Int.equal i) highlight then " style=filled fillcolor=lightblue"
+      else ""
+    in
+    add "  b%d [label=\"[%d] %s (%d insts)\"%s];\n" i i
+      (escape b.Block.label) (Block.size b) style
+  done;
+  for i = 0 to n - 1 do
+    List.iter
+      (fun (s, dir) ->
+        add "  b%d -> b%d [label=\"%s\"];\n" i s (Cfg.dir_to_string dir))
+      (Cfg.successors cfg i)
+  done;
+  add "}\n";
+  Buffer.contents buf

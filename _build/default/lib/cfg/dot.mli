@@ -1,0 +1,3 @@
+(** Graphviz rendering of a CFG, for debugging and documentation. *)
+
+val of_cfg : ?highlight:int list -> Cfg.t -> string

@@ -1,0 +1,73 @@
+(* Classic backward liveness over registers. Used by the DMP compiler to
+   count select-µops: only registers live at a CFM point need a
+   select-µop to reconcile the two predicated paths. *)
+
+open Dmp_ir
+
+module Rset = Set.Make (Int)
+
+type t = { live_in : Rset.t array; live_out : Rset.t array }
+
+(* A call is treated as reading the argument registers and the
+   condition registers r2..r15 (our software convention) and defining
+   nothing — conservative in the direction that keeps registers live. *)
+let call_uses = List.init 14 (fun i -> 2 + i)
+
+let instr_uses ins =
+  match ins with
+  | Instr.Call _ -> call_uses
+  | _ -> List.map Reg.to_int (Instr.uses ins)
+
+let instr_defs ins =
+  match ins with
+  | Instr.Call _ -> []
+  | _ -> List.map Reg.to_int (Instr.defs ins)
+
+let block_transfer b live_out =
+  (* Walk the block backwards, starting from the terminator. *)
+  let live = ref live_out in
+  List.iter
+    (fun r -> live := Rset.add (Reg.to_int r) !live)
+    (Term.uses b.Block.term);
+  for i = Array.length b.Block.body - 1 downto 0 do
+    let ins = b.Block.body.(i) in
+    List.iter (fun r -> live := Rset.remove r !live) (instr_defs ins);
+    List.iter (fun r -> live := Rset.add r !live) (instr_uses ins)
+  done;
+  !live
+
+let of_func f =
+  let n = Func.num_blocks f in
+  let live_in = Array.make n Rset.empty in
+  let live_out = Array.make n Rset.empty in
+  let exit_live = Rset.singleton (Reg.to_int Reg.ret_value) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = n - 1 downto 0 do
+      let blk = Func.block f b in
+      let out =
+        match blk.Block.term with
+        | Term.Ret -> exit_live
+        | Term.Halt -> Rset.empty
+        | Term.Branch _ | Term.Jump _ ->
+            List.fold_left
+              (fun acc s -> Rset.union acc live_in.(s))
+              Rset.empty
+              (Term.successors blk.Block.term)
+      in
+      let inn = block_transfer blk out in
+      if not (Rset.equal out live_out.(b) && Rset.equal inn live_in.(b))
+      then begin
+        live_out.(b) <- out;
+        live_in.(b) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { live_in; live_out }
+
+let live_in t block = t.live_in.(block)
+let live_out t block = t.live_out.(block)
+let is_live_in t ~block ~reg = Rset.mem reg t.live_in.(block)
+let cardinal_live_in t block = Rset.cardinal t.live_in.(block)

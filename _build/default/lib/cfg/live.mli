@@ -1,0 +1,13 @@
+(** Backward register liveness per basic block. The DMP compiler counts
+    select-µops as the registers written on either predicated path that
+    are live at the CFM point. *)
+
+module Rset : Set.S with type elt = int
+
+type t
+
+val of_func : Dmp_ir.Func.t -> t
+val live_in : t -> int -> Rset.t
+val live_out : t -> int -> Rset.t
+val is_live_in : t -> block:int -> reg:int -> bool
+val cardinal_live_in : t -> int -> int

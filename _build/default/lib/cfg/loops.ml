@@ -1,0 +1,76 @@
+type loop = {
+  header : int;
+  body : int list;
+  back_edges : (int * int) list;
+  exit_branches : int list;
+}
+
+type t = loop list
+
+let natural_loop cfg ~reachable ~header ~latch =
+  (* Unreachable predecessors are not part of the loop: they can never
+     execute, and including them would break the header-dominates-body
+     invariant. *)
+  let in_body = Hashtbl.create 16 in
+  Hashtbl.replace in_body header ();
+  let rec pull i =
+    if reachable.(i) && not (Hashtbl.mem in_body i) then begin
+      Hashtbl.replace in_body i ();
+      List.iter pull (Cfg.predecessors cfg i)
+    end
+  in
+  pull latch;
+  Hashtbl.fold (fun i () acc -> i :: acc) in_body []
+
+let of_cfg cfg =
+  let dom = Dom.of_cfg cfg in
+  let reachable = Cfg.reachable cfg in
+  let n = Cfg.num_nodes cfg in
+  let by_header = Hashtbl.create 8 in
+  for u = 0 to n - 1 do
+    if Dom.reachable dom u then
+      List.iter
+        (fun h ->
+          if Dom.dominates dom h u then
+            Hashtbl.replace by_header h
+              ((u, h)
+              :: (try Hashtbl.find by_header h with Not_found -> [])))
+        (Cfg.successor_blocks cfg u)
+  done;
+  Hashtbl.fold
+    (fun header back_edges acc ->
+      let body =
+        List.sort_uniq Int.compare
+          (List.concat_map
+             (fun (latch, _) -> natural_loop cfg ~reachable ~header ~latch)
+             back_edges)
+      in
+      let in_body i = List.exists (Int.equal i) body in
+      let exit_branches =
+        List.filter
+          (fun i ->
+            Cfg.is_conditional cfg i
+            && List.exists (fun s -> not (in_body s))
+                 (Cfg.successor_blocks cfg i))
+          body
+      in
+      { header; body; back_edges; exit_branches } :: acc)
+    by_header []
+
+let loop_of_branch t block =
+  (* The innermost (smallest-body) loop for which [block] is an exit
+     branch. *)
+  let candidates =
+    List.filter (fun l -> List.exists (Int.equal block) l.exit_branches) t
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun best l ->
+             if List.length l.body < List.length best.body then l else best)
+           first rest)
+
+let body_size cfg l =
+  List.fold_left (fun acc b -> acc + Cfg.block_size cfg b) 0 l.body

@@ -1,0 +1,20 @@
+(** Natural-loop detection from back edges (edges whose target dominates
+    their source). Back edges sharing a header are merged into one loop. *)
+
+type loop = {
+  header : int;
+  body : int list;  (** blocks of the natural loop, header included *)
+  back_edges : (int * int) list;  (** (latch, header) *)
+  exit_branches : int list;
+      (** conditional-branch blocks in the body with a successor outside *)
+}
+
+type t = loop list
+
+val of_cfg : Cfg.t -> t
+
+val loop_of_branch : t -> int -> loop option
+(** Innermost loop for which block [i] is an exit branch. *)
+
+val body_size : Cfg.t -> loop -> int
+(** Static instruction count of the loop body. *)

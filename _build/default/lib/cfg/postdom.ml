@@ -1,0 +1,28 @@
+(* Post-dominators: dominators of the reversed CFG, augmented with a
+   virtual exit node that every Ret/Halt block flows into. *)
+
+type t = { virtual_exit : int; dom : Dom.t }
+
+let of_cfg cfg =
+  let n = Cfg.num_nodes cfg in
+  let virtual_exit = n in
+  let exits = Cfg.exits cfg in
+  let succs i =
+    if i = virtual_exit then exits else Cfg.predecessors cfg i
+  in
+  let preds i =
+    if i = virtual_exit then []
+    else
+      let up = Cfg.successor_blocks cfg i in
+      if List.exists (Int.equal i) exits then virtual_exit :: up else up
+  in
+  let dom = Dom.compute ~num_nodes:(n + 1) ~entry:virtual_exit ~succs ~preds in
+  { virtual_exit; dom }
+
+let ipostdom t i =
+  match Dom.idom t.dom i with
+  | Some d when d <> t.virtual_exit -> Some d
+  | Some _ | None -> None
+
+let postdominates t a b = Dom.dominates t.dom a b
+let reaches_exit t i = Dom.reachable t.dom i

@@ -1,0 +1,18 @@
+(** Post-dominator tree (dominators of the reversed CFG with a virtual
+    exit). The paper's exact CFM point of a branch is the immediate
+    post-dominator of its block. *)
+
+type t
+
+val of_cfg : Cfg.t -> t
+
+val ipostdom : t -> int -> int option
+(** Immediate post-dominator block, or [None] when the only
+    post-dominator is the virtual exit (e.g. the two sides return from
+    the function separately) or the node cannot reach an exit. *)
+
+val postdominates : t -> int -> int -> bool
+(** [postdominates t a b]: every path from [b] to the exit passes
+    through [a]. *)
+
+val reaches_exit : t -> int -> bool

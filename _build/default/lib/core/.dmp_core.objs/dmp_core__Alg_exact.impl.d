@@ -1,0 +1,1 @@
+lib/core/alg_exact.ml: Annotation Array Block Candidate Cfg Context Dmp_cfg Dmp_ir Dmp_profile Explore Func Instr Linked List Postdom Profile Program

@@ -1,0 +1,1 @@
+lib/core/alg_exact.mli: Candidate Context

@@ -1,0 +1,1 @@
+lib/core/alg_freq.ml: Annotation Candidate Cfg Chains Context Dmp_cfg Dmp_profile Explore Hashtbl List Params Postdom Profile

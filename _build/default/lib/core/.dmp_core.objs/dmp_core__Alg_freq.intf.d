@@ -1,0 +1,1 @@
+lib/core/alg_freq.mli: Candidate Context

@@ -1,0 +1,1 @@
+lib/core/annotation.ml: Buffer Fmt Hashtbl Int List Option Printf String

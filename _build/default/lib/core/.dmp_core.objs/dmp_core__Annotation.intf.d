@@ -1,0 +1,1 @@
+lib/core/annotation.mli: Fmt

@@ -1,0 +1,1 @@
+lib/core/candidate.ml: Annotation Context Explore

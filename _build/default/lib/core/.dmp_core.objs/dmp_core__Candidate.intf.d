@@ -1,0 +1,1 @@
+lib/core/candidate.mli: Annotation Context Explore

@@ -1,0 +1,1 @@
+lib/core/chains.ml: Array Candidate Explore Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/context.ml: Array Block Cfg Dmp_cfg Dmp_ir Dmp_profile Dom Func Hashtbl Instr Int Linked List Live Loops Params Postdom Profile Program Reg

@@ -1,0 +1,1 @@
+lib/core/context.mli: Cfg Dmp_cfg Dmp_ir Dmp_profile Dom Linked Live Loops Params Postdom Profile

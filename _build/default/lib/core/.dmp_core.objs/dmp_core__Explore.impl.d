@@ -1,0 +1,1 @@
+lib/core/explore.ml: Array Cfg Context Dmp_cfg Dmp_ir Hashtbl Int List Params Set

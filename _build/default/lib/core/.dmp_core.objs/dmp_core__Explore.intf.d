@@ -1,0 +1,1 @@
+lib/core/explore.mli: Context Hashtbl Set

@@ -1,0 +1,1 @@
+lib/core/if_convert.ml: Array Block Context Dmp_ir Dmp_profile Func Hashtbl Instr Linked List Profile Program Reg Term

@@ -1,0 +1,1 @@
+lib/core/if_convert.mli: Dmp_ir Dmp_profile Linked Profile Program

@@ -1,0 +1,1 @@
+lib/core/loop_select.ml: Annotation Array Cfg Context Dmp_cfg Dmp_profile Int List Loops Params Profile

@@ -1,0 +1,1 @@
+lib/core/loop_select.mli: Annotation Context Params

@@ -1,0 +1,1 @@
+lib/core/select.ml: Alg_exact Alg_freq Annotation Candidate Context Cost_model Dmp_cfg Dmp_profile Float Hashtbl Int List Loop_select Loops Params Profile

@@ -1,0 +1,1 @@
+lib/core/select.mli: Annotation Candidate Context Cost_model Dmp_ir Dmp_profile Linked Params Profile

@@ -1,0 +1,1 @@
+lib/core/simple_select.ml: Alg_exact Annotation Candidate Cfg Context Dmp_cfg Dmp_profile Explore Params Postdom Printf Profile Random

@@ -1,0 +1,1 @@
+lib/core/simple_select.mli: Annotation Dmp_ir Dmp_profile Linked Profile

@@ -1,0 +1,107 @@
+(* Algorithm 1 (Alg-exact): find simple and nested hammock diverge
+   branches whose exact CFM point is the IPOSDOM of the branch. A
+   candidate is eliminated when any path from the branch to the IPOSDOM
+   exceeds MAX_INSTR instructions or MAX_CBR conditional branches (a
+   cyclic region makes the structural walk overflow MAX_INSTR, so loops
+   are eliminated for free). *)
+
+open Dmp_ir
+open Dmp_cfg
+open Dmp_profile
+
+module Int_set = Explore.Int_set
+
+let region_has_call ctx ~func blocks =
+  let program = ctx.Context.linked.Linked.program in
+  let f = Program.func program func in
+  Int_set.exists
+    (fun bi ->
+      Array.exists Instr.is_call (Func.block f bi).Block.body)
+    blocks
+
+(* Classify an exact hammock region: simple when there is no control
+   flow at all inside (no conditional branch, no call); nested
+   otherwise. *)
+let classify ctx ~func ~(cfm : Candidate.cfm_candidate) =
+  if cfm.Candidate.max_cbr = 0
+     && not (region_has_call ctx ~func cfm.Candidate.blocks_on_paths)
+  then Annotation.Simple_hammock
+  else Annotation.Nested_hammock
+
+let candidate_of_branch ctx ~func ~block =
+  let fn = Context.fn ctx func in
+  let cfg = fn.Context.cfg in
+  match Cfg.branch_successors cfg block with
+  | None -> None
+  | Some (target, fall) -> (
+      match Postdom.ipostdom fn.Context.postdom block with
+      | None -> None
+      | Some j ->
+          let branch_addr = Context.branch_addr ctx ~func ~block in
+          let executed = Profile.executed ctx.Context.profile ~addr:branch_addr in
+          if executed = 0 then None
+          else
+            let side start =
+              Explore.explore ctx ~func ~start ~stop_blocks:(Explore.Int_set.singleton j)
+                ~structural:true
+            in
+            let rt = side target and rnt = side fall in
+            if rt.Explore.truncated || rnt.Explore.truncated
+               || rt.Explore.capped || rnt.Explore.capped
+            then None
+            else
+              match (Explore.reach rt j, Explore.reach rnt j) with
+              | Some reach_t, Some reach_nt ->
+                  let cfm =
+                    Candidate.make_cfm ctx ~func ~cfm_block:j ~exact:true
+                      ~merge_prob:1. ~reach_t ~reach_nt
+                  in
+                  (* Refine the profile-sensitive fields (expected and
+                     most-frequent path lengths) with a profile-mode
+                     walk; structural probabilities are meaningless. *)
+                  let pt =
+                    Explore.explore ctx ~func ~start:target
+                      ~stop_blocks:(Explore.Int_set.singleton j) ~structural:false
+                  in
+                  let pnt =
+                    Explore.explore ctx ~func ~start:fall ~stop_blocks:(Explore.Int_set.singleton j)
+                      ~structural:false
+                  in
+                  let cfm =
+                    match (Explore.reach pt j, Explore.reach pnt j) with
+                    | Some preach_t, Some preach_nt ->
+                        { cfm with
+                          Candidate.avg_t = Explore.avg_insts preach_t;
+                          avg_nt = Explore.avg_insts preach_nt;
+                          freq_t = preach_t.Explore.best_path_insts;
+                          freq_nt = preach_nt.Explore.best_path_insts;
+                        }
+                    | _, _ -> cfm
+                  in
+                  let kind = classify ctx ~func ~cfm in
+                  Some
+                    {
+                      Candidate.func;
+                      block;
+                      branch_addr;
+                      kind;
+                      cfms = [ cfm ];
+                      ret = None;
+                      executed;
+                      mispredicted =
+                        Profile.mispredictions ctx.Context.profile
+                          ~addr:branch_addr;
+                    }
+              | _, _ -> None)
+
+let find ctx =
+  let out = ref [] in
+  for func = 0 to Context.num_fns ctx - 1 do
+    let fn = Context.fn ctx func in
+    for block = 0 to Cfg.num_nodes fn.Context.cfg - 1 do
+      match candidate_of_branch ctx ~func ~block with
+      | Some c -> out := c :: !out
+      | None -> ()
+    done
+  done;
+  List.rev !out

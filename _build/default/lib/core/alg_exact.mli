@@ -1,0 +1,11 @@
+(** Algorithm 1 (Alg-exact): find simple and nested hammock diverge
+    branches whose exact CFM point is the branch's immediate
+    post-dominator (Section 3.2). Candidates with any path longer than
+    MAX_INSTR instructions or MAX_CBR conditional branches are
+    eliminated; cyclic regions overflow MAX_INSTR and are eliminated
+    for free. *)
+
+val candidate_of_branch :
+  Context.t -> func:int -> block:int -> Candidate.t option
+
+val find : Context.t -> Candidate.t list

@@ -1,0 +1,14 @@
+(** Algorithm 2 (Alg-freq): find frequently-hammock diverge branches
+    and approximate CFM points from the edge profile (Section 3.3),
+    with first-arrival merge probabilities (footnote 3) and
+    chain-of-CFM-point reduction (Section 3.3.1). Also detects return
+    CFM opportunities (both sides reach returns, Section 3.5).
+
+    [apply_min_merge_prob] is true for threshold-based selection and
+    false when the cost-benefit model does the filtering. *)
+
+val candidate_of_branch :
+  ?apply_min_merge_prob:bool -> Context.t -> func:int -> block:int ->
+  Candidate.t option
+
+val find : ?apply_min_merge_prob:bool -> Context.t -> Candidate.t list

@@ -1,0 +1,65 @@
+(** DMP binary annotations: the list of diverge branches and their CFM
+    points the compiler attaches to the binary and the ISA conveys to
+    the hardware (Section 2.2). *)
+
+type branch_kind =
+  | Simple_hammock
+  | Nested_hammock
+  | Frequently_hammock
+  | Loop_branch
+
+type cfm = {
+  cfm_addr : int;  (** address of the first instruction of the CFM block *)
+  exact : bool;  (** exact (IPOSDOM) vs approximate (Section 3.1) *)
+  merge_prob : float;
+  select_uops : int;
+      (** select-µops to insert when the paths merge at this point *)
+}
+
+type loop_info = {
+  body_insts : int;
+  exit_target_addr : int;
+  avg_iterations : float;
+  loop_select_uops : int;
+}
+
+type diverge = {
+  branch_addr : int;
+  kind : branch_kind;
+  cfms : cfm list;  (** at most [Params.max_cfm]; may be empty for
+      return-CFM or CFM-less (dual-path) diverge branches *)
+  return_cfm : bool;
+      (** dpred-mode ends when both paths execute a return (Section 3.5) *)
+  always_predicate : bool;
+      (** short hammock: predicate regardless of confidence (Section 3.4) *)
+  loop : loop_info option;
+}
+
+type t
+
+val branch_kind_to_string : branch_kind -> string
+val empty : unit -> t
+
+val add : t -> diverge -> unit
+(** @raise Invalid_argument if the branch is already marked. *)
+
+val replace : t -> diverge -> unit
+val find : t -> int -> diverge option
+val is_diverge : t -> int -> bool
+val count : t -> int
+val fold : (diverge -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (diverge -> unit) -> t -> unit
+val diverge_addrs : t -> int list
+
+val average_cfm_count : t -> float
+(** Average number of CFM points per non-loop diverge branch (Table 2's
+    "Avg. # CFM"). *)
+
+val to_string : t -> string
+(** One line per diverge branch; the format {!of_string} parses — the
+    "list attached to the binary" of Section 6.1. *)
+
+val of_string : string -> (t, string) result
+
+val pp_diverge : diverge Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,146 @@
+open Dmp_ir
+open Dmp_cfg
+open Dmp_profile
+
+type fn_ctx = {
+  index : int;
+  cfg : Cfg.t;
+  dom : Dom.t;
+  postdom : Postdom.t;
+  loops : Loops.t;
+  live : Live.t;
+  block_weight : int array;
+      (* block size with Call instructions expanded to callee static size *)
+  block_cbr : int array;
+      (* conditional branches: own terminator plus callee static branches *)
+}
+
+type t = {
+  linked : Linked.t;
+  profile : Profile.t;
+  params : Params.t;
+  fns : fn_ctx array;
+}
+
+let call_weights program =
+  let sizes = Hashtbl.create 16 in
+  Array.iter
+    (fun f -> Hashtbl.replace sizes f.Func.name (Func.size f))
+    program.Program.funcs;
+  let cbrs = Hashtbl.create 16 in
+  Array.iter
+    (fun f ->
+      let n =
+        Array.fold_left
+          (fun acc b -> if Block.is_conditional b then acc + 1 else acc)
+          0 f.Func.blocks
+      in
+      Hashtbl.replace cbrs f.Func.name n)
+    program.Program.funcs;
+  (sizes, cbrs)
+
+let create ?(params = Params.default) linked profile =
+  let program = linked.Linked.program in
+  let callee_size, callee_cbr = call_weights program in
+  let fns =
+    Array.init (Program.num_funcs program) (fun index ->
+        let f = Program.func program index in
+        let cfg = Cfg.of_func f in
+        let nb = Func.num_blocks f in
+        let block_weight = Array.make nb 0 in
+        let block_cbr = Array.make nb 0 in
+        for bi = 0 to nb - 1 do
+          let b = Func.block f bi in
+          let w = ref (Block.size b) and c = ref 0 in
+          Array.iter
+            (fun ins ->
+              match ins with
+              | Instr.Call { callee } ->
+                  w := !w + Hashtbl.find callee_size callee;
+                  c := !c + Hashtbl.find callee_cbr callee
+              | _ -> ())
+            b.Block.body;
+          if Block.is_conditional b then incr c;
+          block_weight.(bi) <- !w;
+          block_cbr.(bi) <- !c
+        done;
+        {
+          index;
+          cfg;
+          dom = Dom.of_cfg cfg;
+          postdom = Postdom.of_cfg cfg;
+          loops = Loops.of_cfg cfg;
+          live = Live.of_func f;
+          block_weight;
+          block_cbr;
+        })
+  in
+  { linked; profile; params; fns }
+
+let fn t i = t.fns.(i)
+let num_fns t = Array.length t.fns
+
+let branch_addr t ~func ~block =
+  let f = Program.func t.linked.Linked.program func in
+  let b = Func.block f block in
+  Linked.block_addr t.linked ~func ~block + Array.length b.Block.body
+
+(* Same computation without a full analysis context (used by passes
+   that only have a linked program). *)
+let branch_addr' linked ~func ~block =
+  let f = Program.func linked.Linked.program func in
+  let b = Func.block f block in
+  Linked.block_addr linked ~func ~block + Array.length b.Block.body
+
+let block_start_addr t ~func ~block =
+  Linked.block_addr t.linked ~func ~block
+
+let edge_prob t ~func ~block ~dir = Profile.edge_prob t.profile ~func ~block ~dir
+
+(* Registers written by a block, with calls treated as writing their
+   callee's defs (conservative union). *)
+let block_defs t ~func ~block =
+  let program = t.linked.Linked.program in
+  let rec func_defs seen name acc =
+    if List.mem name seen then acc
+    else
+      match Program.find_func program name with
+      | None -> acc
+      | Some fi ->
+          let f = Program.func program fi in
+          Array.fold_left
+            (fun acc b -> block_defs_raw (name :: seen) b acc)
+            acc f.Func.blocks
+  and block_defs_raw seen b acc =
+    Array.fold_left
+      (fun acc ins ->
+        let acc =
+          List.fold_left
+            (fun acc r -> Reg.to_int r :: acc)
+            acc (Instr.defs ins)
+        in
+        match ins with
+        | Instr.Call { callee } -> func_defs seen callee acc
+        | _ -> acc)
+      acc b.Block.body
+  in
+  let f = Program.func program func in
+  let b = Func.block f block in
+  List.sort_uniq Int.compare (block_defs_raw [] b [])
+
+(* Select-µops needed when two predicated paths writing [defs] merge at
+   the entry of [cfm_block]: one per register live there. *)
+let select_count t ~func ~cfm_block defs =
+  if not t.params.Params.live_selects then List.length defs
+  else
+    let live = (fn t func).live in
+    List.length
+      (List.filter
+         (fun reg -> Live.is_live_in live ~block:cfm_block ~reg)
+         defs)
+
+(* For return CFM points the continuation is in the caller; registers
+   below the scratch range are assumed live across the return (our
+   software convention: r20+ are intra-motif scratch). *)
+let ret_select_count _t defs =
+  List.length (List.filter (fun reg -> reg < 20) defs)

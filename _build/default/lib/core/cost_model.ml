@@ -1,0 +1,89 @@
+(* Analytical profile-driven cost-benefit model (Sections 4 and 5.1).
+
+   All overheads are in fetch cycles. A branch is selected as a diverge
+   branch when the expected cost of dynamic predication (Equation 1) is
+   negative, i.e. the expected saved misprediction penalty outweighs the
+   expected wasted fetch bandwidth:
+
+     dpred_cost = dpred_overhead * P(enter dpred | correct)
+                + (dpred_overhead - misp_penalty) * P(enter dpred | misp)
+
+   with P(enter dpred | misp) = Acc_Conf, the confidence-estimator
+   accuracy (PVN). *)
+
+type path_method = Most_frequent | Longest | Edge_weighted
+
+let path_method_to_string = function
+  | Most_frequent -> "freq-path"
+  | Longest -> "cost-long"
+  | Edge_weighted -> "cost-edge"
+
+let side_insts method_ (c : Candidate.cfm_candidate) =
+  match method_ with
+  | Most_frequent ->
+      (float_of_int c.Candidate.freq_t, float_of_int c.Candidate.freq_nt)
+  | Longest ->
+      (float_of_int c.Candidate.longest_t, float_of_int c.Candidate.longest_nt)
+  | Edge_weighted -> (c.Candidate.avg_t, c.Candidate.avg_nt)
+
+(* Equations 5-13: instructions fetched in dpred-mode and the useless
+   fraction. [taken_prob] is the profiled P(taken) of the diverge
+   branch: the taken side is useful with that probability. *)
+let useless_insts method_ cfm ~taken_prob =
+  let n_t, n_nt = side_insts method_ cfm in
+  let dpred = n_t +. n_nt in
+  let useful = (taken_prob *. n_t) +. ((1. -. taken_prob) *. n_nt) in
+  Float.max 0. (dpred -. useful)
+
+(* Equations 14, 16 and 17: fetch-cycle overhead of one entry into
+   dpred-mode for a branch with one or more CFM points. When the paths
+   do not merge, half of the fetch bandwidth is wasted until the branch
+   resolves. *)
+let dpred_overhead params method_ cfms ~taken_prob =
+  let fw = float_of_int params.Params.fetch_width in
+  let resol = float_of_int params.Params.misp_penalty in
+  let merged, p_merge_total =
+    List.fold_left
+      (fun (acc, ptot) cfm ->
+        let p = cfm.Candidate.merge_prob in
+        (acc +. (p *. useless_insts method_ cfm ~taken_prob), ptot +. p))
+      (0., 0.) cfms
+  in
+  let p_merge_total = Float.min 1. p_merge_total in
+  (merged /. fw) +. ((1. -. p_merge_total) *. (resol /. 2.))
+
+(* Equation 1. *)
+let dpred_cost params ~overhead =
+  let acc = params.Params.acc_conf in
+  let penalty = float_of_int params.Params.misp_penalty in
+  (overhead *. (1. -. acc)) +. ((overhead -. penalty) *. acc)
+
+(* Equation 15 generalised over Equations 16-17: positive benefit. *)
+let select_hammock params method_ (c : Candidate.t) ~taken_prob =
+  match c.Candidate.cfms with
+  | [] -> false
+  | cfms ->
+      let overhead = dpred_overhead params method_ cfms ~taken_prob in
+      dpred_cost params ~overhead < 0.
+
+(* Equation 18: select-µop overhead of a predicated loop. *)
+let loop_select_overhead params ~n_select ~dpred_iter =
+  float_of_int n_select *. dpred_iter /. float_of_int params.Params.fetch_width
+
+(* Equation 19: late-exit overhead adds the NOP-ed extra iterations. *)
+let loop_late_exit_overhead params ~n_body ~n_select ~dpred_iter ~extra_iter =
+  (float_of_int n_body *. extra_iter /. float_of_int params.Params.fetch_width)
+  +. loop_select_overhead params ~n_select ~dpred_iter
+
+(* Equation 20 (reconstructed): expected cost over the four dynamic
+   predication cases of a loop branch; only late-exit saves the flush. *)
+let loop_cost params ~n_body ~n_select ~dpred_iter ~extra_iter ~p_correct
+    ~p_early ~p_late ~p_noexit =
+  let ovh_sel = loop_select_overhead params ~n_select ~dpred_iter in
+  let ovh_late =
+    loop_late_exit_overhead params ~n_body ~n_select ~dpred_iter ~extra_iter
+  in
+  let penalty = float_of_int params.Params.misp_penalty in
+  (p_correct *. ovh_sel) +. (p_early *. ovh_sel)
+  +. (p_late *. (ovh_late -. penalty))
+  +. (p_noexit *. ovh_sel)

@@ -1,0 +1,47 @@
+(** Analytical profile-driven cost-benefit model of dynamic predication
+    (Sections 4 and 5.1; Equations 1-20). Overheads are in fetch
+    cycles. *)
+
+type path_method =
+  | Most_frequent  (** method 1: most frequently executed two paths *)
+  | Longest  (** method 2: longest possible path ("cost-long") *)
+  | Edge_weighted  (** method 3: edge-profile average ("cost-edge") *)
+
+val path_method_to_string : path_method -> string
+
+val side_insts : path_method -> Candidate.cfm_candidate -> float * float
+(** [(N(BH), N(CH))]: estimated instructions on the taken / not-taken
+    side between the branch and the CFM point. *)
+
+val useless_insts :
+  path_method -> Candidate.cfm_candidate -> taken_prob:float -> float
+(** Equations 12-13. *)
+
+val dpred_overhead :
+  Params.t -> path_method -> Candidate.cfm_candidate list ->
+  taken_prob:float -> float
+(** Equations 14, 16, 17: expected fetch-cycle overhead of one
+    dpred-mode entry; generalises to multiple independent CFM points. *)
+
+val dpred_cost : Params.t -> overhead:float -> float
+(** Equation 1, using [Params.acc_conf] and [Params.misp_penalty]. *)
+
+val select_hammock :
+  Params.t -> path_method -> Candidate.t -> taken_prob:float -> bool
+(** Equation 15: true when dynamic predication is expected to win. *)
+
+val loop_select_overhead :
+  Params.t -> n_select:int -> dpred_iter:float -> float
+(** Equation 18. *)
+
+val loop_late_exit_overhead :
+  Params.t -> n_body:int -> n_select:int -> dpred_iter:float ->
+  extra_iter:float -> float
+(** Equation 19. *)
+
+val loop_cost :
+  Params.t -> n_body:int -> n_select:int -> dpred_iter:float ->
+  extra_iter:float -> p_correct:float -> p_early:float -> p_late:float ->
+  p_noexit:float -> float
+(** Equation 20 (reconstructed): expected cost over the correct /
+    early-exit / late-exit / no-exit cases. *)

@@ -1,0 +1,210 @@
+(* Static if-conversion: the classic software predication baseline the
+   paper's introduction argues against. Simple hammocks whose arms are
+   pure straight-line computation are rewritten into branchless code:
+   both arms execute into fresh temporaries and arithmetic selects
+   (p*x + (1-p)*y) reconcile the results — the software analogue of
+   predicated execution on an ISA without predication support.
+
+   Like the if-conversion literature the paper cites (Chang et al. [3],
+   Pnevmatikatos & Sohi [20], Tyson [23]), conversion is profile-driven:
+   only branches above a misprediction-rate threshold and below a size
+   limit are converted. The contrast with DMP (run `bench/main.exe
+   ablations` or `examples/static_vs_dynamic.exe`): a statically
+   converted branch pays the both-arms cost on *every* execution, even
+   in phases where it is perfectly predictable, and conversion cannot
+   touch arms with memory writes or calls. *)
+
+open Dmp_ir
+open Dmp_profile
+
+type stats = { converted : int; rejected_shape : int; rejected_profile : int }
+
+let temp_pool = Array.init 20 (fun i -> Reg.of_int (44 + i))
+
+(* An arm is convertible when it is pure straight-line computation. *)
+let pure_instr = function
+  | Instr.Alu _ | Instr.Li _ | Instr.Mov _ | Instr.Nop -> true
+  | Instr.Load _ | Instr.Store _ | Instr.Call _ | Instr.Read _
+  | Instr.Write _ -> false
+
+let arm_ok (b : Block.t) ~join =
+  Array.for_all pure_instr b.Block.body
+  &&
+  match b.Block.term with Term.Jump j -> j = join | _ -> false
+
+(* Copy an arm's body, renaming every written register to a fresh
+   temporary (local forward renaming); returns the emitted instructions
+   and the final reg -> temp map. *)
+let rename_arm body ~fresh =
+  let map = Hashtbl.create 8 in
+  let subst r = match Hashtbl.find_opt map r with Some t -> t | None -> r in
+  let subst_operand = function
+    | Instr.Reg r -> Instr.Reg (subst r)
+    | Instr.Imm _ as o -> o
+  in
+  let out = ref [] in
+  Array.iter
+    (fun ins ->
+      match ins with
+      | Instr.Alu { op; dst; src1; src2 } ->
+          let src1 = subst src1 and src2 = subst_operand src2 in
+          let t = fresh dst in
+          Hashtbl.replace map dst t;
+          out := Instr.Alu { op; dst = t; src1; src2 } :: !out
+      | Instr.Li { dst; imm } ->
+          let t = fresh dst in
+          Hashtbl.replace map dst t;
+          out := Instr.Li { dst = t; imm } :: !out
+      | Instr.Mov { dst; src } ->
+          let src = subst src in
+          let t = fresh dst in
+          Hashtbl.replace map dst t;
+          out := Instr.Mov { dst = t; src } :: !out
+      | Instr.Nop -> ()
+      | Instr.Load _ | Instr.Store _ | Instr.Call _ | Instr.Read _
+      | Instr.Write _ -> assert false)
+    body;
+  (List.rev !out, map)
+
+(* Materialise the branch predicate as 0/1 into [p]. *)
+let predicate_insts ~p ~cond ~src1 ~src2 =
+  let set op = [ Instr.Alu { op; dst = p; src1; src2 } ] in
+  match cond with
+  | Term.Eq -> set Instr.Seq
+  | Term.Ne -> set Instr.Sne
+  | Term.Lt -> set Instr.Slt
+  | Term.Le -> set Instr.Sle
+  | Term.Ge ->
+      (* p = 1 - (src1 < src2) *)
+      Instr.Alu { op = Instr.Slt; dst = p; src1; src2 }
+      :: [ Instr.Alu { op = Instr.Xor; dst = p; src1 = p; src2 = Instr.Imm 1 } ]
+  | Term.Gt ->
+      Instr.Alu { op = Instr.Sle; dst = p; src1; src2 }
+      :: [ Instr.Alu { op = Instr.Xor; dst = p; src1 = p; src2 = Instr.Imm 1 } ]
+
+(* w = else_val + p * (then_val - else_val), using [scratch]. *)
+let select_insts ~p ~scratch ~dst ~then_reg ~else_reg =
+  [
+    Instr.Alu { op = Instr.Sub; dst = scratch; src1 = then_reg;
+                src2 = Instr.Reg else_reg };
+    Instr.Alu { op = Instr.Mul; dst = scratch; src1 = scratch;
+                src2 = Instr.Reg p };
+    Instr.Alu { op = Instr.Add; dst; src1 = else_reg;
+                src2 = Instr.Reg scratch };
+  ]
+
+(* Attempt to convert the hammock rooted at [block] in function [f].
+   Returns the rewritten branch block on success. *)
+let convert_block (f : Func.t) ~block =
+  let b = f.Func.blocks.(block) in
+  match b.Block.term with
+  | Term.Branch { cond; src1; src2; target; fall }
+    when target <> fall && target <> block && fall <> block -> (
+      let tb = f.Func.blocks.(target) and fb = f.Func.blocks.(fall) in
+      match (tb.Block.term, fb.Block.term) with
+      | Term.Jump jt, Term.Jump jf
+        when jt = jf && jt <> target && jt <> fall
+             && arm_ok tb ~join:jt && arm_ok fb ~join:jf ->
+          let next = ref 0 in
+          let fresh_temp () =
+            if !next >= Array.length temp_pool then raise Exit
+            else begin
+              let t = temp_pool.(!next) in
+              incr next;
+              t
+            end
+          in
+          (try
+             let p = fresh_temp () in
+             let scratch = fresh_temp () in
+             let then_map_fresh = Hashtbl.create 8 in
+             let fresh_then r =
+               let t = fresh_temp () in
+               Hashtbl.replace then_map_fresh r t;
+               t
+             in
+             let then_insts, then_map = rename_arm tb.Block.body ~fresh:fresh_then in
+             ignore then_map;
+             let else_map_fresh = Hashtbl.create 8 in
+             let fresh_else r =
+               let t = fresh_temp () in
+               Hashtbl.replace else_map_fresh r t;
+               t
+             in
+             let else_insts, _ = rename_arm fb.Block.body ~fresh:fresh_else in
+             let written =
+               List.sort_uniq compare
+                 (Hashtbl.fold (fun r _ acc -> r :: acc) then_map_fresh []
+                 @ Hashtbl.fold (fun r _ acc -> r :: acc) else_map_fresh [])
+             in
+             let selects =
+               List.concat_map
+                 (fun w ->
+                   let then_reg =
+                     match Hashtbl.find_opt then_map_fresh w with
+                     | Some t -> t
+                     | None -> w
+                   in
+                   let else_reg =
+                     match Hashtbl.find_opt else_map_fresh w with
+                     | Some t -> t
+                     | None -> w
+                   in
+                   select_insts ~p ~scratch ~dst:w ~then_reg ~else_reg)
+                 written
+             in
+             let body =
+               Array.concat
+                 [
+                   b.Block.body;
+                   Array.of_list (predicate_insts ~p ~cond ~src1 ~src2);
+                   Array.of_list then_insts;
+                   Array.of_list else_insts;
+                   Array.of_list selects;
+                 ]
+             in
+             Some { b with Block.body; term = Term.Jump jt }
+           with Exit -> None)
+      | _, _ -> None)
+  | _ -> None
+
+(* Convert every sufficiently mispredicted, sufficiently small simple
+   hammock in the program. *)
+let run ?(min_misp = 0.05) ?(max_arm = 16) linked profile =
+  let program = linked.Linked.program in
+  let rejected_shape = ref 0 and rejected_profile = ref 0 in
+  let converted = ref 0 in
+  let funcs =
+    Array.to_list
+      (Array.mapi
+         (fun fi (f : Func.t) ->
+           let blocks = Array.copy f.Func.blocks in
+           Array.iteri
+             (fun bi (b : Block.t) ->
+               match b.Block.term with
+               | Term.Branch { target; fall; _ } ->
+                   let small j =
+                     Array.length f.Func.blocks.(j).Block.body <= max_arm
+                   in
+                   if not (small target && small fall) then
+                     incr rejected_shape
+                   else begin
+                     let addr = Context.branch_addr' linked ~func:fi ~block:bi in
+                     if Profile.misp_rate profile ~addr < min_misp then
+                       incr rejected_profile
+                     else
+                       match convert_block f ~block:bi with
+                       | Some b' ->
+                           blocks.(bi) <- b';
+                           incr converted
+                       | None -> incr rejected_shape
+                   end
+               | Term.Jump _ | Term.Ret | Term.Halt -> ())
+             f.Func.blocks;
+           { f with Func.blocks })
+         program.Program.funcs)
+  in
+  let main = (Program.main_func program).Func.name in
+  ( Program.of_funcs_exn ~main funcs,
+    { converted = !converted; rejected_shape = !rejected_shape;
+      rejected_profile = !rejected_profile } )

@@ -1,0 +1,20 @@
+(** Static if-conversion: the software-predication baseline the paper's
+    introduction contrasts with dynamic predication. Profile-selected
+    simple hammocks whose arms are pure straight-line computation are
+    rewritten into branchless code (both arms execute into fresh
+    temporaries, arithmetic selects reconcile). Semantics are preserved
+    exactly; arms containing loads, stores, calls or I/O are rejected —
+    which is precisely the structural limitation DMP removes. *)
+
+open Dmp_ir
+open Dmp_profile
+
+type stats = { converted : int; rejected_shape : int; rejected_profile : int }
+
+val run :
+  ?min_misp:float -> ?max_arm:int -> Linked.t -> Profile.t ->
+  Program.t * stats
+(** [run linked profile] returns the transformed program and conversion
+    statistics. [min_misp] (default 0.05, after Chang et al.) and
+    [max_arm] (default 16 instructions) gate the profile-driven
+    selection. *)

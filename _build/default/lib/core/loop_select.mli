@@ -1,0 +1,26 @@
+(** Heuristic selection of diverge loop branches (Section 5.2): a loop
+    exit branch is rejected when the body exceeds STATIC_LOOP_SIZE,
+    when body-size x average-iterations exceeds DYNAMIC_LOOP_SIZE, or
+    when the profiled average iteration count exceeds LOOP_ITER. *)
+
+type loop_candidate = {
+  func : int;
+  block : int;
+  branch_addr : int;
+  body_insts : int;
+  avg_iterations : float;
+  exit_target : int;
+  select_uops : int;
+  executed : int;
+  mispredicted : int;
+}
+
+val candidate_of_branch :
+  Context.t -> func:int -> block:int -> loop_candidate option
+
+val passes_heuristics : Params.t -> loop_candidate -> bool
+
+val find : Context.t -> loop_candidate list
+(** Candidates that pass the heuristics. *)
+
+val to_diverge : Context.t -> loop_candidate -> Annotation.diverge

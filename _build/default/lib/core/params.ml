@@ -1,0 +1,58 @@
+type t = {
+  (* Alg-exact / Alg-freq thresholds (Section 3). *)
+  max_instr : int;
+  max_cbr : int;
+  min_exec_prob : float;
+  min_merge_prob : float;
+  max_cfm : int;
+  (* Short-hammock heuristic (Section 3.4). *)
+  short_max_insts : int;
+  short_min_merge_prob : float;
+  short_min_misp_rate : float;
+  (* Loop heuristics (Section 5.2). *)
+  static_loop_size : int;
+  dynamic_loop_size : int;
+  loop_iter : int;
+  (* Cost-benefit model constants (Section 4). *)
+  acc_conf : float;
+  fetch_width : int;
+  misp_penalty : int;
+  (* Engineering bound absent from the paper: path-explosion guard. *)
+  max_paths : int;
+  (* Ablation knobs (both true in the paper's design). *)
+  chain_reduction : bool;  (* Section 3.3.1 *)
+  live_selects : bool;  (* count select-µops from live registers only *)
+}
+
+let default =
+  {
+    max_instr = 50;
+    max_cbr = 5;
+    min_exec_prob = 0.001;
+    min_merge_prob = 0.01;
+    max_cfm = 3;
+    short_max_insts = 10;
+    short_min_merge_prob = 0.95;
+    short_min_misp_rate = 0.05;
+    static_loop_size = 30;
+    dynamic_loop_size = 80;
+    loop_iter = 15;
+    acc_conf = 0.40;
+    fetch_width = 8;
+    misp_penalty = 25;
+    max_paths = 4096;
+    chain_reduction = true;
+    live_selects = true;
+  }
+
+let for_cost_model =
+  (* Section 4, footnote 4: the cost model analyses a larger scope and
+     replaces the threshold filters. *)
+  { default with max_instr = 200; max_cbr = 20; min_merge_prob = 0. }
+
+let pp ppf p =
+  Fmt.pf ppf
+    "{max_instr=%d; max_cbr=%d; min_exec_prob=%g; min_merge_prob=%g; \
+     max_cfm=%d; acc_conf=%g; fw=%d; penalty=%d}"
+    p.max_instr p.max_cbr p.min_exec_prob p.min_merge_prob p.max_cfm
+    p.acc_conf p.fetch_width p.misp_penalty

@@ -1,0 +1,36 @@
+(** Compiler thresholds and model constants. Defaults are the paper's
+    empirically best values (Section 7.1.1): MAX_INSTR = 50,
+    MAX_CBR = MAX_INSTR/10, MIN_EXEC_PROB = 0.001, MIN_MERGE_PROB = 1%,
+    MAX_CFM = 3; short hammocks: < 10 insts/side, merge ≥ 95%,
+    misprediction ≥ 5%; loops: STATIC_LOOP_SIZE = 30,
+    DYNAMIC_LOOP_SIZE = 80, LOOP_ITER = 15; cost model: Acc_Conf = 40%,
+    fetch width 8, misprediction penalty 25 cycles. *)
+
+type t = {
+  max_instr : int;
+  max_cbr : int;
+  min_exec_prob : float;
+  min_merge_prob : float;
+  max_cfm : int;
+  short_max_insts : int;
+  short_min_merge_prob : float;
+  short_min_misp_rate : float;
+  static_loop_size : int;
+  dynamic_loop_size : int;
+  loop_iter : int;
+  acc_conf : float;
+  fetch_width : int;
+  misp_penalty : int;
+  max_paths : int;
+  chain_reduction : bool;
+  live_selects : bool;
+}
+
+val default : t
+
+val for_cost_model : t
+(** Footnote 4: the cost model analyses a larger scope
+    (MAX_INSTR = 200, MAX_CBR = 20) and drops the merge-probability
+    filter. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,187 @@
+(* Top-level diverge-branch selection driver. Combines Alg-exact,
+   Alg-freq, the short-hammock and return-CFM optimisations, the loop
+   heuristics, and (optionally) the analytical cost-benefit model into a
+   DMP binary annotation. *)
+
+open Dmp_cfg
+open Dmp_profile
+
+type technique = Exact | Freq | Short | Ret | Loop
+
+type mode = Heuristic | Cost of Cost_model.path_method
+
+type config = { mode : mode; techniques : technique list; params : Params.t }
+
+let has tech config = List.exists (( = ) tech) config.techniques
+
+let all_heuristic =
+  { mode = Heuristic; techniques = [ Exact; Freq; Short; Ret; Loop ];
+    params = Params.default }
+
+let all_cost =
+  { mode = Cost Cost_model.Edge_weighted;
+    techniques = [ Exact; Freq; Short; Ret; Loop ];
+    params = Params.for_cost_model }
+
+let cumulative_heuristic techniques =
+  { all_heuristic with techniques }
+
+(* A loop exit branch is handled by the loop technique only; hammock
+   dynamic predication of a loop branch would predicate further
+   iterations, which DMP treats with the dedicated loop mechanism. *)
+let is_loop_exit_branch ctx ~func ~block =
+  let fn = Context.fn ctx func in
+  Loops.loop_of_branch fn.Context.loops block <> None
+
+let short_cfms params (c : Candidate.t) =
+  List.filter
+    (fun (cfm : Candidate.cfm_candidate) ->
+      cfm.Candidate.longest_t < params.Params.short_max_insts
+      && cfm.Candidate.longest_nt < params.Params.short_max_insts
+      && cfm.Candidate.merge_prob >= params.Params.short_min_merge_prob)
+    c.Candidate.cfms
+
+let is_short_hammock params (c : Candidate.t) =
+  Candidate.misp_rate c >= params.Params.short_min_misp_rate
+  && short_cfms params c <> []
+
+let cfm_to_annotation (cfm : Candidate.cfm_candidate) =
+  {
+    Annotation.cfm_addr = cfm.Candidate.cfm_addr;
+    exact = cfm.Candidate.exact;
+    merge_prob = cfm.Candidate.merge_prob;
+    select_uops = cfm.Candidate.select_uops;
+  }
+
+let diverge_of_candidate ~always_predicate ~return_cfm ~cfms
+    (c : Candidate.t) =
+  {
+    Annotation.branch_addr = c.Candidate.branch_addr;
+    kind = c.Candidate.kind;
+    cfms = List.map cfm_to_annotation cfms;
+    return_cfm;
+    always_predicate;
+    loop = None;
+  }
+
+let gather_candidates ctx config =
+  (* Exact candidates take precedence over frequently-hammock
+     candidates for the same branch. *)
+  let table = Hashtbl.create 128 in
+  let add (c : Candidate.t) =
+    match Hashtbl.find_opt table c.Candidate.branch_addr with
+    | Some (prev : Candidate.t)
+      when prev.Candidate.kind <> Annotation.Frequently_hammock ->
+        ()
+    | Some _ | None -> Hashtbl.replace table c.Candidate.branch_addr c
+  in
+  let keep (c : Candidate.t) =
+    not (is_loop_exit_branch ctx ~func:c.Candidate.func ~block:c.Candidate.block)
+  in
+  let exact_on = has Exact config in
+  let freq_on = has Freq config in
+  if exact_on then List.iter add (List.filter keep (Alg_exact.find ctx));
+  if freq_on then begin
+    let apply_min_merge_prob =
+      match config.mode with Heuristic -> true | Cost _ -> false
+    in
+    List.iter add
+      (List.filter keep (Alg_freq.find ~apply_min_merge_prob ctx))
+  end;
+  Hashtbl.fold (fun _ c acc -> c :: acc) table []
+  |> List.sort (fun a b ->
+         Int.compare a.Candidate.branch_addr b.Candidate.branch_addr)
+
+let run ?(config = all_heuristic) ?two_d linked profile =
+  let params = config.params in
+  let ctx = Context.create ~params linked profile in
+  let ann = Annotation.empty () in
+  let candidates = gather_candidates ctx config in
+  (* Section 8.3 extension: with a 2D-profile, branches that are easy
+     to predict in every program phase are excluded up front, shrinking
+     the static annotation without performance risk. *)
+  let candidates =
+    match two_d with
+    | None -> candidates
+    | Some td ->
+        List.filter
+          (fun (c : Candidate.t) ->
+            not
+              (Dmp_profile.Two_d.is_always_easy td c.Candidate.branch_addr))
+          candidates
+  in
+  let taken_prob (c : Candidate.t) =
+    Profile.taken_prob profile ~addr:c.Candidate.branch_addr
+  in
+  List.iter
+    (fun (c : Candidate.t) ->
+      let short = has Short config && is_short_hammock params c in
+      if short then
+        (* Short hammocks are always predicated; other CFM candidates of
+           the branch are dropped (Section 3.4). *)
+        Annotation.replace ann
+          (diverge_of_candidate ~always_predicate:true ~return_cfm:false
+             ~cfms:(short_cfms params c) c)
+      else begin
+        let selected =
+          match config.mode with
+          | Heuristic -> c.Candidate.cfms <> []
+          | Cost method_ ->
+              Cost_model.select_hammock params method_ c
+                ~taken_prob:(taken_prob c)
+        in
+        if selected && c.Candidate.cfms <> [] then
+          let cfms =
+            (* Keep at most MAX_CFM points: the ISA has that many CFM
+               registers. *)
+            List.filteri (fun i _ -> i < params.Params.max_cfm)
+              (List.sort
+                 (fun (a : Candidate.cfm_candidate) b ->
+                   compare b.Candidate.merge_prob a.Candidate.merge_prob)
+                 c.Candidate.cfms)
+          in
+          Annotation.replace ann
+            (diverge_of_candidate ~always_predicate:false ~return_cfm:false
+               ~cfms c)
+        else if has Ret config then
+          match c.Candidate.ret with
+          | Some r when r.Candidate.ret_prob >= Float.max 0.01
+                          params.Params.min_merge_prob ->
+              Annotation.replace ann
+                {
+                  Annotation.branch_addr = c.Candidate.branch_addr;
+                  kind = c.Candidate.kind;
+                  cfms =
+                    [
+                      (* A pseudo-CFM record ([cfm_addr = -1]) carries
+                         the merge probability and select-µop count of
+                         the return CFM. *)
+                      {
+                        Annotation.cfm_addr = -1;
+                        exact = false;
+                        merge_prob = r.Candidate.ret_prob;
+                        select_uops = r.Candidate.ret_select_uops;
+                      };
+                    ];
+                  return_cfm = true;
+                  always_predicate = false;
+                  loop = None;
+                }
+          | Some _ | None -> ()
+      end)
+    candidates;
+  if has Loop config then
+    List.iter
+      (fun lc ->
+        let d = Loop_select.to_diverge ctx lc in
+        if not (Annotation.is_diverge ann d.Annotation.branch_addr) then
+          Annotation.add ann d)
+      (Loop_select.find ctx);
+  ann
+
+(* Diverge branches of [ann] weighted by their dynamic execution counts
+   in [profile]; used by the input-set overlap experiment (Fig. 10). *)
+let dynamic_coverage ann profile =
+  Annotation.fold
+    (fun d acc -> acc + Profile.executed profile ~addr:d.Annotation.branch_addr)
+    ann 0

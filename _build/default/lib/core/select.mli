@@ -1,0 +1,39 @@
+(** Top-level diverge-branch selection: the paper's compiler pass.
+
+    A [config] names the selection [mode] (threshold heuristics, or the
+    analytical cost-benefit model with a path-estimation method) and the
+    set of enabled techniques, mirroring the cumulative experiments of
+    Figure 5. *)
+
+open Dmp_ir
+open Dmp_profile
+
+type technique =
+  | Exact  (** Alg-exact: simple/nested hammocks (Section 3.2) *)
+  | Freq  (** Alg-freq: frequently-hammocks (Section 3.3) *)
+  | Short  (** always-predicate short hammocks (Section 3.4) *)
+  | Ret  (** return CFM points (Section 3.5) *)
+  | Loop  (** diverge loop branches (Section 5.2) *)
+
+type mode = Heuristic | Cost of Cost_model.path_method
+
+type config = { mode : mode; techniques : technique list; params : Params.t }
+
+val all_heuristic : config
+(** "All-best-heur": every technique with the paper's best thresholds. *)
+
+val all_cost : config
+(** "All-best-cost": cost-edge model plus short/ret/loop. *)
+
+val cumulative_heuristic : technique list -> config
+val gather_candidates : Context.t -> config -> Candidate.t list
+
+val run :
+  ?config:config -> ?two_d:Dmp_profile.Two_d.t -> Linked.t -> Profile.t ->
+  Annotation.t
+(** With [two_d], branches that 2D-profiling classifies as easy to
+    predict in every program phase are excluded from selection (the
+    Section 8.3 extension). *)
+
+val dynamic_coverage : Annotation.t -> Profile.t -> int
+(** Total profiled execution count of the selected diverge branches. *)

@@ -1,0 +1,18 @@
+(** The alternative simple diverge-branch selection algorithms of
+    Section 7.2 / Figure 8. When a branch has an immediate
+    post-dominator it becomes the CFM point (footnote 10); otherwise
+    the branch is marked without a CFM and any benefit comes from
+    dual-path execution. *)
+
+open Dmp_ir
+open Dmp_profile
+
+type algo =
+  | Every_br
+  | Random_50 of int  (** seed *)
+  | High_bp of float  (** minimum profiled misprediction rate *)
+  | Immediate
+  | If_else
+
+val algo_to_string : algo -> string
+val run : algo -> Linked.t -> Profile.t -> Annotation.t

@@ -1,0 +1,1 @@
+lib/exec/emulator.ml: Array Dmp_ir Event Hashtbl Instr Linked List Reg Term

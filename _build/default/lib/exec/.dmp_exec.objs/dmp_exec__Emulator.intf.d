@@ -1,0 +1,1 @@
+lib/exec/emulator.mli: Dmp_ir Event Linked Reg

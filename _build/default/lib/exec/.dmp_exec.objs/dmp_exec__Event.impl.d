@@ -1,0 +1,1 @@
+lib/exec/event.ml: Fmt

@@ -1,0 +1,1 @@
+lib/exec/event.mli: Fmt

@@ -1,0 +1,147 @@
+open Dmp_ir
+
+type t = {
+  linked : Linked.t;
+  regs : int array;
+  memory : (int, int) Hashtbl.t;
+  mutable call_stack : int list;
+  input : int array;
+  mutable input_pos : int;
+  mutable output_rev : int list;
+  mutable pc : int;
+  mutable halted : bool;
+  mutable retired : int;
+}
+
+let create linked ~input =
+  {
+    linked;
+    regs = Array.make Reg.count 0;
+    memory = Hashtbl.create 4096;
+    call_stack = [];
+    input;
+    input_pos = 0;
+    output_rev = [];
+    pc = Linked.entry_addr linked;
+    halted = false;
+    retired = 0;
+  }
+
+let reg_get t r = t.regs.(Reg.to_int r)
+
+let reg_set t r v =
+  if not (Reg.equal r Reg.zero) then t.regs.(Reg.to_int r) <- v
+
+let operand_value t = function
+  | Instr.Reg r -> reg_get t r
+  | Instr.Imm i -> i
+
+let mem_load t location =
+  match Hashtbl.find_opt t.memory location with Some v -> v | None -> 0
+
+let mem_store t location v = Hashtbl.replace t.memory location v
+
+let read_input t =
+  if t.input_pos < Array.length t.input then begin
+    let v = t.input.(t.input_pos) in
+    t.input_pos <- t.input_pos + 1;
+    v
+  end
+  else 0
+
+let halted t = t.halted
+let retired t = t.retired
+let pc t = t.pc
+let output t = List.rev t.output_rev
+
+let step t =
+  if t.halted then None
+  else begin
+    let l = Linked.loc t.linked t.pc in
+    let addr = t.pc in
+    let event =
+      match l.Linked.slot with
+      | Linked.Body ins -> (
+          match ins with
+          | Instr.Alu { op; dst; src1; src2 } ->
+              reg_set t dst
+                (Instr.eval_alu op (reg_get t src1) (operand_value t src2));
+              { Event.addr; kind = Event.Plain; next = addr + 1 }
+          | Instr.Load { dst; base; offset } ->
+              let location = reg_get t base + offset in
+              reg_set t dst (mem_load t location);
+              { Event.addr; kind = Event.Mem { is_load = true; location };
+                next = addr + 1 }
+          | Instr.Store { src; base; offset } ->
+              let location = reg_get t base + offset in
+              mem_store t location (reg_get t src);
+              { Event.addr; kind = Event.Mem { is_load = false; location };
+                next = addr + 1 }
+          | Instr.Li { dst; imm } ->
+              reg_set t dst imm;
+              { Event.addr; kind = Event.Plain; next = addr + 1 }
+          | Instr.Mov { dst; src } ->
+              reg_set t dst (reg_get t src);
+              { Event.addr; kind = Event.Plain; next = addr + 1 }
+          | Instr.Call { callee } ->
+              let fi = Linked.func_of_name t.linked callee in
+              let callee_entry = Linked.func_entry t.linked fi in
+              t.call_stack <- (addr + 1) :: t.call_stack;
+              { Event.addr; kind = Event.Call { callee_entry };
+                next = callee_entry }
+          | Instr.Read { dst } ->
+              reg_set t dst (read_input t);
+              { Event.addr; kind = Event.Plain; next = addr + 1 }
+          | Instr.Write { src } ->
+              t.output_rev <- reg_get t src :: t.output_rev;
+              { Event.addr; kind = Event.Plain; next = addr + 1 }
+          | Instr.Nop -> { Event.addr; kind = Event.Plain; next = addr + 1 })
+      | Linked.Term tm -> (
+          match tm with
+          | Term.Branch { cond; src1; src2; target; fall } ->
+              let a = reg_get t src1 and b = operand_value t src2 in
+              let taken = Term.eval_cond cond a b in
+              let target = Linked.block_addr t.linked ~func:l.func ~block:target in
+              let fall = Linked.block_addr t.linked ~func:l.func ~block:fall in
+              { Event.addr; kind = Event.Branch { taken; target; fall };
+                next = (if taken then target else fall) }
+          | Term.Jump b ->
+              let next = Linked.block_addr t.linked ~func:l.func ~block:b in
+              { Event.addr; kind = Event.Plain; next }
+          | Term.Ret -> (
+              match t.call_stack with
+              | return_to :: rest ->
+                  t.call_stack <- rest;
+                  { Event.addr; kind = Event.Return { return_to };
+                    next = return_to }
+              | [] ->
+                  t.halted <- true;
+                  { Event.addr; kind = Event.Return { return_to = -1 };
+                    next = Event.halted_next })
+          | Term.Halt ->
+              t.halted <- true;
+              { Event.addr; kind = Event.Plain; next = Event.halted_next })
+    in
+    t.pc <- event.Event.next;
+    t.retired <- t.retired + 1;
+    Some event
+  end
+
+let run ?(max_insts = max_int) t =
+  let rec go () =
+    if t.retired >= max_insts then ()
+    else match step t with None -> () | Some _ -> go ()
+  in
+  go ();
+  t.retired
+
+let iter ?(max_insts = max_int) t f =
+  let rec go () =
+    if t.retired < max_insts then
+      match step t with
+      | None -> ()
+      | Some e ->
+          f e;
+          go ()
+  in
+  go ()

@@ -1,0 +1,26 @@
+(** Architectural emulator producing a streaming dynamic-instruction
+    trace. The profiler and the cycle-level simulator both consume
+    {!Event.t} streams from here (execution-driven simulation). *)
+
+open Dmp_ir
+
+type t
+
+val create : Linked.t -> input:int array -> t
+(** Fresh machine at the entry of main. [input] is the value stream
+    consumed by [Read] instructions; reads past the end yield 0. *)
+
+val step : t -> Event.t option
+(** Retire one instruction; [None] once halted. A program halts on
+    [Halt] or when main returns with an empty call stack. *)
+
+val run : ?max_insts:int -> t -> int
+(** Run to completion (or [max_insts]); returns retired count. *)
+
+val iter : ?max_insts:int -> t -> (Event.t -> unit) -> unit
+val halted : t -> bool
+val retired : t -> int
+val pc : t -> int
+val output : t -> int list
+val reg_get : t -> Reg.t -> int
+val mem_load : t -> int -> int

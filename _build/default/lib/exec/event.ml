@@ -1,0 +1,25 @@
+type kind =
+  | Branch of { taken : bool; target : int; fall : int }
+  | Mem of { is_load : bool; location : int }
+  | Call of { callee_entry : int }
+  | Return of { return_to : int }
+  | Plain
+
+type t = { addr : int; kind : kind; next : int }
+
+let halted_next = -1
+let is_branch e = match e.kind with Branch _ -> true | _ -> false
+
+let pp ppf e =
+  let pp_kind ppf = function
+    | Branch { taken; target; fall } ->
+        Fmt.pf ppf "branch %s -> %d (fall %d)"
+          (if taken then "taken" else "not-taken")
+          target fall
+    | Mem { is_load; location } ->
+        Fmt.pf ppf "%s @%d" (if is_load then "load" else "store") location
+    | Call { callee_entry } -> Fmt.pf ppf "call -> %d" callee_entry
+    | Return { return_to } -> Fmt.pf ppf "ret -> %d" return_to
+    | Plain -> Fmt.pf ppf "plain"
+  in
+  Fmt.pf ppf "{%d %a next=%d}" e.addr pp_kind e.kind e.next

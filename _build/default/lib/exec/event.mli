@@ -1,0 +1,18 @@
+(** One retired dynamic instruction of the architectural trace. *)
+
+type kind =
+  | Branch of { taken : bool; target : int; fall : int }
+      (** conditional branch with its resolved direction and both
+          static target addresses *)
+  | Mem of { is_load : bool; location : int }
+  | Call of { callee_entry : int }
+  | Return of { return_to : int }
+  | Plain
+
+type t = { addr : int; kind : kind; next : int }
+
+val halted_next : int
+(** [next] value of the final event of a program. *)
+
+val is_branch : t -> bool
+val pp : t Fmt.t

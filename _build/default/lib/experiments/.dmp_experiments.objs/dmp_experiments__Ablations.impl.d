@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Annotation Buffer Config Dmp_core Dmp_profile Dmp_uarch Dmp_workload Input_gen List Params Printf Runner Select

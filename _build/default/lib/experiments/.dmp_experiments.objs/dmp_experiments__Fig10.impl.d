@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Annotation Buffer Dmp_core Dmp_profile Dmp_workload Input_gen Int List Printf Profile Runner Variants

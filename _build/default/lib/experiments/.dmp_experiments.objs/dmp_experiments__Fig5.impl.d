@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Dmp_workload List Report Runner Variants

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Dmp_uarch Dmp_workload List Report Runner Stats Variants

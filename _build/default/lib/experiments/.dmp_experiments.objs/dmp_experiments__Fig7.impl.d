@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Buffer Dmp_core Dmp_workload List Params Printf Runner Select

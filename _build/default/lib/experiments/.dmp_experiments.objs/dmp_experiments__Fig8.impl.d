@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Fig5 Report Runner Variants

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Dmp_workload Input_gen List Report Runner Variants

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Buffer List Printf Runner String

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Config Dmp_ir Dmp_profile Dmp_uarch Dmp_workload Hashtbl Input_gen Lazy Linked List Profile Registry Sim Spec Stats

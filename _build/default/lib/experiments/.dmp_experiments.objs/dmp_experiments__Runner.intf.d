@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Config Dmp_core Dmp_ir Dmp_profile Dmp_uarch Dmp_workload Input_gen Linked Profile Spec Stats

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Buffer Config Dmp_uarch List Printf

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Annotation Buffer Dmp_core Dmp_ir Dmp_uarch Dmp_workload Linked List Printf Program Runner Stats Variants

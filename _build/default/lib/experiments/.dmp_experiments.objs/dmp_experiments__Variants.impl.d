@@ -1,0 +1,1 @@
+lib/experiments/variants.ml: Cost_model Dmp_core List Params Select Simple_select

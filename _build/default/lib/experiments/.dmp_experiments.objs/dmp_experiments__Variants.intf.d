@@ -1,0 +1,1 @@
+lib/experiments/variants.mli: Annotation Cost_model Dmp_core Dmp_ir Dmp_profile Linked Profile Select Simple_select

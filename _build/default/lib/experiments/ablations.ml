@@ -1,0 +1,122 @@
+(* Ablations of the design choices DESIGN.md calls out:
+
+   1. confidence-estimator threshold (coverage/accuracy trade-off,
+      paper footnote 5: performance is not sensitive to reasonable
+      Acc_Conf variation);
+   2. CFM points vs pure dual-path execution (what the merge points
+      actually buy, cf. footnote 2);
+   3. chain-of-CFM-point reduction on/off (Section 3.3.1);
+   4. liveness-based select-µop counting vs counting every written
+      register;
+   5. 2D-profiling pre-filter (Section 8.3 extension): annotation-size
+      reduction at equal performance. *)
+
+open Dmp_core
+open Dmp_uarch
+open Dmp_workload
+
+type row = { label : string; mean_improvement : float; note : string }
+
+let mean_improvement runner ~annotate ?(config = Config.dmp) () =
+  Runner.amean
+    (List.map
+       (fun name ->
+         let linked = Runner.linked runner name in
+         let profile = Runner.profile runner name Input_gen.Reduced in
+         let ann = annotate name linked profile in
+         let stats = Runner.dmp ~config runner name ann in
+         Runner.speedup_pct ~base:(Runner.baseline runner name) stats)
+       (Runner.names runner))
+
+let strip_cfms ann =
+  (* Dual-path: keep the diverge branches but remove every CFM point,
+     return CFM and loop designation, so dpred-mode only ends at branch
+     resolution. *)
+  let out = Annotation.empty () in
+  Annotation.iter
+    (fun d ->
+      match d.Annotation.kind with
+      | Annotation.Loop_branch -> ()
+      | _ ->
+          Annotation.add out
+            { d with Annotation.cfms = []; return_cfm = false;
+              always_predicate = false })
+    ann;
+  out
+
+let best name linked profile =
+  ignore name;
+  Select.run linked profile
+
+let run runner =
+  let heur = mean_improvement runner ~annotate:best () in
+  let dual =
+    mean_improvement runner
+      ~annotate:(fun _ linked profile -> strip_cfms (Select.run linked profile))
+      ()
+  in
+  let with_params params =
+    mean_improvement runner
+      ~annotate:(fun _ linked profile ->
+        let config = { Select.all_heuristic with Select.params } in
+        Select.run ~config linked profile)
+      ()
+  in
+  let no_chain =
+    with_params { Params.default with Params.chain_reduction = false }
+  in
+  let all_defs =
+    with_params { Params.default with Params.live_selects = false }
+  in
+  let conf t =
+    mean_improvement runner ~annotate:best
+      ~config:{ Config.dmp with Config.conf_threshold = t }
+      ()
+  in
+  let c8 = conf 8 and c11 = conf 11 and c14 = conf 14 in
+  (* 2D pre-filter: performance and static annotation size. *)
+  let count_with_2d name linked profile =
+    let td =
+      Dmp_profile.Two_d.collect ~max_insts:200_000 linked
+        ~input:(Runner.input runner name Input_gen.Reduced)
+    in
+    Select.run ~two_d:td linked profile
+  in
+  let plain_count, filtered_count =
+    List.fold_left
+      (fun (a, b) name ->
+        let linked = Runner.linked runner name in
+        let profile = Runner.profile runner name Input_gen.Reduced in
+        ( a + Annotation.count (Select.run linked profile),
+          b + Annotation.count (count_with_2d name linked profile) ))
+      (0, 0) (Runner.names runner)
+  in
+  let two_d_perf = mean_improvement runner ~annotate:count_with_2d () in
+  [
+    { label = "all-best-heur"; mean_improvement = heur; note = "reference" };
+    { label = "dual-path (no CFM points)"; mean_improvement = dual;
+      note = "what the compiler's merge points buy" };
+    { label = "no chain reduction"; mean_improvement = no_chain;
+      note = "Section 3.3.1 off" };
+    { label = "selects = all defs"; mean_improvement = all_defs;
+      note = "no liveness filtering of select-uops" };
+    { label = "conf threshold 8"; mean_improvement = c8;
+      note = "more coverage, lower PVN" };
+    { label = "conf threshold 11"; mean_improvement = c11; note = "" };
+    { label = "conf threshold 14 (default)"; mean_improvement = c14;
+      note = "" };
+    { label = "2D-profiling pre-filter"; mean_improvement = two_d_perf;
+      note =
+        Printf.sprintf "static diverge branches %d -> %d" plain_count
+          filtered_count };
+  ]
+
+let render rows =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "== Ablations (mean %% IPC improvement over baseline) ==\n";
+  List.iter
+    (fun r ->
+      add "%-30s %8.2f   %s\n" r.label r.mean_improvement r.note)
+    rows;
+  Buffer.contents buf

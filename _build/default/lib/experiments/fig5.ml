@@ -1,0 +1,41 @@
+(* Figure 5: DMP IPC improvement over the baseline for the cumulative
+   heuristic selection algorithms (left) and the cost-benefit model
+   variants (right). *)
+
+let run_variants runner variants =
+  let series =
+    List.map
+      (fun (label, variant) ->
+        let values =
+          List.map
+            (fun name ->
+              let linked = Runner.linked runner name in
+              let profile =
+                Runner.profile runner name Dmp_workload.Input_gen.Reduced
+              in
+              let ann = Variants.annotate variant linked profile in
+              let stats = Runner.dmp runner name ann in
+              let base = Runner.baseline runner name in
+              (name, Runner.speedup_pct ~base stats))
+            (Runner.names runner)
+        in
+        { Report.label = Report.abbreviate label; values })
+      variants
+  in
+  series
+
+let left runner =
+  {
+    Report.title = "Figure 5 (left): heuristic diverge-branch selection";
+    unit_label = "% IPC improvement over baseline";
+    benchmarks = Runner.names runner;
+    series = run_variants runner Variants.fig5_left;
+  }
+
+let right runner =
+  {
+    Report.title = "Figure 5 (right): cost-benefit model selection";
+    unit_label = "% IPC improvement over baseline";
+    benchmarks = Runner.names runner;
+    series = run_variants runner Variants.fig5_right;
+  }

@@ -1,0 +1,40 @@
+(* Figure 6: pipeline flushes (per kilo-instruction) in the baseline and
+   in DMP with the cumulative selection algorithms. *)
+
+open Dmp_uarch
+
+let run runner =
+  let base_series =
+    {
+      Report.label = "baseline";
+      values =
+        List.map
+          (fun name ->
+            (name, Stats.flushes_per_ki (Runner.baseline runner name)))
+          (Runner.names runner);
+    }
+  in
+  let dmp_series =
+    List.map
+      (fun (label, variant) ->
+        let values =
+          List.map
+            (fun name ->
+              let linked = Runner.linked runner name in
+              let profile =
+                Runner.profile runner name Dmp_workload.Input_gen.Reduced
+              in
+              let ann = Variants.annotate variant linked profile in
+              let stats = Runner.dmp runner name ann in
+              (name, Stats.flushes_per_ki stats))
+            (Runner.names runner)
+        in
+        { Report.label = Report.abbreviate label; values })
+      Variants.fig5_left
+  in
+  {
+    Report.title = "Figure 6: pipeline flushes due to branch mispredictions";
+    unit_label = "flushes per kilo-instruction";
+    benchmarks = Runner.names runner;
+    series = base_series :: dmp_series;
+  }

@@ -1,0 +1,80 @@
+(* Figure 7: sensitivity of Alg-exact + Alg-freq to the MAX_INSTR and
+   MIN_MERGE_PROB thresholds. Reports the mean IPC improvement for each
+   (MAX_INSTR, MIN_MERGE_PROB) combination. *)
+
+open Dmp_core
+
+type point = {
+  max_instr : int;
+  min_merge_prob : float;
+  mean_improvement : float;
+}
+
+let default_max_instrs = [ 10; 50; 100; 200 ]
+let default_merge_probs = [ 0.01; 0.05; 0.30; 0.60; 0.90 ]
+
+let run ?(max_instrs = default_max_instrs)
+    ?(merge_probs = default_merge_probs) runner =
+  List.concat_map
+    (fun max_instr ->
+      List.map
+        (fun min_merge_prob ->
+          let params =
+            { Params.default with
+              Params.max_instr;
+              max_cbr = max 1 (max_instr / 10);
+              min_merge_prob;
+            }
+          in
+          let config =
+            { Select.mode = Select.Heuristic;
+              techniques = [ Select.Exact; Select.Freq ];
+              params }
+          in
+          let improvements =
+            List.map
+              (fun name ->
+                let linked = Runner.linked runner name in
+                let profile =
+                  Runner.profile runner name Dmp_workload.Input_gen.Reduced
+                in
+                let ann = Select.run ~config linked profile in
+                let stats = Runner.dmp runner name ann in
+                Runner.speedup_pct ~base:(Runner.baseline runner name) stats)
+              (Runner.names runner)
+          in
+          { max_instr; min_merge_prob;
+            mean_improvement = Runner.amean improvements })
+        merge_probs)
+    max_instrs
+
+let render points =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "== Figure 7: MAX_INSTR x MIN_MERGE_PROB sensitivity ==\n";
+  add "(mean %% IPC improvement, Alg-exact + Alg-freq only)\n";
+  let instrs =
+    List.sort_uniq compare (List.map (fun p -> p.max_instr) points)
+  in
+  let probs =
+    List.sort_uniq compare (List.map (fun p -> p.min_merge_prob) points)
+  in
+  add "%-18s" "MIN_MERGE_PROB";
+  List.iter (fun i -> add " MAX_INSTR=%-4d" i) instrs;
+  add "\n";
+  List.iter
+    (fun prob ->
+      add "%-18s" (Printf.sprintf "%.0f%%" (prob *. 100.));
+      List.iter
+        (fun i ->
+          match
+            List.find_opt
+              (fun p -> p.max_instr = i && p.min_merge_prob = prob)
+              points
+          with
+          | Some p -> add " %13.2f " p.mean_improvement
+          | None -> add " %13s " "-")
+        instrs;
+      add "\n")
+    probs;
+  Buffer.contents buf

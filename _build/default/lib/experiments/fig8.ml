@@ -1,0 +1,10 @@
+(* Figure 8: alternative simple diverge-branch selection algorithms
+   against All-best-heur. *)
+
+let run runner =
+  {
+    Report.title = "Figure 8: alternative simple selection algorithms";
+    unit_label = "% IPC improvement over baseline";
+    benchmarks = Runner.names runner;
+    series = Fig5.run_variants runner Variants.fig8;
+  }

@@ -1,0 +1,38 @@
+(* Figure 9: effect of profiling with a different input set. The run
+   always uses the reduced set; selection uses either the reduced
+   profile ("same") or the train profile ("diff"). *)
+
+open Dmp_workload
+
+let variants =
+  [
+    ("heur-same", Variants.all_best_heur, Input_gen.Reduced);
+    ("heur-diff", Variants.all_best_heur, Input_gen.Train);
+    ("cost-same", Variants.all_best_cost, Input_gen.Reduced);
+    ("cost-diff", Variants.all_best_cost, Input_gen.Train);
+  ]
+
+let run runner =
+  let series =
+    List.map
+      (fun (label, variant, profile_set) ->
+        let values =
+          List.map
+            (fun name ->
+              let linked = Runner.linked runner name in
+              let profile = Runner.profile runner name profile_set in
+              let ann = Variants.annotate variant linked profile in
+              let stats = Runner.dmp runner name ann in
+              (name, Runner.speedup_pct ~base:(Runner.baseline runner name)
+                       stats))
+            (Runner.names runner)
+        in
+        { Report.label = label; values })
+      variants
+  in
+  {
+    Report.title = "Figure 9: profiling input-set sensitivity";
+    unit_label = "% IPC improvement over baseline (run = reduced input)";
+    benchmarks = Runner.names runner;
+    series;
+  }

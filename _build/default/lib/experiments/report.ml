@@ -1,0 +1,41 @@
+(* Text rendering of experiment results: one column per series, one row
+   per benchmark, plus the arithmetic mean the paper reports. *)
+
+type series = { label : string; values : (string * float) list }
+
+type figure = {
+  title : string;
+  unit_label : string;
+  benchmarks : string list;
+  series : series list;
+}
+
+let value_of series bench =
+  match List.assoc_opt bench series.values with Some v -> v | None -> nan
+
+let mean_of series =
+  Runner.amean (List.map snd series.values)
+
+let render fig =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "== %s (%s) ==\n" fig.title fig.unit_label;
+  let w = 10 in
+  add "%-10s" "bench";
+  List.iter (fun s -> add " %*s" w s.label) fig.series;
+  add "\n";
+  List.iter
+    (fun b ->
+      add "%-10s" b;
+      List.iter (fun s -> add " %*.2f" w (value_of s b)) fig.series;
+      add "\n")
+    fig.benchmarks;
+  add "%-10s" "amean";
+  List.iter (fun s -> add " %*.2f" w (mean_of s)) fig.series;
+  add "\n";
+  Buffer.contents buf
+
+(* Shorten series labels so wide figures stay readable. *)
+let abbreviate label =
+  if String.length label <= 10 then label
+  else String.sub label 0 10

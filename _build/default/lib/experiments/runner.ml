@@ -1,0 +1,80 @@
+(* Shared experiment pipeline with caching of the expensive stages
+   (linking, profiling, baseline simulation) across figures. *)
+
+open Dmp_ir
+open Dmp_profile
+open Dmp_uarch
+open Dmp_workload
+
+type entry = {
+  spec : Spec.t;
+  linked : Linked.t Lazy.t;
+  profiles : (Input_gen.set, Profile.t) Hashtbl.t;
+  baselines : (Input_gen.set, Stats.t) Hashtbl.t;
+}
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  order : string list;
+  max_insts : int option;
+}
+
+let create ?(benchmarks = Registry.all) ?max_insts () =
+  let entries = Hashtbl.create 32 in
+  List.iter
+    (fun spec ->
+      Hashtbl.replace entries spec.Spec.name
+        {
+          spec;
+          linked = lazy (Spec.linked spec);
+          profiles = Hashtbl.create 4;
+          baselines = Hashtbl.create 4;
+        })
+    benchmarks;
+  { entries; order = List.map (fun s -> s.Spec.name) benchmarks; max_insts }
+
+let names t = t.order
+
+let entry t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some e -> e
+  | None -> invalid_arg ("Runner: unknown benchmark " ^ name)
+
+let linked t name = Lazy.force (entry t name).linked
+let input t name set = (entry t name).spec.Spec.input set
+
+let profile t name set =
+  let e = entry t name in
+  match Hashtbl.find_opt e.profiles set with
+  | Some p -> p
+  | None ->
+      let p =
+        Profile.collect ?max_insts:t.max_insts (Lazy.force e.linked)
+          ~input:(e.spec.Spec.input set)
+      in
+      Hashtbl.replace e.profiles set p;
+      p
+
+let baseline ?(set = Input_gen.Reduced) t name =
+  let e = entry t name in
+  match Hashtbl.find_opt e.baselines set with
+  | Some s -> s
+  | None ->
+      let s =
+        Sim.run ~config:Config.baseline ?max_insts:t.max_insts
+          (Lazy.force e.linked) ~input:(e.spec.Spec.input set)
+      in
+      Hashtbl.replace e.baselines set s;
+      s
+
+let dmp ?(set = Input_gen.Reduced) ?(config = Config.dmp) t name annotation =
+  Sim.run ~config ~annotation ?max_insts:t.max_insts (linked t name)
+    ~input:(input t name set)
+
+let speedup_pct ~base stats =
+  (Stats.ipc stats /. Stats.ipc base -. 1.) *. 100.
+
+let amean xs =
+  match xs with
+  | [] -> 0.
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)

@@ -1,0 +1,33 @@
+(** Shared experiment pipeline with caching of linking, profiling and
+    baseline simulation across figures. *)
+
+open Dmp_ir
+open Dmp_profile
+open Dmp_uarch
+open Dmp_workload
+
+type t
+
+val create :
+  ?benchmarks:Spec.t list -> ?max_insts:int -> unit -> t
+(** Defaults to the full 17-benchmark suite with uncapped simulations.
+    [max_insts] caps both profiling and simulation (for quick runs and
+    tests). *)
+
+val names : t -> string list
+val linked : t -> string -> Linked.t
+val input : t -> string -> Input_gen.set -> int array
+
+val profile : t -> string -> Input_gen.set -> Profile.t
+(** Cached per (benchmark, input set). *)
+
+val baseline : ?set:Input_gen.set -> t -> string -> Stats.t
+(** Cached per (benchmark, input set). *)
+
+val dmp :
+  ?set:Input_gen.set -> ?config:Config.t -> t -> string ->
+  Dmp_core.Annotation.t -> Stats.t
+(** Uncached: one DMP simulation under the given annotation. *)
+
+val speedup_pct : base:Stats.t -> Stats.t -> float
+val amean : float list -> float

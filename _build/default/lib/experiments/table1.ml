@@ -1,0 +1,12 @@
+(* Table 1: the simulated machine configuration. *)
+
+open Dmp_uarch
+
+let render () =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "== Table 1: baseline processor configuration and DMP support ==\n";
+  List.iter
+    (fun (section, text) -> add "%-18s %s\n" section text)
+    (Config.describe_table1 Config.dmp);
+  Buffer.contents buf

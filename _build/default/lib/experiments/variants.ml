@@ -1,0 +1,86 @@
+(* Named selection variants used across the paper's figures. *)
+
+open Dmp_core
+
+type t =
+  | Heur of Select.technique list
+  | Cost of Cost_model.path_method * Select.technique list
+  | Simple of Simple_select.algo
+
+let exact = Heur [ Select.Exact ]
+let exact_freq = Heur [ Select.Exact; Select.Freq ]
+let exact_freq_short = Heur [ Select.Exact; Select.Freq; Select.Short ]
+
+let exact_freq_short_ret =
+  Heur [ Select.Exact; Select.Freq; Select.Short; Select.Ret ]
+
+let all_best_heur =
+  Heur [ Select.Exact; Select.Freq; Select.Short; Select.Ret; Select.Loop ]
+
+let cost_long = Cost (Cost_model.Longest, [ Select.Exact; Select.Freq ])
+let cost_edge = Cost (Cost_model.Edge_weighted, [ Select.Exact; Select.Freq ])
+
+let cost_edge_short =
+  Cost (Cost_model.Edge_weighted, [ Select.Exact; Select.Freq; Select.Short ])
+
+let cost_edge_short_ret =
+  Cost
+    ( Cost_model.Edge_weighted,
+      [ Select.Exact; Select.Freq; Select.Short; Select.Ret ] )
+
+let all_best_cost =
+  Cost
+    ( Cost_model.Edge_weighted,
+      [ Select.Exact; Select.Freq; Select.Short; Select.Ret; Select.Loop ] )
+
+let fig5_left =
+  [
+    ("exact", exact);
+    ("exact+freq", exact_freq);
+    ("exact+freq+short", exact_freq_short);
+    ("exact+freq+short+ret", exact_freq_short_ret);
+    ("all-best-heur", all_best_heur);
+  ]
+
+let fig5_right =
+  [
+    ("cost-long", cost_long);
+    ("cost-edge", cost_edge);
+    ("cost-edge+short", cost_edge_short);
+    ("cost-edge+short+ret", cost_edge_short_ret);
+    ("all-best-cost", all_best_cost);
+  ]
+
+let fig8 =
+  [
+    ("every-br", Simple Simple_select.Every_br);
+    ("random-50", Simple (Simple_select.Random_50 42));
+    ("high-BP-5", Simple (Simple_select.High_bp 0.05));
+    ("immediate", Simple Simple_select.Immediate);
+    ("if-else", Simple Simple_select.If_else);
+    ("all-best-heur", all_best_heur);
+  ]
+
+let to_config = function
+  | Heur techniques ->
+      { Select.mode = Select.Heuristic; techniques; params = Params.default }
+  | Cost (m, techniques) ->
+      { Select.mode = Select.Cost m; techniques; params = Params.for_cost_model }
+  | Simple _ -> invalid_arg "Variants.to_config: simple algorithms"
+
+let annotate variant linked profile =
+  match variant with
+  | Heur _ | Cost _ ->
+      Select.run ~config:(to_config variant) linked profile
+  | Simple algo -> Simple_select.run algo linked profile
+
+let named =
+  fig5_left @ fig5_right
+  @ List.filter (fun (n, _) -> n <> "all-best-heur") fig8
+
+let of_string name =
+  match List.assoc_opt name named with
+  | Some v -> Some v
+  | None -> None
+
+let names = List.map fst named

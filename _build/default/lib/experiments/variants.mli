@@ -1,0 +1,35 @@
+(** Named diverge-branch selection variants used across the paper's
+    figures: the cumulative heuristic stacks of Figure 5 (left), the
+    cost-benefit stacks of Figure 5 (right), and the simple selectors of
+    Figure 8. *)
+
+open Dmp_ir
+open Dmp_core
+open Dmp_profile
+
+type t =
+  | Heur of Select.technique list
+  | Cost of Cost_model.path_method * Select.technique list
+  | Simple of Simple_select.algo
+
+val exact : t
+val exact_freq : t
+val exact_freq_short : t
+val exact_freq_short_ret : t
+val all_best_heur : t
+val cost_long : t
+val cost_edge : t
+val cost_edge_short : t
+val cost_edge_short_ret : t
+val all_best_cost : t
+
+val fig5_left : (string * t) list
+val fig5_right : (string * t) list
+val fig8 : (string * t) list
+
+val to_config : t -> Select.config
+(** @raise Invalid_argument for [Simple _]. *)
+
+val annotate : t -> Linked.t -> Profile.t -> Annotation.t
+val of_string : string -> t option
+val names : string list

@@ -1,0 +1,1 @@
+lib/ir/asm.ml: Array Block Buffer Build Fmt Func Instr List Option Printf Program Reg String Term

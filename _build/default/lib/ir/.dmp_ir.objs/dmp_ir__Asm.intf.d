@@ -1,0 +1,1 @@
+lib/ir/asm.mli: Program

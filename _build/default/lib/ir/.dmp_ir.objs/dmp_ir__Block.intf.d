@@ -1,0 +1,1 @@
+lib/ir/block.mli: Fmt Instr Term

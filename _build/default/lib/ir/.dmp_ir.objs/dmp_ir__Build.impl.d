@@ -1,0 +1,1 @@
+lib/ir/build.ml: Array Block Func Hashtbl Instr List Printf Reg Term

@@ -1,0 +1,1 @@
+lib/ir/encode.ml: Array Fmt Func Instr Linked Option Printf Program Reg Term

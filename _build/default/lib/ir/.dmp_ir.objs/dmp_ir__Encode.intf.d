@@ -1,0 +1,1 @@
+lib/ir/encode.mli: Instr Linked Reg Term

@@ -1,0 +1,1 @@
+lib/ir/func.ml: Array Block Fmt List Printf

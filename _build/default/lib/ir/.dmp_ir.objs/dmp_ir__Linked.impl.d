@@ -1,0 +1,1 @@
+lib/ir/linked.ml: Array Block Fmt Func Hashtbl Instr List Printf Program Term

@@ -1,0 +1,1 @@
+lib/ir/linked.mli: Fmt Hashtbl Instr Program Term

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array Block Fmt Func Hashtbl Instr Printf String

@@ -1,0 +1,1 @@
+lib/ir/recover.ml: Array Block Encode Func Instr List Printf Program Term

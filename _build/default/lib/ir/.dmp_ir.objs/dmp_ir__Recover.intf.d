@@ -1,0 +1,1 @@
+lib/ir/recover.mli: Encode Program

@@ -1,0 +1,1 @@
+lib/ir/reg.mli: Fmt

@@ -1,0 +1,1 @@
+lib/ir/term.ml: Fmt Instr Reg

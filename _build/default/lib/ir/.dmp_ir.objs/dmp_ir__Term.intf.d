@@ -1,0 +1,1 @@
+lib/ir/term.mli: Fmt Instr Reg

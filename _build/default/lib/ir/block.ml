@@ -1,0 +1,10 @@
+type t = { label : string; body : Instr.t array; term : int Term.t }
+
+let size b = Array.length b.body + 1
+let successors b = Term.successors b.term
+let is_conditional b = Term.is_conditional b.term
+
+let pp ppf b =
+  Fmt.pf ppf "@[<v 2>%s:" b.label;
+  Array.iter (fun i -> Fmt.pf ppf "@,%a" Instr.pp i) b.body;
+  Fmt.pf ppf "@,%a@]" (Term.pp Fmt.int) b.term

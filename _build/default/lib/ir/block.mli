@@ -1,0 +1,12 @@
+(** A basic block: straight-line instructions plus one terminator.
+    Terminator labels are indices into the enclosing function's block
+    array. *)
+
+type t = { label : string; body : Instr.t array; term : int Term.t }
+
+val size : t -> int
+(** Number of instructions including the terminator. *)
+
+val successors : t -> int list
+val is_conditional : t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,149 @@
+type label = string
+
+type pterm =
+  | P_branch of Term.cond * Reg.t * Instr.operand * label * label option
+  | P_jump of label
+  | P_ret
+  | P_halt
+  | P_fall
+
+type pblock = {
+  plabel : label;
+  mutable body_rev : Instr.t list;
+  mutable pterm : pterm option;
+}
+
+type fn = {
+  name : string;
+  mutable blocks_rev : pblock list;
+  mutable current : pblock;
+}
+
+let reg r = Instr.Reg r
+let imm i = Instr.Imm i
+
+let func ?(entry = "entry") name =
+  let b = { plabel = entry; body_rev = []; pterm = None } in
+  { name; blocks_rev = [ b ]; current = b }
+
+(* Rename the (still empty) entry block; used by the assembly parser,
+   which learns the entry label only when it reaches the first label
+   line. *)
+let rename_entry fn l =
+  match fn.blocks_rev with
+  | [ b ] when b.body_rev = [] && b.pterm = None ->
+      let b' = { b with plabel = l } in
+      fn.blocks_rev <- [ b' ];
+      fn.current <- b'
+  | _ -> invalid_arg "Build.rename_entry: entry already populated"
+
+let label fn l =
+  (match fn.current.pterm with
+  | None -> fn.current.pterm <- Some P_fall
+  | Some _ -> ());
+  let b = { plabel = l; body_rev = []; pterm = None } in
+  fn.blocks_rev <- b :: fn.blocks_rev;
+  fn.current <- b
+
+let emit fn i =
+  if fn.current.pterm <> None then
+    invalid_arg
+      (Printf.sprintf "Build: emitting into terminated block %s in %s"
+         fn.current.plabel fn.name);
+  fn.current.body_rev <- i :: fn.current.body_rev
+
+let alu fn op dst src1 src2 = emit fn (Instr.Alu { op; dst; src1; src2 })
+let add fn dst src1 src2 = alu fn Instr.Add dst src1 src2
+let sub fn dst src1 src2 = alu fn Instr.Sub dst src1 src2
+let mul fn dst src1 src2 = alu fn Instr.Mul dst src1 src2
+let div fn dst src1 src2 = alu fn Instr.Div dst src1 src2
+let rem fn dst src1 src2 = alu fn Instr.Rem dst src1 src2
+let and_ fn dst src1 src2 = alu fn Instr.And dst src1 src2
+let or_ fn dst src1 src2 = alu fn Instr.Or dst src1 src2
+let xor fn dst src1 src2 = alu fn Instr.Xor dst src1 src2
+let shl fn dst src1 src2 = alu fn Instr.Shl dst src1 src2
+let shr fn dst src1 src2 = alu fn Instr.Shr dst src1 src2
+let li fn dst v = emit fn (Instr.Li { dst; imm = v })
+let mov fn dst src = emit fn (Instr.Mov { dst; src })
+let load fn dst base offset = emit fn (Instr.Load { dst; base; offset })
+let store fn src base offset = emit fn (Instr.Store { src; base; offset })
+let call fn callee = emit fn (Instr.Call { callee })
+let read fn dst = emit fn (Instr.Read { dst })
+let write fn src = emit fn (Instr.Write { src })
+let nop fn = emit fn Instr.Nop
+
+let nops fn n =
+  for _ = 1 to n do
+    nop fn
+  done
+
+let set_term fn t =
+  if fn.current.pterm <> None then
+    invalid_arg
+      (Printf.sprintf "Build: block %s in %s already terminated"
+         fn.current.plabel fn.name);
+  fn.current.pterm <- Some t
+
+let branch fn cond src1 src2 ~target ?fall () =
+  set_term fn (P_branch (cond, src1, src2, target, fall))
+
+let jump fn l = set_term fn (P_jump l)
+let ret fn = set_term fn P_ret
+let halt fn = set_term fn P_halt
+
+let finish fn =
+  (match fn.current.pterm with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Build.finish: last block %s of %s falls through"
+           fn.current.plabel fn.name)
+  | Some _ -> ());
+  let pblocks = Array.of_list (List.rev fn.blocks_rev) in
+  let n = Array.length pblocks in
+  let index = Hashtbl.create n in
+  Array.iteri
+    (fun i b ->
+      if Hashtbl.mem index b.plabel then
+        invalid_arg
+          (Printf.sprintf "Build.finish: duplicate label %s in %s" b.plabel
+             fn.name);
+      Hashtbl.replace index b.plabel i)
+    pblocks;
+  let resolve here l =
+    match Hashtbl.find_opt index l with
+    | Some i -> i
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Build.finish: unknown label %s in block %s of %s" l
+             here fn.name)
+  in
+  let next_of i here =
+    if i + 1 >= n then
+      invalid_arg
+        (Printf.sprintf "Build.finish: block %s of %s falls off the end" here
+           fn.name)
+    else i + 1
+  in
+  let blocks =
+    Array.mapi
+      (fun i b ->
+        let term =
+          match b.pterm with
+          | Some (P_branch (cond, src1, src2, target, fall)) ->
+              let fall =
+                match fall with
+                | Some l -> resolve b.plabel l
+                | None -> next_of i b.plabel
+              in
+              Term.Branch
+                { cond; src1; src2; target = resolve b.plabel target; fall }
+          | Some (P_jump l) -> Term.Jump (resolve b.plabel l)
+          | Some P_ret -> Term.Ret
+          | Some P_halt -> Term.Halt
+          | Some P_fall | None -> Term.Jump (next_of i b.plabel)
+        in
+        { Block.label = b.plabel; body = Array.of_list (List.rev b.body_rev);
+          term })
+      pblocks
+  in
+  { Func.name = fn.name; blocks }

@@ -1,0 +1,55 @@
+(** Sequential builder EDSL for IR functions.
+
+    A function starts with an implicit entry block. [label] closes the
+    current block (inserting a fall-through jump if it has no
+    terminator) and opens a new one. [finish] resolves string labels to
+    block indices; a conditional branch without an explicit [?fall]
+    falls through to the lexically next block. *)
+
+type label = string
+type fn
+
+val reg : Reg.t -> Instr.operand
+val imm : int -> Instr.operand
+val func : ?entry:label -> string -> fn
+val label : fn -> label -> unit
+
+(** Rename the still-empty entry block (assembly parser support).
+    Raises [Invalid_argument] once anything was emitted. *)
+val rename_entry : fn -> label -> unit
+
+val emit : fn -> Instr.t -> unit
+val alu : fn -> Instr.alu_op -> Reg.t -> Reg.t -> Instr.operand -> unit
+val add : fn -> Reg.t -> Reg.t -> Instr.operand -> unit
+val sub : fn -> Reg.t -> Reg.t -> Instr.operand -> unit
+val mul : fn -> Reg.t -> Reg.t -> Instr.operand -> unit
+val div : fn -> Reg.t -> Reg.t -> Instr.operand -> unit
+val rem : fn -> Reg.t -> Reg.t -> Instr.operand -> unit
+val and_ : fn -> Reg.t -> Reg.t -> Instr.operand -> unit
+val or_ : fn -> Reg.t -> Reg.t -> Instr.operand -> unit
+val xor : fn -> Reg.t -> Reg.t -> Instr.operand -> unit
+val shl : fn -> Reg.t -> Reg.t -> Instr.operand -> unit
+val shr : fn -> Reg.t -> Reg.t -> Instr.operand -> unit
+val li : fn -> Reg.t -> int -> unit
+val mov : fn -> Reg.t -> Reg.t -> unit
+val load : fn -> Reg.t -> Reg.t -> int -> unit
+val store : fn -> Reg.t -> Reg.t -> int -> unit
+val call : fn -> string -> unit
+val read : fn -> Reg.t -> unit
+val write : fn -> Reg.t -> unit
+val nop : fn -> unit
+
+val nops : fn -> int -> unit
+(** Emit [n] nops; used by workloads to control hammock sizes. *)
+
+val branch :
+  fn -> Term.cond -> Reg.t -> Instr.operand -> target:label ->
+  ?fall:label -> unit -> unit
+
+val jump : fn -> label -> unit
+val ret : fn -> unit
+val halt : fn -> unit
+
+val finish : fn -> Func.t
+(** @raise Invalid_argument on unknown/duplicate labels or a trailing
+    fall-through. *)

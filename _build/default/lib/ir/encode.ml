@@ -1,0 +1,221 @@
+(* Binary encoding of linked programs.
+
+   The paper's toolchain analyses Alpha *binaries*; this module provides
+   the equivalent substrate: every instruction of a linked program is
+   encoded into one 63-bit word, together with a symbol table giving
+   each function's name, entry address and size. {!Recover} rebuilds a
+   structured program from the flat image, which is what the
+   diverge-branch analysis of a real binary starts from.
+
+   Word layout (LSB first):
+     bits 0..5    opcode
+     bits 6..11   register a (dst / src1)
+     bits 12..17  register b (src1 / base)
+     bits 18..23  register c (register operand)
+     bit  24      operand-is-immediate flag
+     bits 25..62  payload (38 bits)
+
+   Payload:
+   - plain instructions: signed immediate / offset;
+   - jump / call: absolute target address;
+   - conditional branch: taken target in the low 18 bits, signed operand
+     immediate in the high 20 bits. The fall-through target is the next
+     address — as on a real ISA, the not-taken successor must follow the
+     branch, and [encode] rejects programs violating this. *)
+
+type image = {
+  code : int array;
+  symbols : (string * int * int) list;  (* name, entry address, size *)
+}
+
+let op_alu_base = 0 (* ..15 *)
+let op_load = 16
+let op_store = 17
+let op_li = 18
+let op_mov = 19
+let op_call = 20
+let op_read = 21
+let op_write = 22
+let op_nop = 23
+let op_jump = 24
+let op_ret = 25
+let op_halt = 26
+let op_branch_base = 32 (* ..37 *)
+
+let alu_ops =
+  [| Instr.Add; Instr.Sub; Instr.Mul; Instr.Div; Instr.Rem; Instr.And;
+     Instr.Or; Instr.Xor; Instr.Shl; Instr.Shr; Instr.Slt; Instr.Sle;
+     Instr.Seq; Instr.Sne; Instr.Min; Instr.Max |]
+
+let conds = [| Term.Eq; Term.Ne; Term.Lt; Term.Ge; Term.Le; Term.Gt |]
+
+let index_of arr x =
+  let rec go i = if arr.(i) = x then i else go (i + 1) in
+  go 0
+
+let payload_bits = 38
+let payload_min = -(1 lsl (payload_bits - 1))
+let payload_max = (1 lsl (payload_bits - 1)) - 1
+let addr_bits = 18
+let br_imm_bits = 20
+let br_imm_min = -(1 lsl (br_imm_bits - 1))
+let br_imm_max = (1 lsl (br_imm_bits - 1)) - 1
+
+let pack ~op ~ra ~rb ~rc ~is_imm ~payload =
+  if payload < payload_min || payload > payload_max then
+    invalid_arg "Encode: immediate out of range";
+  op land 0x3f
+  lor ((ra land 0x3f) lsl 6)
+  lor ((rb land 0x3f) lsl 12)
+  lor ((rc land 0x3f) lsl 18)
+  lor ((if is_imm then 1 else 0) lsl 24)
+  lor ((payload land ((1 lsl payload_bits) - 1)) lsl 25)
+
+let unpack w =
+  let raw = (w lsr 25) land ((1 lsl payload_bits) - 1) in
+  let payload =
+    if raw land (1 lsl (payload_bits - 1)) <> 0 then
+      raw - (1 lsl payload_bits)
+    else raw
+  in
+  ( w land 0x3f,
+    (w lsr 6) land 0x3f,
+    (w lsr 12) land 0x3f,
+    (w lsr 18) land 0x3f,
+    (w lsr 24) land 1 = 1,
+    payload )
+
+let pack_branch_payload ~taken ~imm =
+  if taken < 0 || taken >= 1 lsl addr_bits then
+    invalid_arg "Encode: branch target out of range";
+  if imm < br_imm_min || imm > br_imm_max then
+    invalid_arg "Encode: branch operand immediate out of range";
+  taken lor ((imm land ((1 lsl br_imm_bits) - 1)) lsl addr_bits)
+
+let unpack_branch_payload payload =
+  let payload = payload land ((1 lsl payload_bits) - 1) in
+  let taken = payload land ((1 lsl addr_bits) - 1) in
+  let raw = (payload lsr addr_bits) land ((1 lsl br_imm_bits) - 1) in
+  let imm =
+    if raw land (1 lsl (br_imm_bits - 1)) <> 0 then raw - (1 lsl br_imm_bits)
+    else raw
+  in
+  (taken, imm)
+
+let encode_operand = function
+  | Instr.Reg r -> (Reg.to_int r, false, 0)
+  | Instr.Imm i -> (0, true, i)
+
+let encode_slot linked (l : Linked.loc) =
+  let r = Reg.to_int in
+  match l.Linked.slot with
+  | Linked.Body ins -> (
+      match ins with
+      | Instr.Alu { op; dst; src1; src2 } ->
+          let rc, is_imm, payload = encode_operand src2 in
+          pack ~op:(op_alu_base + index_of alu_ops op) ~ra:(r dst)
+            ~rb:(r src1) ~rc ~is_imm ~payload
+      | Instr.Load { dst; base; offset } ->
+          pack ~op:op_load ~ra:(r dst) ~rb:(r base) ~rc:0 ~is_imm:true
+            ~payload:offset
+      | Instr.Store { src; base; offset } ->
+          pack ~op:op_store ~ra:(r src) ~rb:(r base) ~rc:0 ~is_imm:true
+            ~payload:offset
+      | Instr.Li { dst; imm } ->
+          pack ~op:op_li ~ra:(r dst) ~rb:0 ~rc:0 ~is_imm:true ~payload:imm
+      | Instr.Mov { dst; src } ->
+          pack ~op:op_mov ~ra:(r dst) ~rb:(r src) ~rc:0 ~is_imm:false
+            ~payload:0
+      | Instr.Call { callee } ->
+          let fi = Linked.func_of_name linked callee in
+          pack ~op:op_call ~ra:0 ~rb:0 ~rc:0 ~is_imm:true
+            ~payload:(Linked.func_entry linked fi)
+      | Instr.Read { dst } ->
+          pack ~op:op_read ~ra:(r dst) ~rb:0 ~rc:0 ~is_imm:false ~payload:0
+      | Instr.Write { src } ->
+          pack ~op:op_write ~ra:(r src) ~rb:0 ~rc:0 ~is_imm:false ~payload:0
+      | Instr.Nop ->
+          pack ~op:op_nop ~ra:0 ~rb:0 ~rc:0 ~is_imm:false ~payload:0)
+  | Linked.Term tm -> (
+      match tm with
+      | Term.Branch { cond; src1; src2; _ } ->
+          let taken, fall = Option.get (Linked.branch_targets linked l) in
+          if fall <> l.Linked.addr + 1 then
+            invalid_arg
+              "Encode: the not-taken successor must follow the branch";
+          let rc, is_imm, imm = encode_operand src2 in
+          pack
+            ~op:(op_branch_base + index_of conds cond)
+            ~ra:(r src1) ~rb:0 ~rc ~is_imm
+            ~payload:(pack_branch_payload ~taken ~imm)
+      | Term.Jump _ ->
+          let target = Option.get (Linked.jump_target linked l) in
+          pack ~op:op_jump ~ra:0 ~rb:0 ~rc:0 ~is_imm:true ~payload:target
+      | Term.Ret ->
+          pack ~op:op_ret ~ra:0 ~rb:0 ~rc:0 ~is_imm:false ~payload:0
+      | Term.Halt ->
+          pack ~op:op_halt ~ra:0 ~rb:0 ~rc:0 ~is_imm:false ~payload:0)
+
+let encode linked =
+  {
+    code = Array.map (encode_slot linked) linked.Linked.locs;
+    symbols =
+      Array.to_list
+        (Array.mapi
+           (fun fi (f : Func.t) ->
+             (f.Func.name, Linked.func_entry linked fi, Func.size f))
+           linked.Linked.program.Program.funcs);
+  }
+
+(* ---------- decoding ---------- *)
+
+type decoded =
+  | D_instr of Instr.t
+  | D_branch of { cond : Term.cond; src1 : Reg.t; src2 : Instr.operand;
+                  taken_addr : int }
+  | D_jump of int
+  | D_ret
+  | D_halt
+  | D_call of int  (* callee entry address *)
+
+let decode_word w =
+  let op, ra, rb, rc, is_imm, payload = unpack w in
+  let reg = Reg.of_int in
+  if op < 16 then
+    let src2 = if is_imm then Instr.Imm payload else Instr.Reg (reg rc) in
+    D_instr
+      (Instr.Alu { op = alu_ops.(op); dst = reg ra; src1 = reg rb; src2 })
+  else if op >= op_branch_base && op < op_branch_base + 6 then begin
+    let taken_addr, imm = unpack_branch_payload payload in
+    let src2 = if is_imm then Instr.Imm imm else Instr.Reg (reg rc) in
+    D_branch { cond = conds.(op - op_branch_base); src1 = reg ra; src2;
+               taken_addr }
+  end
+  else
+    match op with
+    | x when x = op_load ->
+        D_instr (Instr.Load { dst = reg ra; base = reg rb; offset = payload })
+    | x when x = op_store ->
+        D_instr (Instr.Store { src = reg ra; base = reg rb; offset = payload })
+    | x when x = op_li -> D_instr (Instr.Li { dst = reg ra; imm = payload })
+    | x when x = op_mov ->
+        D_instr (Instr.Mov { dst = reg ra; src = reg rb })
+    | x when x = op_call -> D_call payload
+    | x when x = op_read -> D_instr (Instr.Read { dst = reg ra })
+    | x when x = op_write -> D_instr (Instr.Write { src = reg ra })
+    | x when x = op_nop -> D_instr Instr.Nop
+    | x when x = op_jump -> D_jump payload
+    | x when x = op_ret -> D_ret
+    | x when x = op_halt -> D_halt
+    | _ -> invalid_arg (Printf.sprintf "Decode: bad opcode %d" op)
+
+let disassemble_word w =
+  match decode_word w with
+  | D_instr i -> Fmt.str "%a" Instr.pp i
+  | D_branch { cond; src1; src2; taken_addr } ->
+      Fmt.str "%s %a, %a -> @%d" (Term.cond_to_string cond) Reg.pp src1
+        Instr.pp_operand src2 taken_addr
+  | D_jump a -> Printf.sprintf "jmp @%d" a
+  | D_ret -> "ret"
+  | D_halt -> "halt"
+  | D_call a -> Printf.sprintf "call @%d" a

@@ -1,0 +1,27 @@
+(** Binary encoding of linked programs: one 63-bit word per instruction
+    plus a symbol table. {!Recover} rebuilds a structured program from
+    the flat image — together they substitute for the Alpha binaries the
+    paper's binary-analysis toolset consumes (Section 6.1). *)
+
+type image = {
+  code : int array;
+  symbols : (string * int * int) list;
+      (** (name, entry address, static size) per function *)
+}
+
+val encode : Linked.t -> image
+(** @raise Invalid_argument when an immediate exceeds the encodable
+    range or a branch's not-taken successor does not directly follow it
+    (the layout rule of real ISAs; {!Build}'s output always conforms). *)
+
+type decoded =
+  | D_instr of Instr.t
+  | D_branch of { cond : Term.cond; src1 : Reg.t; src2 : Instr.operand;
+                  taken_addr : int }
+  | D_jump of int
+  | D_ret
+  | D_halt
+  | D_call of int
+
+val decode_word : int -> decoded
+val disassemble_word : int -> string

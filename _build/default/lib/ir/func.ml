@@ -1,0 +1,37 @@
+type t = { name : string; blocks : Block.t array }
+
+let entry = 0
+
+let block f i =
+  if i < 0 || i >= Array.length f.blocks then
+    invalid_arg (Printf.sprintf "Func.block: %d out of range in %s" i f.name);
+  f.blocks.(i)
+
+let num_blocks f = Array.length f.blocks
+
+let size f =
+  Array.fold_left (fun acc b -> acc + Block.size b) 0 f.blocks
+
+let validate f =
+  if Array.length f.blocks = 0 then
+    Error (Printf.sprintf "function %s has no blocks" f.name)
+  else
+    let n = Array.length f.blocks in
+    let bad = ref None in
+    Array.iteri
+      (fun i b ->
+        List.iter
+          (fun s ->
+            if s < 0 || s >= n then
+              bad :=
+                Some
+                  (Printf.sprintf "function %s: block %d (%s) targets %d"
+                     f.name i b.Block.label s))
+          (Block.successors b))
+      f.blocks;
+    match !bad with None -> Ok () | Some msg -> Error msg
+
+let pp ppf f =
+  Fmt.pf ppf "@[<v 2>func %s {" f.name;
+  Array.iteri (fun i b -> Fmt.pf ppf "@,[%d] %a" i Block.pp b) f.blocks;
+  Fmt.pf ppf "@]@,}"

@@ -1,0 +1,15 @@
+(** A function: an array of basic blocks. Block 0 is the entry. *)
+
+type t = { name : string; blocks : Block.t array }
+
+val entry : int
+val block : t -> int -> Block.t
+val num_blocks : t -> int
+
+val size : t -> int
+(** Static instruction count (terminators included). *)
+
+val validate : t -> (unit, string) result
+(** Check that every terminator target is a valid block index. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,123 @@
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Slt
+  | Sle
+  | Seq
+  | Sne
+  | Min
+  | Max
+
+type operand = Reg of Reg.t | Imm of int
+
+type t =
+  | Alu of { op : alu_op; dst : Reg.t; src1 : Reg.t; src2 : operand }
+  | Load of { dst : Reg.t; base : Reg.t; offset : int }
+  | Store of { src : Reg.t; base : Reg.t; offset : int }
+  | Li of { dst : Reg.t; imm : int }
+  | Mov of { dst : Reg.t; src : Reg.t }
+  | Call of { callee : string }
+  | Read of { dst : Reg.t }
+  | Write of { src : Reg.t }
+  | Nop
+
+let alu_op_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Slt -> "slt"
+  | Sle -> "sle"
+  | Seq -> "seq"
+  | Sne -> "sne"
+  | Min -> "min"
+  | Max -> "max"
+
+let alu_op_of_string = function
+  | "add" -> Some Add
+  | "sub" -> Some Sub
+  | "mul" -> Some Mul
+  | "div" -> Some Div
+  | "rem" -> Some Rem
+  | "and" -> Some And
+  | "or" -> Some Or
+  | "xor" -> Some Xor
+  | "shl" -> Some Shl
+  | "shr" -> Some Shr
+  | "slt" -> Some Slt
+  | "sle" -> Some Sle
+  | "seq" -> Some Seq
+  | "sne" -> Some Sne
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | _ -> None
+
+let eval_alu op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Rem -> if b = 0 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 62)
+  | Shr -> a asr (b land 62)
+  | Slt -> if a < b then 1 else 0
+  | Sle -> if a <= b then 1 else 0
+  | Seq -> if a = b then 1 else 0
+  | Sne -> if a <> b then 1 else 0
+  | Min -> min a b
+  | Max -> max a b
+
+let defs = function
+  | Alu { dst; _ } | Load { dst; _ } | Li { dst; _ } | Mov { dst; _ }
+  | Read { dst; _ } ->
+      if Reg.equal dst Reg.zero then [] else [ dst ]
+  | Store _ | Call _ | Write _ | Nop -> []
+
+let uses = function
+  | Alu { src1; src2; _ } -> (
+      match src2 with Reg r -> [ src1; r ] | Imm _ -> [ src1 ])
+  | Load { base; _ } -> [ base ]
+  | Store { src; base; _ } -> [ src; base ]
+  | Mov { src; _ } -> [ src ]
+  | Write { src; _ } -> [ src ]
+  | Li _ | Call _ | Read _ | Nop -> []
+
+let is_memory = function Load _ | Store _ -> true | _ -> false
+let is_call = function Call _ -> true | _ -> false
+
+let pp_operand ppf = function
+  | Reg r -> Reg.pp ppf r
+  | Imm i -> Fmt.pf ppf "%d" i
+
+let pp ppf = function
+  | Alu { op; dst; src1; src2 } ->
+      Fmt.pf ppf "%s %a, %a, %a" (alu_op_to_string op) Reg.pp dst Reg.pp src1
+        pp_operand src2
+  | Load { dst; base; offset } ->
+      Fmt.pf ppf "ld %a, %d(%a)" Reg.pp dst offset Reg.pp base
+  | Store { src; base; offset } ->
+      Fmt.pf ppf "st %a, %d(%a)" Reg.pp src offset Reg.pp base
+  | Li { dst; imm } -> Fmt.pf ppf "li %a, %d" Reg.pp dst imm
+  | Mov { dst; src } -> Fmt.pf ppf "mov %a, %a" Reg.pp dst Reg.pp src
+  | Call { callee } -> Fmt.pf ppf "call %s" callee
+  | Read { dst } -> Fmt.pf ppf "read %a" Reg.pp dst
+  | Write { src } -> Fmt.pf ppf "write %a" Reg.pp src
+  | Nop -> Fmt.pf ppf "nop"

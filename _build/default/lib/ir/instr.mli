@@ -1,0 +1,59 @@
+(** Non-control instructions of the IR.
+
+    The instruction set is a small load/store RISC machine in the spirit
+    of the Alpha ISA the paper targets. Control transfer lives in
+    {!Term}; a basic block is a sequence of these instructions followed
+    by one terminator. *)
+
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Slt  (** set if less-than *)
+  | Sle  (** set if less-or-equal *)
+  | Seq  (** set if equal *)
+  | Sne  (** set if not-equal *)
+  | Min
+  | Max
+
+type operand = Reg of Reg.t | Imm of int
+
+type t =
+  | Alu of { op : alu_op; dst : Reg.t; src1 : Reg.t; src2 : operand }
+  | Load of { dst : Reg.t; base : Reg.t; offset : int }
+  | Store of { src : Reg.t; base : Reg.t; offset : int }
+  | Li of { dst : Reg.t; imm : int }
+  | Mov of { dst : Reg.t; src : Reg.t }
+  | Call of { callee : string }
+      (** direct call; the return address is managed by the machine *)
+  | Read of { dst : Reg.t }
+      (** read the next value of the program's input stream (models
+          input data; 0 once the stream is exhausted) *)
+  | Write of { src : Reg.t }  (** append a value to the output stream *)
+  | Nop
+
+val alu_op_to_string : alu_op -> string
+val alu_op_of_string : string -> alu_op option
+
+val eval_alu : alu_op -> int -> int -> int
+(** Arithmetic semantics. Division and remainder by zero yield 0 (the
+    emulator never traps). *)
+
+val defs : t -> Reg.t list
+(** Registers written. Writes to {!Reg.zero} are discarded and not
+    reported. *)
+
+val uses : t -> Reg.t list
+(** Registers read. *)
+
+val is_memory : t -> bool
+val is_call : t -> bool
+val pp_operand : operand Fmt.t
+val pp : t Fmt.t

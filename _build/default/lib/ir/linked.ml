@@ -1,0 +1,106 @@
+type slot = Body of Instr.t | Term of int Term.t
+
+type loc = { addr : int; func : int; block : int; pos : int; slot : slot }
+
+type t = {
+  program : Program.t;
+  locs : loc array;
+  block_addr : int array array;
+  func_entry : int array;
+  func_index : (string, int) Hashtbl.t;
+}
+
+let link program =
+  (match Program.validate program with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Linked.link: " ^ m));
+  let nf = Program.num_funcs program in
+  let func_index = Hashtbl.create nf in
+  let locs = ref [] in
+  let block_addr = Array.make nf [||] in
+  let func_entry = Array.make nf 0 in
+  let addr = ref 0 in
+  for fi = 0 to nf - 1 do
+    let f = Program.func program fi in
+    Hashtbl.replace func_index f.Func.name fi;
+    func_entry.(fi) <- !addr;
+    let nb = Func.num_blocks f in
+    let baddrs = Array.make nb 0 in
+    for bi = 0 to nb - 1 do
+      let b = Func.block f bi in
+      baddrs.(bi) <- !addr;
+      Array.iteri
+        (fun pos ins ->
+          locs := { addr = !addr; func = fi; block = bi; pos; slot = Body ins }
+                  :: !locs;
+          incr addr)
+        b.Block.body;
+      let pos = Array.length b.Block.body in
+      locs :=
+        { addr = !addr; func = fi; block = bi; pos; slot = Term b.Block.term }
+        :: !locs;
+      incr addr
+    done;
+    block_addr.(fi) <- baddrs
+  done;
+  let locs = Array.of_list (List.rev !locs) in
+  Array.iteri (fun i l -> assert (l.addr = i)) locs;
+  { program; locs; block_addr; func_entry; func_index }
+
+let size t = Array.length t.locs
+
+let loc t addr =
+  if addr < 0 || addr >= Array.length t.locs then
+    invalid_arg (Printf.sprintf "Linked.loc: address %d out of range" addr);
+  t.locs.(addr)
+
+let block_addr t ~func ~block = t.block_addr.(func).(block)
+let func_entry t fi = t.func_entry.(fi)
+
+let func_of_name t name =
+  match Hashtbl.find_opt t.func_index name with
+  | Some fi -> fi
+  | None -> invalid_arg ("Linked.func_of_name: unknown function " ^ name)
+
+let entry_addr t = t.func_entry.(t.program.Program.main)
+
+let branch_targets t l =
+  match l.slot with
+  | Term (Term.Branch { target; fall; _ }) ->
+      Some
+        ( block_addr t ~func:l.func ~block:target,
+          block_addr t ~func:l.func ~block:fall )
+  | _ -> None
+
+let jump_target t l =
+  match l.slot with
+  | Term (Term.Jump b) -> Some (block_addr t ~func:l.func ~block:b)
+  | _ -> None
+
+let is_conditional_branch t addr =
+  match (loc t addr).slot with
+  | Term (Term.Branch _) -> true
+  | _ -> false
+
+let is_return t addr =
+  match (loc t addr).slot with Term Term.Ret -> true | _ -> false
+
+let block_of_addr t addr =
+  let l = loc t addr in
+  (l.func, l.block)
+
+let iter_branches t f =
+  Array.iter
+    (fun l -> match l.slot with Term (Term.Branch _) -> f l | _ -> ())
+    t.locs
+
+let pp_loc t ppf l =
+  let fname = (Program.func t.program l.func).Func.name in
+  let blabel =
+    (Func.block (Program.func t.program l.func) l.block).Block.label
+  in
+  let pp_slot ppf = function
+    | Body i -> Instr.pp ppf i
+    | Term tm -> Term.pp Fmt.int ppf tm
+  in
+  Fmt.pf ppf "%6d  %s/%s+%d  %a" l.addr fname blabel l.pos pp_slot l.slot

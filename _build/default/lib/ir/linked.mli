@@ -1,0 +1,41 @@
+(** Linked (laid-out) program: every static instruction gets a unique
+    address. Functions are laid out in order; each block contributes its
+    body followed by its terminator.
+
+    Addresses are dense integers starting at 0. Branch predictors, the
+    profiler, the DMP annotation format, and the simulator all key on
+    these addresses, mirroring the paper's binary-analysis toolset. *)
+
+type slot = Body of Instr.t | Term of int Term.t
+
+type loc = {
+  addr : int;
+  func : int;  (** function index *)
+  block : int;  (** block index within the function *)
+  pos : int;  (** position within the block; the terminator is last *)
+  slot : slot;
+}
+
+type t = { program : Program.t; locs : loc array;
+           block_addr : int array array; func_entry : int array;
+           func_index : (string, int) Hashtbl.t }
+
+val link : Program.t -> t
+(** @raise Invalid_argument if the program does not validate. *)
+
+val size : t -> int
+val loc : t -> int -> loc
+val block_addr : t -> func:int -> block:int -> int
+val func_entry : t -> int -> int
+val func_of_name : t -> string -> int
+val entry_addr : t -> int
+
+val branch_targets : t -> loc -> (int * int) option
+(** [(taken_addr, fall_addr)] for a conditional-branch terminator. *)
+
+val jump_target : t -> loc -> int option
+val is_conditional_branch : t -> int -> bool
+val is_return : t -> int -> bool
+val block_of_addr : t -> int -> int * int
+val iter_branches : t -> (loc -> unit) -> unit
+val pp_loc : t -> loc Fmt.t

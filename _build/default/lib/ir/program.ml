@@ -1,0 +1,79 @@
+type t = { funcs : Func.t array; main : int }
+
+let func t i = t.funcs.(i)
+let num_funcs t = Array.length t.funcs
+let main_func t = t.funcs.(t.main)
+
+let find_func t name =
+  let rec go i =
+    if i >= Array.length t.funcs then None
+    else if String.equal t.funcs.(i).Func.name name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let size t = Array.fold_left (fun acc f -> acc + Func.size f) 0 t.funcs
+
+let static_conditional_branches t =
+  Array.fold_left
+    (fun acc f ->
+      Array.fold_left
+        (fun acc b -> if Block.is_conditional b then acc + 1 else acc)
+        acc f.Func.blocks)
+    0 t.funcs
+
+let validate t =
+  let names = Hashtbl.create 16 in
+  let err = ref None in
+  let set_err msg = if !err = None then err := Some msg in
+  Array.iter
+    (fun f ->
+      let name = f.Func.name in
+      if Hashtbl.mem names name then
+        set_err (Printf.sprintf "duplicate function %s" name)
+      else Hashtbl.add names name ();
+      (match Func.validate f with Ok () -> () | Error m -> set_err m);
+      Array.iter
+        (fun b ->
+          Array.iter
+            (fun i ->
+              match i with
+              | Instr.Call { callee } ->
+                  if find_func t callee = None then
+                    set_err
+                      (Printf.sprintf "%s calls unknown function %s" name
+                         callee)
+              | _ -> ())
+            b.Block.body)
+        f.Func.blocks)
+    t.funcs;
+  if t.main < 0 || t.main >= Array.length t.funcs then
+    set_err "main function index out of range";
+  match !err with None -> Ok () | Some m -> Error m
+
+let of_funcs ~main funcs =
+  let funcs = Array.of_list funcs in
+  let rec find i =
+    if i >= Array.length funcs then None
+    else if String.equal funcs.(i).Func.name main then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> Error (Printf.sprintf "main function %s not found" main)
+  | Some main -> (
+      let t = { funcs; main } in
+      match validate t with Ok () -> Ok t | Error m -> Error m)
+
+let of_funcs_exn ~main funcs =
+  match of_funcs ~main funcs with
+  | Ok t -> t
+  | Error m -> invalid_arg ("Program.of_funcs_exn: " ^ m)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  Array.iteri
+    (fun i f ->
+      if i = t.main then Fmt.pf ppf "(* main *)@,";
+      Fmt.pf ppf "%a@," Func.pp f)
+    t.funcs;
+  Fmt.pf ppf "@]"

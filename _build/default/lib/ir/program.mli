@@ -1,0 +1,21 @@
+(** A whole program: a set of functions and a designated main. *)
+
+type t = { funcs : Func.t array; main : int }
+
+val func : t -> int -> Func.t
+val num_funcs : t -> int
+val main_func : t -> Func.t
+val find_func : t -> string -> int option
+
+val size : t -> int
+(** Static instruction count over all functions. *)
+
+val static_conditional_branches : t -> int
+
+val validate : t -> (unit, string) result
+(** Check function-name uniqueness, intra-function targets, and that
+    every [Call] names a known function. *)
+
+val of_funcs : main:string -> Func.t list -> (t, string) result
+val of_funcs_exn : main:string -> Func.t list -> t
+val pp : t Fmt.t

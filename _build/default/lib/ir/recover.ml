@@ -1,0 +1,115 @@
+(* Binary analysis front end: rebuild a structured program (functions,
+   basic blocks, CFG edges) from a flat encoded image plus its symbol
+   table — the starting point of the paper's diverge-branch analysis on
+   real binaries (Section 6.1).
+
+   Block boundaries (leaders) are: each function entry, every branch or
+   jump target, and every instruction following a control transfer. A
+   block whose successor-by-fall-through is a leader gets an explicit
+   jump, matching the layout convention of {!Build}. *)
+
+let recover_function image ~name ~entry ~size =
+  let stop = entry + size in
+  let decoded =
+    Array.init size (fun i -> Encode.decode_word image.Encode.code.(entry + i))
+  in
+  let d addr = decoded.(addr - entry) in
+  let in_func a = a >= entry && a < stop in
+  (* leaders *)
+  let leader = Array.make size false in
+  leader.(0) <- true;
+  for a = entry to stop - 1 do
+    match d a with
+    | Encode.D_branch { taken_addr; _ } ->
+        if not (in_func taken_addr) then
+          invalid_arg "Recover: branch target outside function";
+        leader.(taken_addr - entry) <- true;
+        if a + 1 < stop then leader.(a + 1 - entry) <- true
+    | Encode.D_jump target ->
+        if not (in_func target) then
+          invalid_arg "Recover: jump target outside function";
+        leader.(target - entry) <- true;
+        if a + 1 < stop then leader.(a + 1 - entry) <- true
+    | Encode.D_ret | Encode.D_halt ->
+        if a + 1 < stop then leader.(a + 1 - entry) <- true
+    | Encode.D_instr _ | Encode.D_call _ -> ()
+  done;
+  (* block index per address *)
+  let block_of = Array.make size 0 in
+  let nblocks = ref 0 in
+  for i = 0 to size - 1 do
+    if leader.(i) && i > 0 then incr nblocks;
+    block_of.(i) <- !nblocks
+  done;
+  let nblocks = !nblocks + 1 in
+  let starts = Array.make nblocks 0 in
+  for i = size - 1 downto 0 do
+    starts.(block_of.(i)) <- i
+  done;
+  let callee_name target =
+    match
+      List.find_opt
+        (fun (_, e, _) -> e = target)
+        image.Encode.symbols
+    with
+    | Some (n, _, _) -> n
+    | None -> invalid_arg "Recover: call target is not a function entry"
+  in
+  let block bi =
+    let first = starts.(bi) in
+    let next_start = if bi + 1 < nblocks then starts.(bi + 1) else size in
+    (* collect body until a terminator or the next leader *)
+    let body = ref [] in
+    let term = ref None in
+    let i = ref first in
+    while !term = None && !i < next_start do
+      (match d (entry + !i) with
+      | Encode.D_instr ins -> body := ins :: !body
+      | Encode.D_call target ->
+          body := Instr.Call { callee = callee_name target } :: !body
+      | Encode.D_branch { cond; src1; src2; taken_addr } ->
+          let fall_addr = entry + !i + 1 in
+          if not (in_func fall_addr) then
+            invalid_arg "Recover: branch falls off the function";
+          term :=
+            Some
+              (Term.Branch
+                 { cond; src1; src2;
+                   target = block_of.(taken_addr - entry);
+                   fall = block_of.(fall_addr - entry) })
+      | Encode.D_jump target ->
+          term := Some (Term.Jump block_of.(target - entry))
+      | Encode.D_ret -> term := Some Term.Ret
+      | Encode.D_halt -> term := Some Term.Halt);
+      incr i
+    done;
+    let term =
+      match !term with
+      | Some t -> t
+      | None ->
+          (* fell into the next leader *)
+          if bi + 1 >= nblocks then
+            invalid_arg "Recover: function falls off the end"
+          else Term.Jump (bi + 1)
+    in
+    {
+      Block.label = Printf.sprintf "L%d" (entry + first);
+      body = Array.of_list (List.rev !body);
+      term;
+    }
+  in
+  { Func.name; blocks = Array.init nblocks block }
+
+let program (image : Encode.image) =
+  match image.Encode.symbols with
+  | [] -> Error "empty symbol table"
+  | (main, _, _) :: _ -> (
+      try
+        let funcs =
+          List.map
+            (fun (name, entry, size) ->
+              recover_function image ~name ~entry ~size)
+            image.Encode.symbols
+        in
+        Program.of_funcs ~main funcs
+      with Invalid_argument m -> Error m)

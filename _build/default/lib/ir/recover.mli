@@ -1,0 +1,7 @@
+(** CFG recovery from an encoded binary image: rebuilds functions and
+    basic blocks from leaders (branch/jump targets and control-transfer
+    successors). The recovered program is semantically equivalent to the
+    original — block labels are synthesised from addresses, and block
+    boundaries may be finer than the source program's. *)
+
+val program : Encode.image -> (Program.t, string) result

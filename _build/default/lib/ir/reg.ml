@@ -1,0 +1,27 @@
+type t = int
+
+let count = 64
+let zero = 0
+
+let of_int i =
+  if i < 0 || i >= count then invalid_arg "Reg.of_int: out of range";
+  i
+
+let to_int r = r
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf r = Fmt.pf ppf "r%d" r
+
+(* Conventional roles used by the workload builder; the hardware does not
+   enforce them. *)
+let ret_value = 1
+let arg_base = 2
+let arg n =
+  if n < 0 || n > 7 then invalid_arg "Reg.arg: 0..7";
+  arg_base + n
+
+let tmp_base = 10
+let tmp n =
+  let r = tmp_base + n in
+  if n < 0 || r >= count then invalid_arg "Reg.tmp: out of range";
+  r

@@ -1,0 +1,23 @@
+(** Architectural registers.
+
+    The machine has [count] general-purpose integer registers. Register
+    [zero] is hardwired to 0: writes to it are discarded. *)
+
+type t
+
+val count : int
+val zero : t
+
+val of_int : int -> t
+(** [of_int i] is register [i]. @raise Invalid_argument if out of range. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+(** Software calling conventions used by the workload builder. *)
+
+val ret_value : t
+val arg : int -> t
+val tmp : int -> t

@@ -1,0 +1,62 @@
+type cond = Eq | Ne | Lt | Ge | Le | Gt
+
+type 'label t =
+  | Branch of { cond : cond; src1 : Reg.t; src2 : Instr.operand;
+                target : 'label; fall : 'label }
+  | Jump of 'label
+  | Ret
+  | Halt
+
+let cond_to_string = function
+  | Eq -> "beq"
+  | Ne -> "bne"
+  | Lt -> "blt"
+  | Ge -> "bge"
+  | Le -> "ble"
+  | Gt -> "bgt"
+
+let eval_cond cond a b =
+  match cond with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Ge -> a >= b
+  | Le -> a <= b
+  | Gt -> a > b
+
+let negate_cond = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Ge -> Lt
+  | Le -> Gt
+  | Gt -> Le
+
+let uses = function
+  | Branch { src1; src2; _ } -> (
+      match src2 with
+      | Instr.Reg r -> [ src1; r ]
+      | Instr.Imm _ -> [ src1 ])
+  | Jump _ | Ret | Halt -> []
+
+let successors = function
+  | Branch { target; fall; _ } -> [ target; fall ]
+  | Jump l -> [ l ]
+  | Ret | Halt -> []
+
+let is_conditional = function Branch _ -> true | Jump _ | Ret | Halt -> false
+
+let map_label f = function
+  | Branch { cond; src1; src2; target; fall } ->
+      Branch { cond; src1; src2; target = f target; fall = f fall }
+  | Jump l -> Jump (f l)
+  | Ret -> Ret
+  | Halt -> Halt
+
+let pp pp_label ppf = function
+  | Branch { cond; src1; src2; target; fall } ->
+      Fmt.pf ppf "%s %a, %a, %a (fall %a)" (cond_to_string cond) Reg.pp src1
+        Instr.pp_operand src2 pp_label target pp_label fall
+  | Jump l -> Fmt.pf ppf "jmp %a" pp_label l
+  | Ret -> Fmt.pf ppf "ret"
+  | Halt -> Fmt.pf ppf "halt"

@@ -1,0 +1,23 @@
+(** Block terminators, parameterised by the label representation.
+
+    During construction ({!Build}) labels are strings; in a finished
+    {!Func} they are block indices. *)
+
+type cond = Eq | Ne | Lt | Ge | Le | Gt
+
+type 'label t =
+  | Branch of { cond : cond; src1 : Reg.t; src2 : Instr.operand;
+                target : 'label; fall : 'label }
+      (** conditional branch: taken to [target], not-taken to [fall] *)
+  | Jump of 'label
+  | Ret
+  | Halt
+
+val cond_to_string : cond -> string
+val eval_cond : cond -> int -> int -> bool
+val negate_cond : cond -> cond
+val uses : 'label t -> Reg.t list
+val successors : 'label t -> 'label list
+val is_conditional : 'label t -> bool
+val map_label : ('a -> 'b) -> 'a t -> 'b t
+val pp : 'label Fmt.t -> 'label t Fmt.t

@@ -1,0 +1,1 @@
+lib/predictor/gshare.ml: Array History

@@ -1,0 +1,1 @@
+lib/predictor/history.mli:

@@ -1,0 +1,1 @@
+lib/predictor/perceptron.ml: Array History

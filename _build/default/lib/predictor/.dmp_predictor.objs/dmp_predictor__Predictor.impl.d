@@ -1,0 +1,1 @@
+lib/predictor/predictor.ml: Gshare Perceptron

@@ -1,0 +1,47 @@
+(* Enhanced JRS confidence estimator (Jacobsen, Rotenberg & Smith,
+   MICRO-29; enhancement per Grunwald et al., ISCA-25): a table of
+   saturating miss-distance counters indexed by PC xor branch history.
+   A counter is incremented on a correct prediction and decremented
+   (saturating at 0) on a misprediction; a branch is high-confidence
+   when its counter passes the threshold. The saturating decrement
+   (rather than a full reset) lets moderately-biased branches reach high
+   confidence, giving the estimator realistic, imperfect coverage. *)
+
+type estimate = High_confidence | Low_confidence
+
+type t = {
+  hist : History.t;
+  table : int array;
+  threshold : int;
+  counter_max : int;
+  miss_decrement : int;
+  mutable history : int;
+}
+
+let create ?(log2_entries = 12) ?(history_length = 12) ?(threshold = 14)
+    ?(miss_decrement = 2) () =
+  let hist = History.make history_length in
+  {
+    hist;
+    table = Array.make (1 lsl log2_entries) 0;
+    threshold;
+    counter_max = 15;
+    miss_decrement;
+    history = History.empty;
+  }
+
+let index t ~addr =
+  (addr lxor History.fold t.hist t.history) land (Array.length t.table - 1)
+
+let estimate t ~addr =
+  if t.table.(index t ~addr) >= t.threshold then High_confidence
+  else Low_confidence
+
+let update t ~addr ~taken ~mispredicted =
+  let i = index t ~addr in
+  t.table.(i) <-
+    (if mispredicted then max 0 (t.table.(i) - t.miss_decrement)
+     else min t.counter_max (t.table.(i) + 1));
+  t.history <- History.shift t.hist t.history ~taken
+
+let is_low = function Low_confidence -> true | High_confidence -> false

@@ -1,0 +1,14 @@
+(** Enhanced JRS confidence estimator (Table 1 of the paper: 2KB,
+    12-bit history, threshold 14). [estimate] classifies the pending
+    prediction; [update] must be called with the resolved outcome. *)
+
+type estimate = High_confidence | Low_confidence
+type t
+
+val create :
+  ?log2_entries:int -> ?history_length:int -> ?threshold:int ->
+  ?miss_decrement:int -> unit -> t
+
+val estimate : t -> addr:int -> estimate
+val update : t -> addr:int -> taken:bool -> mispredicted:bool -> unit
+val is_low : estimate -> bool

@@ -1,0 +1,30 @@
+(* Classic gshare: a table of 2-bit saturating counters indexed by
+   PC xor global history. Used as a comparison predictor and by the
+   profiler's cheap misprediction estimate. *)
+
+type t = {
+  hist : History.t;
+  table : int array;
+  mutable history : int;
+}
+
+let create ?(log2_entries = 14) ?(history_length = 14) () =
+  let hist = History.make history_length in
+  { hist; table = Array.make (1 lsl log2_entries) 1; history = History.empty }
+
+let history t = t.history
+
+let index t ~history ~addr =
+  (addr lxor History.fold t.hist history) land (Array.length t.table - 1)
+
+let predict_with_history t ~history ~addr =
+  t.table.(index t ~history ~addr) >= 2
+
+let predict t ~addr = predict_with_history t ~history:t.history ~addr
+let shift t ~history ~taken = History.shift t.hist history ~taken
+
+let update t ~addr ~taken =
+  let i = index t ~history:t.history ~addr in
+  let c = t.table.(i) in
+  t.table.(i) <- (if taken then min 3 (c + 1) else max 0 (c - 1));
+  t.history <- History.shift t.hist t.history ~taken

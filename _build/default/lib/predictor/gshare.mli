@@ -1,0 +1,10 @@
+(** Gshare predictor: 2-bit counters indexed by PC xor history. *)
+
+type t
+
+val create : ?log2_entries:int -> ?history_length:int -> unit -> t
+val history : t -> int
+val predict : t -> addr:int -> bool
+val predict_with_history : t -> history:int -> addr:int -> bool
+val shift : t -> history:int -> taken:bool -> int
+val update : t -> addr:int -> taken:bool -> unit

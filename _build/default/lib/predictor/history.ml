@@ -1,0 +1,16 @@
+(* Global branch-history shift register kept in an OCaml int. The most
+   recent outcome is bit 0. *)
+
+type t = { length : int; mask : int }
+
+let make length =
+  if length < 1 || length > 62 then invalid_arg "History.make: 1..62";
+  { length; mask = (1 lsl length) - 1 }
+
+let length t = t.length
+let empty = 0
+let shift t history ~taken =
+  ((history lsl 1) lor (if taken then 1 else 0)) land t.mask
+
+let bit _t history i = (history lsr i) land 1 = 1
+let fold t history = history land t.mask

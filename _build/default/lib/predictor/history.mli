@@ -1,0 +1,15 @@
+(** Global branch-history shift register stored in an [int]. *)
+
+type t
+
+val make : int -> t
+(** [make length] with [1 <= length <= 62]. *)
+
+val length : t -> int
+val empty : int
+val shift : t -> int -> taken:bool -> int
+val bit : t -> int -> int -> bool
+(** [bit t history i] is the outcome [i] branches ago (0 = latest). *)
+
+val fold : t -> int -> int
+(** History masked to the register length. *)

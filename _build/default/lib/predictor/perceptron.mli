@@ -1,0 +1,11 @@
+(** Perceptron branch predictor (Jiménez & Lin, HPCA-7). *)
+
+type t
+
+val create : ?entries:int -> ?history_length:int -> unit -> t
+val history : t -> int
+val predict : t -> addr:int -> bool
+val predict_with_history : t -> history:int -> addr:int -> bool
+val shift : t -> history:int -> taken:bool -> int
+val update : t -> addr:int -> taken:bool -> unit
+(** Train on the architectural outcome and shift the global history. *)

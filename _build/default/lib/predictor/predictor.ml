@@ -1,0 +1,50 @@
+type t = {
+  name : string;
+  predict : addr:int -> bool;
+  update : addr:int -> taken:bool -> unit;
+  history : unit -> int;
+  predict_with_history : history:int -> addr:int -> bool;
+  shift_history : history:int -> taken:bool -> int;
+}
+
+let perceptron ?entries ?history_length () =
+  let p = Perceptron.create ?entries ?history_length () in
+  {
+    name = "perceptron";
+    predict = (fun ~addr -> Perceptron.predict p ~addr);
+    update = (fun ~addr ~taken -> Perceptron.update p ~addr ~taken);
+    history = (fun () -> Perceptron.history p);
+    predict_with_history =
+      (fun ~history ~addr -> Perceptron.predict_with_history p ~history ~addr);
+    shift_history =
+      (fun ~history ~taken -> Perceptron.shift p ~history ~taken);
+  }
+
+let gshare ?log2_entries ?history_length () =
+  let p = Gshare.create ?log2_entries ?history_length () in
+  {
+    name = "gshare";
+    predict = (fun ~addr -> Gshare.predict p ~addr);
+    update = (fun ~addr ~taken -> Gshare.update p ~addr ~taken);
+    history = (fun () -> Gshare.history p);
+    predict_with_history =
+      (fun ~history ~addr -> Gshare.predict_with_history p ~history ~addr);
+    shift_history = (fun ~history ~taken -> Gshare.shift p ~history ~taken);
+  }
+
+let always ~taken =
+  {
+    name = (if taken then "always-taken" else "always-not-taken");
+    predict = (fun ~addr:_ -> taken);
+    update = (fun ~addr:_ ~taken:_ -> ());
+    history = (fun () -> 0);
+    predict_with_history = (fun ~history:_ ~addr:_ -> taken);
+    shift_history = (fun ~history ~taken:_ -> history);
+  }
+
+let of_name = function
+  | "perceptron" -> perceptron ()
+  | "gshare" -> gshare ()
+  | "always-taken" -> always ~taken:true
+  | "always-not-taken" -> always ~taken:false
+  | name -> invalid_arg ("Predictor.of_name: unknown predictor " ^ name)

@@ -1,0 +1,22 @@
+(** Uniform conditional-branch predictor interface.
+
+    [predict]/[update] drive the architectural (correct-path) stream;
+    [predict_with_history]/[shift_history] let the simulator's
+    wrong-path and dynamic-predication fetch engines follow speculative
+    predictions on a private history copy without polluting the tables. *)
+
+type t = {
+  name : string;
+  predict : addr:int -> bool;
+  update : addr:int -> taken:bool -> unit;
+  history : unit -> int;
+  predict_with_history : history:int -> addr:int -> bool;
+  shift_history : history:int -> taken:bool -> int;
+}
+
+val perceptron : ?entries:int -> ?history_length:int -> unit -> t
+(** The paper's baseline: perceptron predictor (Jiménez & Lin). *)
+
+val gshare : ?log2_entries:int -> ?history_length:int -> unit -> t
+val always : taken:bool -> t
+val of_name : string -> t

@@ -1,0 +1,23 @@
+(* Return address stack: a bounded stack; overflow wraps (drops the
+   oldest entry), underflow mispredicts by returning None. *)
+
+type t = { entries : int array; mutable top : int; mutable depth : int }
+
+let create ?(size = 64) () = { entries = Array.make size 0; top = 0; depth = 0 }
+
+let push t addr =
+  let size = Array.length t.entries in
+  t.entries.(t.top) <- addr;
+  t.top <- (t.top + 1) mod size;
+  t.depth <- min size (t.depth + 1)
+
+let pop t =
+  if t.depth = 0 then None
+  else begin
+    let size = Array.length t.entries in
+    t.top <- (t.top + size - 1) mod size;
+    t.depth <- t.depth - 1;
+    Some t.entries.(t.top)
+  end
+
+let depth t = t.depth

@@ -1,0 +1,8 @@
+(** Return address stack. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+val push : t -> int -> unit
+val pop : t -> int option
+val depth : t -> int

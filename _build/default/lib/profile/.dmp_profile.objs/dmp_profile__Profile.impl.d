@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Array Block Dmp_cfg Dmp_exec Dmp_ir Dmp_predictor Emulator Event Func Hashtbl Int Linked List Predictor Program Term

@@ -1,0 +1,1 @@
+lib/profile/profile.mli: Dmp_cfg Dmp_ir Dmp_predictor Linked Predictor

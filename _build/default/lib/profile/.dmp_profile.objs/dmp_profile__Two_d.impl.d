@@ -1,0 +1,1 @@
+lib/profile/two_d.ml: Array Dmp_exec Dmp_predictor Emulator Event Hashtbl List Predictor

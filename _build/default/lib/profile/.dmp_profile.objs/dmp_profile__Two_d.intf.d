@@ -1,0 +1,1 @@
+lib/profile/two_d.mli: Dmp_ir Dmp_predictor Linked Predictor

@@ -1,0 +1,114 @@
+open Dmp_ir
+open Dmp_exec
+open Dmp_predictor
+
+type branch = {
+  mutable executed : int;
+  mutable taken : int;
+  mutable mispredicted : int;
+}
+
+type t = {
+  linked : Linked.t;
+  branch_stats : (int, branch) Hashtbl.t;
+  block_counts : int array array;
+  mutable retired : int;
+}
+
+let stats_for t addr =
+  match Hashtbl.find_opt t.branch_stats addr with
+  | Some s -> s
+  | None ->
+      let s = { executed = 0; taken = 0; mispredicted = 0 } in
+      Hashtbl.replace t.branch_stats addr s;
+      s
+
+let collect ?(predictor = Predictor.perceptron ()) ?(max_insts = max_int)
+    linked ~input =
+  let block_counts =
+    Array.init (Program.num_funcs linked.Linked.program) (fun fi ->
+        Array.make
+          (Func.num_blocks (Program.func linked.Linked.program fi))
+          0)
+  in
+  let t = { linked; branch_stats = Hashtbl.create 256; block_counts;
+            retired = 0 }
+  in
+  let emu = Emulator.create linked ~input in
+  let count_block addr =
+    let fi, bi = Linked.block_of_addr linked addr in
+    block_counts.(fi).(bi) <- block_counts.(fi).(bi) + 1
+  in
+  count_block (Linked.entry_addr linked);
+  Emulator.iter ~max_insts emu (fun e ->
+      (match e.Event.kind with
+      | Event.Branch { taken; _ } ->
+          let s = stats_for t e.Event.addr in
+          s.executed <- s.executed + 1;
+          if taken then s.taken <- s.taken + 1;
+          let predicted = predictor.Predictor.predict ~addr:e.Event.addr in
+          if predicted <> taken then s.mispredicted <- s.mispredicted + 1;
+          predictor.Predictor.update ~addr:e.Event.addr ~taken
+      | Event.Mem _ | Event.Call _ | Event.Return _ | Event.Plain -> ());
+      (* Count entry into the next basic block: any control transfer or a
+         fall into a block boundary. *)
+      if e.Event.next <> Event.halted_next then begin
+        let l = Linked.loc linked e.Event.next in
+        if l.Linked.pos = 0 then count_block e.Event.next
+      end);
+  t.retired <- Emulator.retired emu;
+  t
+
+let retired t = t.retired
+let branch t ~addr = Hashtbl.find_opt t.branch_stats addr
+
+let executed t ~addr =
+  match branch t ~addr with Some s -> s.executed | None -> 0
+
+let taken_prob t ~addr =
+  match branch t ~addr with
+  | Some s when s.executed > 0 -> float_of_int s.taken /. float_of_int s.executed
+  | Some _ | None -> 0.5
+
+let misp_rate t ~addr =
+  match branch t ~addr with
+  | Some s when s.executed > 0 ->
+      float_of_int s.mispredicted /. float_of_int s.executed
+  | Some _ | None -> 0.
+
+let mispredictions t ~addr =
+  match branch t ~addr with Some s -> s.mispredicted | None -> 0
+
+let block_count t ~func ~block = t.block_counts.(func).(block)
+
+let edge_prob t ~func ~block ~dir =
+  let f = Program.func t.linked.Linked.program func in
+  let b = Func.block f block in
+  match (b.Block.term, dir) with
+  | Term.Branch _, Dmp_cfg.Cfg.Taken ->
+      let addr = Linked.block_addr t.linked ~func ~block
+                 + Array.length b.Block.body
+      in
+      taken_prob t ~addr
+  | Term.Branch _, Dmp_cfg.Cfg.Fallthrough ->
+      let addr = Linked.block_addr t.linked ~func ~block
+                 + Array.length b.Block.body
+      in
+      1. -. taken_prob t ~addr
+  | _, Dmp_cfg.Cfg.Always -> 1.
+  | (Term.Jump _ | Term.Ret | Term.Halt), (Dmp_cfg.Cfg.Taken | Dmp_cfg.Cfg.Fallthrough) ->
+      0.
+
+let total_branch_executions t =
+  Hashtbl.fold (fun _ s acc -> acc + s.executed) t.branch_stats 0
+
+let total_mispredictions t =
+  Hashtbl.fold (fun _ s acc -> acc + s.mispredicted) t.branch_stats 0
+
+let mpki t =
+  if t.retired = 0 then 0.
+  else float_of_int (total_mispredictions t) *. 1000. /. float_of_int t.retired
+
+let branch_addrs t =
+  Hashtbl.fold (fun addr _ acc -> addr :: acc) t.branch_stats []
+  |> List.sort Int.compare

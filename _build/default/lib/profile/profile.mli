@@ -1,0 +1,43 @@
+(** Edge/branch profiler.
+
+    Runs the architectural emulator over a profiling input set and
+    records, per static conditional branch: execution count, taken
+    count, and mispredictions under a software profiling predictor.
+    Block execution counts give the edge profile the paper's Alg-freq
+    consumes. *)
+
+open Dmp_ir
+open Dmp_predictor
+
+type branch = {
+  mutable executed : int;
+  mutable taken : int;
+  mutable mispredicted : int;
+}
+
+type t
+
+val collect :
+  ?predictor:Predictor.t -> ?max_insts:int -> Linked.t -> input:int array -> t
+
+val retired : t -> int
+val branch : t -> addr:int -> branch option
+val executed : t -> addr:int -> int
+
+val taken_prob : t -> addr:int -> float
+(** 0.5 for branches never seen during profiling. *)
+
+val misp_rate : t -> addr:int -> float
+val mispredictions : t -> addr:int -> int
+val block_count : t -> func:int -> block:int -> int
+
+val edge_prob : t -> func:int -> block:int -> dir:Dmp_cfg.Cfg.dir -> float
+(** Profiled probability of leaving [block] in direction [dir]. *)
+
+val total_branch_executions : t -> int
+val total_mispredictions : t -> int
+
+val mpki : t -> float
+(** Mispredictions per kilo-instruction under the profiling predictor. *)
+
+val branch_addrs : t -> int list

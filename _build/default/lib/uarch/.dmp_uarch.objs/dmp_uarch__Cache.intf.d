@@ -1,0 +1,1 @@
+lib/uarch/cache.mli: Config

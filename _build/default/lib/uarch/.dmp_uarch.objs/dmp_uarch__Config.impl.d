@@ -1,0 +1,1 @@
+lib/uarch/config.ml: Fmt Printf

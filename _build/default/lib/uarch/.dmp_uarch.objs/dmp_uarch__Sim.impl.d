@@ -1,0 +1,1 @@
+lib/uarch/sim.ml: Annotation Array Cache Conf Config Dmp_core Dmp_exec Dmp_ir Dmp_predictor Emulator Event Linked List Predictor Reg Static_info Stats

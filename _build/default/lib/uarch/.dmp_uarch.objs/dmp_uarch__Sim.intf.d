@@ -1,0 +1,1 @@
+lib/uarch/sim.mli: Annotation Config Dmp_core Dmp_ir Linked Stats

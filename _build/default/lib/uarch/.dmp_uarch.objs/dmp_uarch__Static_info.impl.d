@@ -1,0 +1,1 @@
+lib/uarch/static_info.ml: Array Config Dmp_ir Instr Linked List Reg Term

@@ -1,0 +1,1 @@
+lib/uarch/stats.ml: Fmt

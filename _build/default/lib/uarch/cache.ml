@@ -1,0 +1,80 @@
+(* Set-associative cache with LRU replacement. Tags are stored per set
+   in recency order (most recent first). *)
+
+type t = {
+  log2_sets : int;
+  ways : int;
+  line_shift : int;
+  sets : int list array;  (* line tags, most recently used first *)
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create ~log2_sets ~ways ~line_bytes =
+  let line_shift =
+    let rec go n b = if b <= 1 then n else go (n + 1) (b / 2) in
+    go 0 line_bytes
+  in
+  {
+    log2_sets;
+    ways;
+    line_shift;
+    sets = Array.make (1 lsl log2_sets) [];
+    accesses = 0;
+    misses = 0;
+  }
+
+let access t address =
+  t.accesses <- t.accesses + 1;
+  let line = address asr t.line_shift in
+  let set_index = line land ((1 lsl t.log2_sets) - 1) in
+  let set = t.sets.(set_index) in
+  let hit = List.exists (Int.equal line) set in
+  let set' =
+    if hit then line :: List.filter (fun l -> l <> line) set
+    else begin
+      t.misses <- t.misses + 1;
+      let set = if List.length set >= t.ways then
+          List.filteri (fun i _ -> i < t.ways - 1) set
+        else set
+      in
+      line :: set
+    end
+  in
+  t.sets.(set_index) <- set';
+  hit
+
+let miss_rate t =
+  if t.accesses = 0 then 0.
+  else float_of_int t.misses /. float_of_int t.accesses
+
+type hierarchy = {
+  l1 : t;
+  l2 : t;
+  l1_hit_latency : int;
+  l2_hit_latency : int;
+  memory_latency : int;
+}
+
+let hierarchy (cfg : Config.t) =
+  {
+    l1 =
+      create ~log2_sets:cfg.Config.l1_log2_sets ~ways:cfg.Config.l1_ways
+        ~line_bytes:cfg.Config.line_bytes;
+    l2 =
+      create ~log2_sets:cfg.Config.l2_log2_sets ~ways:cfg.Config.l2_ways
+        ~line_bytes:cfg.Config.line_bytes;
+    l1_hit_latency = cfg.Config.l1_hit_latency;
+    l2_hit_latency = cfg.Config.l2_hit_latency;
+    memory_latency = cfg.Config.memory_latency;
+  }
+
+let load_latency h address =
+  if access h.l1 address then h.l1_hit_latency
+  else if access h.l2 address then h.l2_hit_latency
+  else h.memory_latency
+
+let store h address =
+  (* Stores allocate but complete through the write buffer. *)
+  ignore (access h.l1 address);
+  ignore (access h.l2 address)

@@ -1,0 +1,25 @@
+(** Set-associative LRU caches and a two-level + memory hierarchy. *)
+
+type t
+
+val create : log2_sets:int -> ways:int -> line_bytes:int -> t
+
+val access : t -> int -> bool
+(** Touch the line containing the byte address; true on hit. *)
+
+val miss_rate : t -> float
+
+type hierarchy = {
+  l1 : t;
+  l2 : t;
+  l1_hit_latency : int;
+  l2_hit_latency : int;
+  memory_latency : int;
+}
+
+val hierarchy : Config.t -> hierarchy
+
+val load_latency : hierarchy -> int -> int
+(** Latency of a load to the given address, updating cache state. *)
+
+val store : hierarchy -> int -> unit

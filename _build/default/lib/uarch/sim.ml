@@ -1,0 +1,709 @@
+(* Cycle-level execution-driven simulator of the baseline processor and
+   the diverge-merge processor (DMP).
+
+   The correct path comes from the architectural emulator's event
+   stream; wrong-path and dynamically-predicated wrong-side fetch walk
+   the static code under the branch predictor with a speculative history
+   copy. Timing comes from a dataflow model: every fetched instruction
+   dispatches [front_depth] cycles after fetch, starts when its source
+   registers are ready, and completes after its latency (loads ask the
+   cache hierarchy). Retirement is in-order through a reorder buffer;
+   fetch stalls when the ROB is full.
+
+   Modelling simplifications (documented in DESIGN.md):
+   - ordinary wrong-path fetch after a misprediction is a fetch bubble
+     until the branch resolves (wrong-path µops are not executed);
+   - inside dpred-mode the correct side follows the architectural trace
+     (paper Section 4.4, assumption 2);
+   - wrong-side loads are treated as L1 hits and do not pollute the
+     cache;
+   - the I-cache always hits (paper Section 4.4, assumption 1). *)
+
+open Dmp_ir
+open Dmp_exec
+open Dmp_predictor
+open Dmp_core
+
+type walker = {
+  mutable w_pc : int;
+  mutable w_hist : int;
+  mutable w_stack : int list;
+  mutable w_count : int;
+  mutable w_dead : bool;
+}
+
+type dpred = {
+  d_branch_addr : int;
+  d_done : int;  (* resolution cycle of the diverge branch *)
+  d_mispredicted : bool;
+  d_cfms : (int * int) list;  (* (cfm addr, select-µop count) *)
+  d_return_cfm : bool;
+  d_ret_selects : int;
+  mutable d_correct_stop : int;  (* -1 active; -2 return; else CFM addr *)
+  mutable d_wrong_stop : int;
+  d_wrong : walker;
+  mutable d_turn : bool;  (* true: correct side fetches this cycle *)
+}
+
+type loop_dpred = {
+  l_branch_addr : int;
+  l_exit_target : int;
+  l_selects : int;
+  l_body_insts : int;
+  l_exit_taken : bool;  (* direction that leaves the loop *)
+  mutable l_iterations : int;
+}
+
+type mode = M_normal | M_dpred of dpred | M_loop of loop_dpred
+
+(* Misprediction recovery: until the branch resolves, the front end
+   keeps fetching down the wrong path, polluting the reorder buffer;
+   at resolution those entries are squashed from the tail. *)
+type recovery = {
+  r_done : int;
+  r_walker : walker;
+  mutable r_pushed : int;
+}
+
+type t = {
+  config : Config.t;
+  linked : Linked.t;
+  sinfo : Static_info.t;
+  annotation : Annotation.t;
+  emu : Emulator.t;
+  predictor : Predictor.t;
+  conf : Conf.t;
+  hier : Cache.hierarchy;
+  stats : Stats.t;
+  (* Reorder buffer: completion cycles in fetch order. *)
+  rob : int array;
+  mutable rob_head : int;
+  mutable rob_count : int;
+  reg_ready : int array;
+  mutable cycle : int;
+  mutable fetch_resume : int;
+  mutable select_pending : int;
+  mutable pending : Event.t option;
+  mutable trace_done : bool;
+  mutable mode : mode;
+  mutable recovery : recovery option;
+  max_insts : int;
+  mutable consumed : int;
+}
+
+let create ?(config = Config.baseline) ?annotation ?(max_insts = max_int)
+    linked ~input =
+  let annotation =
+    match annotation with Some a -> a | None -> Annotation.empty ()
+  in
+  {
+    config;
+    linked;
+    sinfo = Static_info.of_linked linked;
+    annotation;
+    emu = Emulator.create linked ~input;
+    predictor = Predictor.of_name config.Config.predictor;
+    conf =
+      Conf.create ~log2_entries:config.Config.conf_log2_entries
+        ~history_length:config.Config.conf_history_length
+        ~threshold:config.Config.conf_threshold ();
+    hier = Cache.hierarchy config;
+    stats = Stats.create ();
+    rob = Array.make config.Config.rob_size 0;
+    rob_head = 0;
+    rob_count = 0;
+    reg_ready = Array.make Reg.count 0;
+    cycle = 0;
+    fetch_resume = 0;
+    select_pending = 0;
+    pending = None;
+    trace_done = false;
+    mode = M_normal;
+    recovery = None;
+    max_insts;
+    consumed = 0;
+  }
+
+(* ---------- trace supply ---------- *)
+
+let peek t =
+  match t.pending with
+  | Some _ as e -> e
+  | None ->
+      if t.consumed >= t.max_insts then begin
+        t.trace_done <- true;
+        None
+      end
+      else begin
+        (match Emulator.step t.emu with
+        | Some e -> t.pending <- Some e
+        | None -> t.trace_done <- true);
+        t.pending
+      end
+
+let consume t =
+  match peek t with
+  | None -> None
+  | Some e ->
+      t.pending <- None;
+      t.consumed <- t.consumed + 1;
+      Some e
+
+(* ---------- reorder buffer ---------- *)
+
+let rob_full t = t.rob_count >= Array.length t.rob
+
+let rob_push t done_cycle =
+  let i = (t.rob_head + t.rob_count) mod Array.length t.rob in
+  t.rob.(i) <- done_cycle;
+  t.rob_count <- t.rob_count + 1
+
+let retire t =
+  let n = ref 0 in
+  while
+    !n < t.config.Config.retire_width
+    && t.rob_count > 0
+    && t.rob.(t.rob_head) <= t.cycle
+  do
+    t.rob_head <- (t.rob_head + 1) mod Array.length t.rob;
+    t.rob_count <- t.rob_count - 1;
+    incr n
+  done
+
+(* ---------- dataflow timing ---------- *)
+
+let complete t ~(info : Static_info.info) ~mem_location =
+  let disp = t.cycle + t.config.Config.front_depth in
+  let ready =
+    Array.fold_left
+      (fun acc r -> max acc t.reg_ready.(r))
+      disp info.Static_info.srcs
+  in
+  let latency =
+    match info.Static_info.klass with
+    | Static_info.K_load -> (
+        match mem_location with
+        | Some a -> Cache.load_latency t.hier a
+        | None -> t.config.Config.l1_hit_latency)
+    | Static_info.K_store ->
+        (match mem_location with
+        | Some a -> Cache.store t.hier a
+        | None -> ());
+        t.config.Config.store_latency
+    | k -> Static_info.latency t.config k
+  in
+  let done_cycle = max ready disp + latency in
+  if info.Static_info.dst >= 0 then
+    t.reg_ready.(info.Static_info.dst) <- done_cycle;
+  done_cycle
+
+let predicated_done t = t.cycle + t.config.Config.front_depth + 1
+
+(* ---------- wrong-side walker ---------- *)
+
+let make_walker t ~start ~hist =
+  ignore t;
+  { w_pc = start; w_hist = hist; w_stack = []; w_count = 0; w_dead = false }
+
+(* Advance the walker by one instruction; returns true when an
+   instruction was emitted (pushed into the ROB with completion time
+   [done_cycle]), false when the walker died. The caller checks stop
+   conditions (CFM, return) before calling. *)
+let walker_step t (w : walker) ~done_cycle =
+  if w.w_dead then false
+  else begin
+    let info = Static_info.get t.sinfo w.w_pc in
+    rob_push t done_cycle;
+    t.stats.Stats.wrong_side_insts <- t.stats.Stats.wrong_side_insts + 1;
+    w.w_count <- w.w_count + 1;
+    if w.w_count > t.config.Config.max_walk_insts then w.w_dead <- true
+    else begin
+      (match info.Static_info.klass with
+      | Static_info.K_branch ->
+          let taken =
+            t.predictor.Predictor.predict_with_history ~history:w.w_hist
+              ~addr:w.w_pc
+          in
+          w.w_hist <- t.predictor.Predictor.shift_history ~history:w.w_hist
+              ~taken;
+          w.w_pc <-
+            (if taken then info.Static_info.taken_addr
+             else info.Static_info.fall_addr)
+      | Static_info.K_jump -> w.w_pc <- info.Static_info.taken_addr
+      | Static_info.K_call ->
+          w.w_stack <- info.Static_info.fall_addr :: w.w_stack;
+          w.w_pc <- info.Static_info.taken_addr
+      | Static_info.K_ret -> (
+          match w.w_stack with
+          | a :: rest ->
+              w.w_stack <- rest;
+              w.w_pc <- a
+          | [] -> w.w_dead <- true)
+      | Static_info.K_halt -> w.w_dead <- true
+      | Static_info.K_int | Static_info.K_mul | Static_info.K_div
+      | Static_info.K_load | Static_info.K_store | Static_info.K_other ->
+          w.w_pc <- w.w_pc + 1)
+    end;
+    true
+  end
+
+(* ---------- branch bookkeeping ---------- *)
+
+type branch_outcome = {
+  b_mispredicted : bool;
+  b_low_confidence : bool;
+  b_done : int;
+  b_pre_history : int;
+}
+
+let process_cond_branch t e ~(info : Static_info.info) =
+  let addr = e.Event.addr in
+  let taken = match e.Event.kind with
+    | Event.Branch { taken; _ } -> taken
+    | _ -> assert false
+  in
+  let pre_history = t.predictor.Predictor.history () in
+  let predicted = t.predictor.Predictor.predict ~addr in
+  let est = Conf.estimate t.conf ~addr in
+  let mispredicted = predicted <> taken in
+  t.predictor.Predictor.update ~addr ~taken;
+  Conf.update t.conf ~addr ~taken ~mispredicted;
+  t.stats.Stats.cond_branches <- t.stats.Stats.cond_branches + 1;
+  if mispredicted then
+    t.stats.Stats.mispredictions <- t.stats.Stats.mispredictions + 1;
+  let low = Conf.is_low est in
+  if low then begin
+    t.stats.Stats.low_confidence <- t.stats.Stats.low_confidence + 1;
+    if mispredicted then
+      t.stats.Stats.low_confidence_mispredicted <-
+        t.stats.Stats.low_confidence_mispredicted + 1
+  end;
+  let b_done = complete t ~info ~mem_location:None in
+  rob_push t b_done;
+  { b_mispredicted = mispredicted; b_low_confidence = low; b_done;
+    b_pre_history = pre_history }
+
+let normal_flush ?wrong_path t ~done_cycle =
+  t.stats.Stats.flushes <- t.stats.Stats.flushes + 1;
+  t.fetch_resume <- max t.fetch_resume (done_cycle + 1);
+  match wrong_path with
+  | Some (start, hist) when done_cycle > t.cycle ->
+      t.recovery <-
+        Some
+          {
+            r_done = done_cycle;
+            r_walker = make_walker t ~start ~hist;
+            r_pushed = 0;
+          }
+  | Some _ | None -> ()
+
+(* ---------- dpred entry ---------- *)
+
+let enter_hammock_dpred t e (d : Annotation.diverge) (o : branch_outcome) =
+  let taken = match e.Event.kind with
+    | Event.Branch { taken; _ } -> taken
+    | _ -> assert false
+  in
+  let info = Static_info.get t.sinfo e.Event.addr in
+  let wrong_start =
+    if taken then info.Static_info.fall_addr else info.Static_info.taken_addr
+  in
+  let wrong_hist =
+    t.predictor.Predictor.shift_history ~history:o.b_pre_history
+      ~taken:(not taken)
+  in
+  let cfms, ret_selects =
+    List.fold_left
+      (fun (cfms, rs) (c : Annotation.cfm) ->
+        if c.Annotation.cfm_addr >= 0 then
+          ((c.Annotation.cfm_addr, c.Annotation.select_uops) :: cfms, rs)
+        else (cfms, c.Annotation.select_uops))
+      ([], 4) d.Annotation.cfms
+  in
+  t.stats.Stats.dpred_entries <- t.stats.Stats.dpred_entries + 1;
+  t.stats.Stats.dpred_hammock_entries <-
+    t.stats.Stats.dpred_hammock_entries + 1;
+  if not o.b_mispredicted then
+    t.stats.Stats.dpred_useless_entries <-
+      t.stats.Stats.dpred_useless_entries + 1;
+  t.mode <-
+    M_dpred
+      {
+        d_branch_addr = e.Event.addr;
+        d_done = o.b_done;
+        d_mispredicted = o.b_mispredicted;
+        d_cfms = cfms;
+        d_return_cfm = d.Annotation.return_cfm;
+        d_ret_selects = ret_selects;
+        d_correct_stop = -1;
+        d_wrong_stop = -1;
+        d_wrong = make_walker t ~start:wrong_start ~hist:wrong_hist;
+        d_turn = true;
+      }
+
+(* Predict the number of phantom extra iterations the predictor would
+   fetch after the actual loop exit: follows the speculative history
+   until the loop branch is predicted in the exit direction. *)
+let phantom_extra_iterations t ~addr ~pre_history ~exit_taken ~cap =
+  let rec go hist n =
+    if n >= cap then n
+    else
+      let p =
+        t.predictor.Predictor.predict_with_history ~history:hist ~addr
+      in
+      if p = exit_taken then n
+      else
+        let hist' = t.predictor.Predictor.shift_history ~history:hist
+            ~taken:p
+        in
+        go hist' (n + 1)
+  in
+  go
+    (t.predictor.Predictor.shift_history ~history:pre_history
+       ~taken:(not exit_taken))
+    0
+
+(* Handle one execution of a diverge loop branch while in (or entering)
+   loop dpred-mode. Returns [`Stay] to remain in loop mode. *)
+let loop_branch_event t (l : loop_dpred) e (o : branch_outcome) =
+  let taken = match e.Event.kind with
+    | Event.Branch { taken; _ } -> taken
+    | _ -> assert false
+  in
+  let actual_exits = taken = l.l_exit_taken in
+  let predicted_taken = taken <> o.b_mispredicted in
+  let predicted_exits = predicted_taken = l.l_exit_taken in
+  (* Select-µops are inserted after every dynamically-predicated
+     iteration (Equation 18). *)
+  t.select_pending <- t.select_pending + l.l_selects;
+  l.l_iterations <- l.l_iterations + 1;
+  match (actual_exits, predicted_exits) with
+  | false, false -> `Stay
+  | false, true ->
+      (* Early exit: the predicated loop stopped too soon; pipeline is
+         flushed when the branch resolves. *)
+      t.stats.Stats.loop_early_exits <- t.stats.Stats.loop_early_exits + 1;
+      normal_flush t ~done_cycle:o.b_done;
+      `Exit
+  | true, true ->
+      t.stats.Stats.loop_correct <- t.stats.Stats.loop_correct + 1;
+      `Exit
+  | true, false ->
+      (* The predictor would keep iterating: late exit if it predicts
+         the exit within the resolution window, no-exit otherwise. *)
+      let cap = t.config.Config.max_loop_extra_iterations in
+      let extra =
+        phantom_extra_iterations t ~addr:e.Event.addr
+          ~pre_history:o.b_pre_history ~exit_taken:l.l_exit_taken ~cap
+      in
+      let per_iter_cycles =
+        (l.l_body_insts + l.l_selects + t.config.Config.fetch_width - 1)
+        / t.config.Config.fetch_width
+      in
+      let fetch_after = t.cycle + (extra * per_iter_cycles) in
+      if extra < cap && fetch_after < o.b_done then begin
+        t.stats.Stats.loop_late_exits <- t.stats.Stats.loop_late_exits + 1;
+        t.stats.Stats.loop_extra_insts <-
+          t.stats.Stats.loop_extra_insts + (extra * l.l_body_insts);
+        t.stats.Stats.dpred_flushes_avoided <-
+          t.stats.Stats.dpred_flushes_avoided + 1;
+        t.fetch_resume <- max t.fetch_resume fetch_after
+      end
+      else begin
+        t.stats.Stats.loop_no_exits <- t.stats.Stats.loop_no_exits + 1;
+        normal_flush t ~done_cycle:o.b_done
+      end;
+      `Exit
+
+let enter_loop_dpred t e (d : Annotation.diverge) (o : branch_outcome) =
+  match d.Annotation.loop with
+  | None -> false
+  | Some li ->
+      let info = Static_info.get t.sinfo e.Event.addr in
+      let exit_taken =
+        info.Static_info.taken_addr = li.Annotation.exit_target_addr
+      in
+      let l =
+        {
+          l_branch_addr = e.Event.addr;
+          l_exit_target = li.Annotation.exit_target_addr;
+          l_selects = li.Annotation.loop_select_uops;
+          l_body_insts = li.Annotation.body_insts;
+          l_exit_taken = exit_taken;
+          l_iterations = 0;
+        }
+      in
+      t.stats.Stats.dpred_entries <- t.stats.Stats.dpred_entries + 1;
+      t.stats.Stats.dpred_loop_entries <-
+        t.stats.Stats.dpred_loop_entries + 1;
+      (match loop_branch_event t l e o with
+      | `Stay -> t.mode <- M_loop l
+      | `Exit -> ());
+      true
+
+(* ---------- per-cycle fetch ---------- *)
+
+exception Stop_fetch
+
+(* Fetch correct-path (trace) instructions for one cycle. [in_dpred]
+   carries the dpred state when the correct side is one of the two
+   predicated paths. Returns unit; updates all machine state. *)
+let fetch_trace_cycle t ~(in_dpred : dpred option) =
+  let slots = ref t.config.Config.fetch_width in
+  let branches = ref 0 in
+  (try
+     while !slots > 0 do
+       if t.select_pending > 0 then begin
+         if rob_full t then raise Stop_fetch;
+         rob_push t (t.cycle + t.config.Config.front_depth
+                     + t.config.Config.select_uop_latency);
+         t.select_pending <- t.select_pending - 1;
+         t.stats.Stats.select_uops <- t.stats.Stats.select_uops + 1;
+         decr slots
+       end
+       else if rob_full t then raise Stop_fetch
+       else begin
+         (match (in_dpred, peek t) with
+         | Some d, Some e ->
+             (* Stop the correct side at a CFM point before fetching it. *)
+             if List.exists (fun (a, _) -> a = e.Event.addr) d.d_cfms
+             then begin
+               d.d_correct_stop <- e.Event.addr;
+               raise Stop_fetch
+             end
+         | _, _ -> ());
+         match consume t with
+         | None -> raise Stop_fetch
+         | Some e ->
+             (* Loop dpred-mode ends when the trace reaches the loop's
+                exit target through any path. *)
+             (match t.mode with
+             | M_loop l when e.Event.addr = l.l_exit_target ->
+                 t.mode <- M_normal
+             | M_loop _ | M_normal | M_dpred _ -> ());
+             let info = Static_info.get t.sinfo e.Event.addr in
+             (match info.Static_info.klass with
+             | Static_info.K_branch ->
+                 incr branches;
+                 let o = process_cond_branch t e ~info in
+                 decr slots;
+                 (* Diverge-branch decisions only apply outside
+                    dpred-mode (DMP predicates one branch at a time). *)
+                 let handled =
+                   match (in_dpred, t.mode) with
+                   | None, M_normal
+                     when t.config.Config.dmp_enabled -> (
+                       match Annotation.find t.annotation e.Event.addr with
+                       | Some d -> (
+                           match d.Annotation.kind with
+                           | Annotation.Loop_branch ->
+                               if o.b_low_confidence then
+                                 enter_loop_dpred t e d o
+                               else false
+                           | Annotation.Simple_hammock
+                           | Annotation.Nested_hammock
+                           | Annotation.Frequently_hammock ->
+                               if o.b_low_confidence
+                                  || d.Annotation.always_predicate
+                               then begin
+                                 enter_hammock_dpred t e d o;
+                                 true
+                               end
+                               else false)
+                       | None -> false)
+                   | None, M_loop l -> (
+                       if e.Event.addr = l.l_branch_addr then begin
+                         match loop_branch_event t l e o with
+                         | `Stay -> true
+                         | `Exit ->
+                             t.mode <- M_normal;
+                             true
+                       end
+                       else false)
+                   | _, _ -> false
+                 in
+                 if handled then raise Stop_fetch;
+                 if o.b_mispredicted then begin
+                   (* Inside dpred-mode an inner misprediction also
+                      flushes and aborts predication. *)
+                   (match (in_dpred, t.mode) with
+                   | Some _, _ -> t.mode <- M_normal
+                   | None, M_loop _ -> t.mode <- M_normal
+                   | None, (M_normal | M_dpred _) -> ());
+                   let wrong_path =
+                     match e.Event.kind with
+                     | Event.Branch { taken; target; fall } ->
+                         let start = if taken then fall else target in
+                         let hist =
+                           t.predictor.Predictor.shift_history
+                             ~history:o.b_pre_history ~taken:(not taken)
+                         in
+                         Some (start, hist)
+                     | _ -> None
+                   in
+                   normal_flush ?wrong_path t ~done_cycle:o.b_done;
+                   raise Stop_fetch
+                 end;
+                 if !branches >= t.config.Config.max_branches_per_cycle
+                 then raise Stop_fetch;
+                 (match e.Event.kind with
+                 | Event.Branch { taken = true; _ } -> raise Stop_fetch
+                 | _ -> ())
+             | Static_info.K_ret ->
+                 let d = complete t ~info ~mem_location:None in
+                 rob_push t d;
+                 decr slots;
+                 (match in_dpred with
+                 | Some dp when dp.d_return_cfm ->
+                     dp.d_correct_stop <- -2;
+                     raise Stop_fetch
+                 | _ -> ());
+                 if e.Event.next <> e.Event.addr + 1 then raise Stop_fetch
+             | _ ->
+                 let mem_location =
+                   match e.Event.kind with
+                   | Event.Mem { location; _ } -> Some location
+                   | _ -> None
+                 in
+                 let d = complete t ~info ~mem_location in
+                 rob_push t d;
+                 decr slots;
+                 (* Taken control transfers end the fetch cycle, except
+                    fall-through jumps to the next address. *)
+                 if e.Event.next <> e.Event.addr + 1
+                    && e.Event.next <> Event.halted_next
+                 then raise Stop_fetch)
+       end
+     done
+   with Stop_fetch -> ())
+
+(* Fetch wrong-side (walker) instructions for one cycle during
+   dpred-mode. *)
+let fetch_walker_cycle t (d : dpred) =
+  let w = d.d_wrong in
+  let slots = ref t.config.Config.fetch_width in
+  (try
+     while !slots > 0 do
+       if w.w_dead then raise Stop_fetch;
+       if rob_full t then raise Stop_fetch;
+       if List.exists (fun (a, _) -> a = w.w_pc) d.d_cfms then begin
+         d.d_wrong_stop <- w.w_pc;
+         raise Stop_fetch
+       end;
+       let info = Static_info.get t.sinfo w.w_pc in
+       let was_ret = info.Static_info.klass = Static_info.K_ret in
+       if not (walker_step t w ~done_cycle:(predicated_done t)) then
+         raise Stop_fetch;
+       decr slots;
+       if was_ret && d.d_return_cfm then begin
+         d.d_wrong_stop <- -2;
+         raise Stop_fetch
+       end
+     done
+   with Stop_fetch -> ())
+
+(* ---------- dpred-mode per-cycle driver ---------- *)
+
+let exit_dpred t (d : dpred) ~merged =
+  if merged then begin
+    t.stats.Stats.dpred_merges <- t.stats.Stats.dpred_merges + 1;
+    let selects =
+      if d.d_correct_stop = -2 then d.d_ret_selects
+      else
+        match List.assoc_opt d.d_correct_stop d.d_cfms with
+        | Some n -> n
+        | None -> 0
+    in
+    t.select_pending <- t.select_pending + selects
+  end
+  else
+    t.stats.Stats.dpred_resolved_before_merge <-
+      t.stats.Stats.dpred_resolved_before_merge + 1;
+  if d.d_mispredicted then
+    t.stats.Stats.dpred_flushes_avoided <-
+      t.stats.Stats.dpred_flushes_avoided + 1;
+  t.mode <- M_normal
+
+let dpred_cycle t (d : dpred) =
+  (* Merge: both sides stopped at the same CFM point (or both at a
+     return when the branch has a return CFM). *)
+  if d.d_correct_stop <> -1 && d.d_correct_stop = d.d_wrong_stop then
+    exit_dpred t d ~merged:true
+  else if t.cycle >= d.d_done then
+    (* The diverge branch resolved: predicated-FALSE instructions become
+       NOPs; fetch continues on the correct path with no flush. *)
+    exit_dpred t d ~merged:false
+  else begin
+    let correct_active = d.d_correct_stop = -1 && not t.trace_done in
+    let wrong_active = d.d_wrong_stop = -1 && not d.d_wrong.w_dead in
+    let pick_correct =
+      match (correct_active, wrong_active) with
+      | true, false -> true
+      | false, true -> false
+      | _, _ -> d.d_turn
+    in
+    d.d_turn <- not d.d_turn;
+    if correct_active || wrong_active then
+      if pick_correct && correct_active then
+        fetch_trace_cycle t ~in_dpred:(Some d)
+      else if wrong_active then fetch_walker_cycle t d
+  end
+
+(* ---------- main loop ---------- *)
+
+let finished t = t.trace_done && t.rob_count = 0 && t.pending = None
+
+(* Wrong-path fetch between a misprediction and its resolution: pollute
+   the ROB with entries that never complete; squash them from the tail
+   at resolution. *)
+let recovery_cycle t (r : recovery) =
+  if t.cycle >= r.r_done then begin
+    t.rob_count <- t.rob_count - r.r_pushed;
+    t.recovery <- None
+  end
+  else begin
+    let budget = ref t.config.Config.fetch_width in
+    while
+      !budget > 0 && (not r.r_walker.w_dead) && not (rob_full t)
+    do
+      if walker_step t r.r_walker ~done_cycle:max_int then
+        r.r_pushed <- r.r_pushed + 1
+      else budget := 0;
+      decr budget
+    done
+  end
+
+let run_to_completion t =
+  let guard = ref 0 in
+  let max_cycles = 400_000_000 in
+  while (not (finished t)) && !guard < max_cycles do
+    incr guard;
+    t.cycle <- t.cycle + 1;
+    retire t;
+    if rob_full t then
+      t.stats.Stats.rob_full_cycles <- t.stats.Stats.rob_full_cycles + 1;
+    (match t.mode with
+    | M_dpred _ ->
+        t.stats.Stats.dpred_cycles <- t.stats.Stats.dpred_cycles + 1
+    | M_normal | M_loop _ -> ());
+    match t.recovery with
+    | Some r ->
+        t.stats.Stats.recovery_cycles <- t.stats.Stats.recovery_cycles + 1;
+        recovery_cycle t r
+    | None ->
+        if t.cycle >= t.fetch_resume then begin
+          match t.mode with
+          | M_normal | M_loop _ ->
+              if not t.trace_done then fetch_trace_cycle t ~in_dpred:None
+          | M_dpred d -> dpred_cycle t d
+        end
+  done;
+  t.stats.Stats.cycles <- t.cycle;
+  t.stats.Stats.retired <- t.consumed;
+  t.stats
+
+let run ?config ?annotation ?max_insts linked ~input =
+  let t = create ?config ?annotation ?max_insts linked ~input in
+  run_to_completion t
+
+let stats t = t.stats

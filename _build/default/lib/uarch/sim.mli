@@ -1,0 +1,36 @@
+(** Cycle-level execution-driven simulator of the baseline processor
+    and the diverge-merge processor.
+
+    The correct path comes from the architectural emulator's event
+    stream; wrong-path and dynamically-predicated wrong-side fetch walk
+    the static code under the branch predictor with a speculative
+    history copy. Timing comes from a dataflow model (dispatch
+    [front_depth] cycles after fetch; start when source registers are
+    ready; loads ask the cache hierarchy) with in-order retirement
+    through a reorder buffer.
+
+    With [config.dmp_enabled] and an annotation, fetching a
+    low-confidence (or always-predicate) diverge branch enters
+    dpred-mode: both paths are fetched in alternate cycles until they
+    reach the same CFM point (select-µops are then inserted) or the
+    branch resolves — either way without a pipeline flush. Loop diverge
+    branches use the iteration-oriented mechanism with the paper's
+    correct / early-exit / late-exit / no-exit cases. *)
+
+open Dmp_ir
+open Dmp_core
+
+type t
+
+val create :
+  ?config:Config.t -> ?annotation:Annotation.t -> ?max_insts:int ->
+  Linked.t -> input:int array -> t
+
+val run_to_completion : t -> Stats.t
+
+val run :
+  ?config:Config.t -> ?annotation:Annotation.t -> ?max_insts:int ->
+  Linked.t -> input:int array -> Stats.t
+(** Convenience: [create] + [run_to_completion]. *)
+
+val stats : t -> Stats.t

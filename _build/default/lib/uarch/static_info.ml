@@ -1,0 +1,95 @@
+(* Per-address static metadata precomputed from the linked program so
+   the per-cycle simulator loop avoids list allocation. *)
+
+open Dmp_ir
+
+type klass =
+  | K_int
+  | K_mul
+  | K_div
+  | K_load
+  | K_store
+  | K_branch
+  | K_jump
+  | K_call
+  | K_ret
+  | K_halt
+  | K_other
+
+type info = {
+  klass : klass;
+  srcs : int array;  (* register numbers *)
+  dst : int;  (* -1 when none *)
+  taken_addr : int;  (* -1 unless branch/jump/call *)
+  fall_addr : int;  (* -1 unless branch; addr+1 for call *)
+}
+
+type t = { infos : info array; linked : Linked.t }
+
+let regs_of l = Array.of_list (List.map Reg.to_int l)
+
+let info_of_loc linked (l : Linked.loc) =
+  let no = -1 in
+  match l.Linked.slot with
+  | Linked.Body ins ->
+      let klass =
+        match ins with
+        | Instr.Alu { op = Instr.Mul; _ } -> K_mul
+        | Instr.Alu { op = Instr.Div | Instr.Rem; _ } -> K_div
+        | Instr.Alu _ | Instr.Li _ | Instr.Mov _ -> K_int
+        | Instr.Load _ -> K_load
+        | Instr.Store _ -> K_store
+        | Instr.Call _ -> K_call
+        | Instr.Read _ | Instr.Write _ | Instr.Nop -> K_other
+      in
+      let taken_addr, fall_addr =
+        match ins with
+        | Instr.Call { callee } ->
+            ( Linked.func_entry linked (Linked.func_of_name linked callee),
+              l.Linked.addr + 1 )
+        | _ -> (no, no)
+      in
+      let dst =
+        match Instr.defs ins with r :: _ -> Reg.to_int r | [] -> no
+      in
+      { klass; srcs = regs_of (Instr.uses ins); dst; taken_addr; fall_addr }
+  | Linked.Term tm -> (
+      match tm with
+      | Term.Branch _ ->
+          let taken, fall =
+            match Linked.branch_targets linked l with
+            | Some tf -> tf
+            | None -> (no, no)
+          in
+          { klass = K_branch; srcs = regs_of (Term.uses tm); dst = no;
+            taken_addr = taken; fall_addr = fall }
+      | Term.Jump _ ->
+          let target =
+            match Linked.jump_target linked l with Some a -> a | None -> no
+          in
+          { klass = K_jump; srcs = [||]; dst = no; taken_addr = target;
+            fall_addr = no }
+      | Term.Ret ->
+          { klass = K_ret; srcs = [||]; dst = no; taken_addr = no;
+            fall_addr = no }
+      | Term.Halt ->
+          { klass = K_halt; srcs = [||]; dst = no; taken_addr = no;
+            fall_addr = no })
+
+let of_linked linked =
+  {
+    infos = Array.map (info_of_loc linked) linked.Linked.locs;
+    linked;
+  }
+
+let get t addr = t.infos.(addr)
+let size t = Array.length t.infos
+
+let latency (cfg : Config.t) = function
+  | K_int | K_other | K_jump | K_call | K_ret | K_halt ->
+      cfg.Config.int_latency
+  | K_mul -> cfg.Config.mul_latency
+  | K_div -> cfg.Config.div_latency
+  | K_load -> cfg.Config.l1_hit_latency (* refined by the cache model *)
+  | K_store -> cfg.Config.store_latency
+  | K_branch -> cfg.Config.int_latency

@@ -1,0 +1,88 @@
+type t = {
+  mutable cycles : int;
+  mutable retired : int;
+  mutable cond_branches : int;
+  mutable mispredictions : int;
+  mutable flushes : int;
+  mutable low_confidence : int;
+  mutable low_confidence_mispredicted : int;
+  (* DMP counters. *)
+  mutable dpred_entries : int;
+  mutable dpred_hammock_entries : int;
+  mutable dpred_loop_entries : int;
+  mutable dpred_merges : int;
+  mutable dpred_resolved_before_merge : int;
+  mutable dpred_flushes_avoided : int;
+  mutable dpred_useless_entries : int;
+  mutable select_uops : int;
+  mutable wrong_side_insts : int;
+  mutable loop_early_exits : int;
+  mutable loop_late_exits : int;
+  mutable loop_no_exits : int;
+  mutable loop_correct : int;
+  mutable loop_extra_insts : int;
+  (* Cycle breakdown. *)
+  mutable dpred_cycles : int;
+  mutable recovery_cycles : int;
+  mutable rob_full_cycles : int;
+}
+
+let create () =
+  {
+    cycles = 0;
+    retired = 0;
+    cond_branches = 0;
+    mispredictions = 0;
+    flushes = 0;
+    low_confidence = 0;
+    low_confidence_mispredicted = 0;
+    dpred_entries = 0;
+    dpred_hammock_entries = 0;
+    dpred_loop_entries = 0;
+    dpred_merges = 0;
+    dpred_resolved_before_merge = 0;
+    dpred_flushes_avoided = 0;
+    dpred_useless_entries = 0;
+    select_uops = 0;
+    wrong_side_insts = 0;
+    loop_early_exits = 0;
+    loop_late_exits = 0;
+    loop_no_exits = 0;
+    loop_correct = 0;
+    loop_extra_insts = 0;
+    dpred_cycles = 0;
+    recovery_cycles = 0;
+    rob_full_cycles = 0;
+  }
+
+let ipc t =
+  if t.cycles = 0 then 0. else float_of_int t.retired /. float_of_int t.cycles
+
+let mpki t =
+  if t.retired = 0 then 0.
+  else float_of_int t.mispredictions *. 1000. /. float_of_int t.retired
+
+let flushes_per_ki t =
+  if t.retired = 0 then 0.
+  else float_of_int t.flushes *. 1000. /. float_of_int t.retired
+
+let confidence_pvn t =
+  if t.low_confidence = 0 then 0.
+  else
+    float_of_int t.low_confidence_mispredicted
+    /. float_of_int t.low_confidence
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>cycles=%d retired=%d ipc=%.3f@,\
+     branches=%d mispredicted=%d (mpki %.2f) flushes=%d@,\
+     dpred: entries=%d (hammock %d, loop %d) merges=%d resolved-first=%d@,\
+     flushes-avoided=%d useless=%d selects=%d wrong-side=%d@,\
+     loop: correct=%d early=%d late=%d no-exit=%d extra-insts=%d@]"
+    t.cycles t.retired (ipc t) t.cond_branches t.mispredictions (mpki t)
+    t.flushes t.dpred_entries t.dpred_hammock_entries t.dpred_loop_entries
+    t.dpred_merges t.dpred_resolved_before_merge t.dpred_flushes_avoided
+    t.dpred_useless_entries t.select_uops t.wrong_side_insts t.loop_correct
+    t.loop_early_exits t.loop_late_exits t.loop_no_exits t.loop_extra_insts;
+  Fmt.pf ppf "@,cycles: dpred=%d recovery=%d rob-full=%d" t.dpred_cycles
+    t.recovery_cycles t.rob_full_cycles

@@ -1,0 +1,43 @@
+(** Simulation statistics. All counters are cumulative over one run. *)
+
+type t = {
+  mutable cycles : int;
+  mutable retired : int;  (** architectural instructions (trace length) *)
+  mutable cond_branches : int;
+  mutable mispredictions : int;
+  mutable flushes : int;  (** pipeline flushes actually taken *)
+  mutable low_confidence : int;
+  mutable low_confidence_mispredicted : int;
+  mutable dpred_entries : int;
+  mutable dpred_hammock_entries : int;
+  mutable dpred_loop_entries : int;
+  mutable dpred_merges : int;
+      (** dpred episodes that reached the CFM point on both paths *)
+  mutable dpred_resolved_before_merge : int;
+  mutable dpred_flushes_avoided : int;
+      (** mispredictions whose flush dynamic predication removed *)
+  mutable dpred_useless_entries : int;
+      (** dpred entries whose branch was actually correctly predicted *)
+  mutable select_uops : int;
+  mutable wrong_side_insts : int;
+      (** wrong-path instructions fetched (dpred wrong side + recovery) *)
+  mutable loop_early_exits : int;
+  mutable loop_late_exits : int;
+  mutable loop_no_exits : int;
+  mutable loop_correct : int;
+  mutable loop_extra_insts : int;
+  mutable dpred_cycles : int;
+  mutable recovery_cycles : int;
+  mutable rob_full_cycles : int;
+}
+
+val create : unit -> t
+val ipc : t -> float
+val mpki : t -> float
+val flushes_per_ki : t -> float
+
+val confidence_pvn : t -> float
+(** Fraction of low-confidence estimates that were actual
+    mispredictions — the paper's Acc_Conf / PVN. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/workload/b_bzip2.ml: Build Cold_code Dmp_ir Input_gen Motifs Program Reg Spec Term

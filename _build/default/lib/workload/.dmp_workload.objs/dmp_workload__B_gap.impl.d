@@ -1,0 +1,1 @@
+lib/workload/b_gap.ml: Build Cold_code Dmp_ir Input_gen Motifs Program Spec Term

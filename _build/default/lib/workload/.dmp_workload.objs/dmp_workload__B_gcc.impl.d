@@ -1,0 +1,1 @@
+lib/workload/b_gcc.ml: Array Build Cold_code Dmp_ir Input_gen Motifs Printf Program Spec Term

@@ -1,0 +1,1 @@
+lib/workload/b_twolf.ml: Build Cold_code Dmp_ir Funcs Input_gen Motifs Program Reg Spec Term

@@ -1,0 +1,1 @@
+lib/workload/b_vortex.ml: Build Cold_code Dmp_ir Funcs Input_gen Motifs Program Reg Spec Term

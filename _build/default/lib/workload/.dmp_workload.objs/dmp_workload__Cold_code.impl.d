@@ -1,0 +1,1 @@
+lib/workload/cold_code.ml: Build Dmp_ir List Printf Random Reg Spec Term

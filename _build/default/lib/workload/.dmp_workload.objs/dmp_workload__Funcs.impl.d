@@ -1,0 +1,1 @@
+lib/workload/funcs.ml: Build Dmp_ir Motifs Term

@@ -1,0 +1,1 @@
+lib/workload/motifs.ml: Build Dmp_ir Instr Reg Term

@@ -1,0 +1,1 @@
+lib/workload/registry.ml: B_bzip2 B_compress B_crafty B_eon B_gap B_gcc B_go B_gzip B_ijpeg B_li B_m88ksim B_mcf B_parser B_perlbmk B_twolf B_vortex B_vpr List Spec String

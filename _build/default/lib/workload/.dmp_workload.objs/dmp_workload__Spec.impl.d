@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Build Dmp_ir Input_gen Lazy Linked Motifs Program Reg Term

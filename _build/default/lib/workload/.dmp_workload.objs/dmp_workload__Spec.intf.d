@@ -1,0 +1,1 @@
+lib/workload/spec.mli: Build Dmp_ir Input_gen Lazy Linked Program Reg

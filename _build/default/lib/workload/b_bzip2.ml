@@ -1,0 +1,72 @@
+(* bzip2 stand-in: block-sorting compression — frequently-hammocks in
+   the sort comparisons, a data-dependent run loop, and a value-gated
+   rare path (16% input-set-exclusive diverge branches in Fig. 10). *)
+
+open Dmp_ir
+module B = Build
+
+let iterations = 1900
+let reads_per_iteration = 2
+
+let build () =
+  let cold_funcs, cold_entry = Cold_code.library ~seed:7000 ~functions:32 in
+  let f = B.func "main" in
+  let v0 = Spec.value_reg 0 and v1 = Spec.value_reg 1 in
+  let c = Spec.cond_reg 0 and rare = Spec.cond_reg 1 in
+  let trip = Spec.cond_reg 3 in
+  Spec.outer_loop f ~iterations
+    ~prologue:(fun () -> Cold_code.call_gate f ~entry_name:cold_entry)
+    (fun () ->
+      B.read f v0;
+      B.read f v1;
+      (* Conditions for the late unpredicatable branches are
+         computed early, so those branches resolve at the minimum
+         misprediction penalty. *)
+      B.div f (Reg.of_int 8) v0 (B.imm 1000);
+      Motifs.bit_from f ~dst:(Reg.of_int 8) ~src:(Reg.of_int 8) ~percent:48;
+      B.div f (Reg.of_int 9) v1 (B.imm 10);
+      Motifs.bit_from f ~dst:(Reg.of_int 9) ~src:(Reg.of_int 9) ~percent:50;
+      (* Suffix-comparison frequently-hammock with rare exits on both
+         sides (lower merge probability). *)
+      Motifs.bit_from f ~dst:c ~src:v0 ~percent:50;
+      B.div f rare v0 (B.imm 100);
+      Motifs.bit_from f ~dst:rare ~src:rare ~percent:6;
+      Motifs.freq_hammock2 f ~cold_exit:"outer_latch" ~prefix:"cmp" ~cond:c ~rare_t:rare
+        ~rare_nt:rare ~hot_taken:13 ~hot_fall:12 ~join_size:8
+        ~cold_size:140 ();
+      (* Run-length loop: trips 1..6. *)
+      Motifs.mod_of f ~dst:trip ~src:v1 ~modulus:3;
+      B.add f trip trip (B.imm 1);
+      Motifs.data_loop f ~prefix:"run" ~trip ~body_size:4;
+      (* Rare deep-rescan path, only reached for large values. *)
+      B.branch f Term.Lt v1 (B.imm 220000) ~target:"skip_rescan" ();
+      B.label f "rescan";
+      Motifs.bit_from f ~dst:c ~src:v0 ~percent:45;
+      Motifs.simple_hammock f ~prefix:"rs" ~cond:c ~then_size:7
+        ~else_size:5;
+      B.label f "skip_rescan";
+      (* Depth-limited quicksort partition: unmergeable. *)
+      Motifs.diffuse_hammock f ~prefix:"qs" ~cond:(Reg.of_int 8) ~side:95;
+      Motifs.diffuse_hammock f ~prefix:"pt" ~cond:(Reg.of_int 9) ~side:95;
+      Motifs.fixed_loop f ~prefix:"mtf" ~trips:3 ~body_size:9;
+      Motifs.work f 12);
+  Program.of_funcs_exn ~main:"main" ([ B.finish f ] @ cold_funcs)
+
+let input set =
+  let n = 1 + (iterations * reads_per_iteration) + 64 in
+  match set with
+  | Input_gen.Reduced ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:122 ~n ~bound:250000)
+  | Input_gen.Train ->
+      (* The rescan section is never reached during training. *)
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:1122 ~n ~bound:200000)
+  | Input_gen.Ref ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:2122 ~n ~bound:250000)
+
+let spec =
+  {
+    Spec.name = "bzip2";
+    description = "block sort: freq-hammocks, run loop, value-gated rescan";
+    program = lazy (build ());
+    input;
+  }

@@ -1,0 +1,69 @@
+(* compress (SPEC95) stand-in: LZW hash-table compression — hash probe
+   loads over a table that partially misses L1, a hit/miss hammock, and
+   a code-emission loop. *)
+
+open Dmp_ir
+module B = Build
+
+let iterations = 1900
+let reads_per_iteration = 2
+let table_base = 1 lsl 18
+let table_bytes = 1 lsl 18  (* 256KB: larger than L1, fits L2 *)
+
+let build () =
+  let cold_funcs, cold_entry = Cold_code.library ~seed:7001 ~functions:32 in
+  let f = B.func "main" in
+  let v0 = Spec.value_reg 0 and v1 = Spec.value_reg 1 in
+  let a = Spec.value_reg 2 and h = Spec.value_reg 3 in
+  let c = Spec.cond_reg 0 and trip = Spec.cond_reg 3 in
+  Spec.outer_loop f ~iterations
+    ~prologue:(fun () -> Cold_code.call_gate f ~entry_name:cold_entry)
+    (fun () ->
+      B.read f v0;
+      B.read f v1;
+      (* Conditions for the late unpredicatable branches are
+         computed early, so those branches resolve at the minimum
+         misprediction penalty. *)
+      B.div f (Reg.of_int 8) v0 (B.imm 1000);
+      Motifs.bit_from f ~dst:(Reg.of_int 8) ~src:(Reg.of_int 8) ~percent:40;
+      (* Hash probe. *)
+      B.mul f h v0 (B.imm 2654435761);
+      Motifs.mod_of f ~dst:a ~src:h ~modulus:table_bytes;
+      B.add f a a (B.imm table_base);
+      B.load f h a 0;
+      (* Hit/miss hammock: depends on the *loaded* table entry mixed
+         with the probe key, so the branch is unpredictable and resolves
+         only after the cache access. *)
+      B.add f c h (B.reg v1);
+      Motifs.bit_from f ~dst:c ~src:c ~percent:85;
+      B.div f (Spec.cond_reg 2) v1 (B.imm 100);
+      Motifs.bit_from f ~dst:(Spec.cond_reg 2) ~src:(Spec.cond_reg 2)
+        ~percent:3;
+      Motifs.short_freq_hammock f ~cold_exit:"outer_latch" ~prefix:"hit" ~cond:c
+        ~rare:(Spec.cond_reg 2) ~then_size:7 ~else_size:9 ~cold_size:110 ();
+      B.store f v0 a 0;
+      (* Emit variable-length code: 1..4 chunks. *)
+      Motifs.mod_of f ~dst:trip ~src:v1 ~modulus:4;
+      B.add f trip trip (B.imm 1);
+      Motifs.data_loop f ~prefix:"emit" ~trip ~body_size:5;
+      Motifs.diffuse_hammock f ~prefix:"rst" ~cond:(Reg.of_int 8) ~side:95;
+      Motifs.work f 14);
+  Program.of_funcs_exn ~main:"main" ([ B.finish f ] @ cold_funcs)
+
+let input set =
+  let n = 1 + (iterations * reads_per_iteration) + 64 in
+  match set with
+  | Input_gen.Reduced ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:144 ~n ~bound:1000000)
+  | Input_gen.Train ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:1144 ~n ~bound:900000)
+  | Input_gen.Ref ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:2144 ~n ~bound:1000000)
+
+let spec =
+  {
+    Spec.name = "compress";
+    description = "LZW: hash probes, hit/miss hammock, emission loop";
+    program = lazy (build ());
+    input;
+  }

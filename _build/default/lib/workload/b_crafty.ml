@@ -1,0 +1,77 @@
+(* crafty stand-in: chess move generation — bit-twiddling, nested
+   hammocks, a callee hammock, and a mode-gated extension section that
+   only some input sets exercise (crafty shows a 13% only-run/only-train
+   split in Fig. 10). *)
+
+open Dmp_ir
+module B = Build
+
+let iterations = 1800
+let reads_per_iteration = 2
+
+let build () =
+  let eval_sq =
+    Funcs.hammock_callee ~name:"eval_sq" ~cond:Spec.arg_reg ~then_size:7
+      ~else_size:9 ~tail:6
+  in
+  let cold_funcs, cold_entry = Cold_code.library ~seed:7002 ~functions:32 in
+  let f = B.func "main" in
+  let v0 = Spec.value_reg 0 and v1 = Spec.value_reg 1 in
+  let c0 = Spec.cond_reg 0 and c1 = Spec.cond_reg 1 in
+  let rare = Spec.cond_reg 2 in
+  Spec.outer_loop f ~iterations
+    ~prologue:(fun () -> Cold_code.call_gate f ~entry_name:cold_entry)
+    (fun () ->
+      B.read f v0;
+      B.read f v1;
+      (* Conditions for the late unpredicatable branches are
+         computed early, so those branches resolve at the minimum
+         misprediction penalty. *)
+      B.div f (Reg.of_int 8) v1 (B.imm 1000);
+      Motifs.bit_from f ~dst:(Reg.of_int 8) ~src:(Reg.of_int 8) ~percent:35;
+      (* Attack-table tests: nested and hard to predict. *)
+      Motifs.bit_from f ~dst:c0 ~src:v0 ~percent:70;
+      Motifs.bit_from f ~dst:c1 ~src:v1 ~percent:74;
+      Motifs.nested_hammock f ~prefix:"atk" ~cond1:c0 ~cond2:c1
+        ~sizes:(8, 6, 7, 5);
+      (* Square evaluation in a callee (hammock behind a call). *)
+      B.mov f Spec.arg_reg c1;
+      B.call f "eval_sq";
+      (* Capture-search frequently-hammock. *)
+      B.div f rare v0 (B.imm 1000);
+      Motifs.bit_from f ~dst:rare ~src:rare ~percent:5;
+      Motifs.bit_from f ~dst:c0 ~src:v1 ~percent:50;
+      Motifs.freq_hammock f ~cold_exit:"outer_latch" ~prefix:"cap" ~cond:c0 ~rare ~hot_taken:14
+        ~hot_fall:11 ~join_size:9 ~cold_size:160 ();
+      (* Endgame section: gated on the input mode word. *)
+      B.branch f Term.Ne Spec.mode_reg (B.imm 1) ~target:"skip_endgame" ();
+      B.label f "endgame";
+      Motifs.bit_from f ~dst:c1 ~src:v0 ~percent:50;
+      Motifs.simple_hammock f ~prefix:"eg" ~cond:c1 ~then_size:5
+        ~else_size:6;
+      B.label f "skip_endgame";
+      (* Search extension decision: long arms, no nearby merge. *)
+      Motifs.diffuse_hammock f ~prefix:"ext" ~cond:(Reg.of_int 8) ~side:105;
+      Motifs.fixed_loop f ~prefix:"bits" ~trips:4 ~body_size:9;
+      Motifs.work f 12);
+  Program.of_funcs_exn ~main:"main"
+    ([ B.finish f; eval_sq ] @ cold_funcs)
+
+let input set =
+  let n = 1 + (iterations * reads_per_iteration) + 64 in
+  match set with
+  | Input_gen.Reduced ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:55 ~n ~bound:100000)
+  | Input_gen.Train ->
+      (* mode 2: the endgame section never executes during training. *)
+      Input_gen.with_mode 2 (Input_gen.uniform ~seed:1055 ~n ~bound:100000)
+  | Input_gen.Ref ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:2055 ~n ~bound:100000)
+
+let spec =
+  {
+    Spec.name = "crafty";
+    description = "chess: nested hammocks, callee hammock, gated endgame";
+    program = lazy (build ());
+    input;
+  }

@@ -1,0 +1,68 @@
+(* eon stand-in: ray tracing in well-structured C++ style — almost all
+   mispredictions come from clean *simple* hammocks, so even the naive
+   selectors do well here (Section 7.2), and the ILP is high. *)
+
+open Dmp_ir
+module B = Build
+
+let iterations = 1700
+let reads_per_iteration = 2
+
+let build () =
+  let cold_funcs, cold_entry = Cold_code.library ~seed:7003 ~functions:32 in
+  let f = B.func "main" in
+  let v0 = Spec.value_reg 0 and v1 = Spec.value_reg 1 in
+  let t = Spec.value_reg 2 in
+  let c = Spec.cond_reg 0 in
+  Spec.outer_loop f ~iterations
+    ~prologue:(fun () -> Cold_code.call_gate f ~entry_name:cold_entry)
+    (fun () ->
+      B.read f v0;
+      B.read f v1;
+      (* Conditions for the late unpredicatable branches are
+         computed early, so those branches resolve at the minimum
+         misprediction penalty. *)
+      B.div f (Reg.of_int 8) v0 (B.imm 10000);
+      Motifs.bit_from f ~dst:(Reg.of_int 8) ~src:(Reg.of_int 8) ~percent:80;
+      Motifs.bit_from f ~dst:c ~src:v0 ~percent:92;
+      Motifs.simple_hammock f ~prefix:"shadow" ~cond:c ~then_size:10
+        ~else_size:8;
+      Motifs.work f 18;
+      B.div f t v0 (B.imm 100);
+      Motifs.bit_from f ~dst:c ~src:t ~percent:88;
+      Motifs.simple_hammock f ~prefix:"specular" ~cond:c ~then_size:12
+        ~else_size:9;
+      Motifs.work f 20;
+      Motifs.bit_from f ~dst:c ~src:v1 ~percent:90;
+      Motifs.simple_hammock f ~prefix:"clip" ~cond:c ~then_size:7
+        ~else_size:7;
+      Motifs.work f 16;
+      B.div f t v1 (B.imm 100);
+      Motifs.bit_from f ~dst:c ~src:t ~percent:80;
+      B.div f t v1 (B.imm 10000);
+      Motifs.bit_from f ~dst:(Spec.cond_reg 1) ~src:t ~percent:4;
+      Motifs.freq_hammock f ~cold_exit:"outer_latch" ~prefix:"bounce" ~cond:c
+        ~rare:(Spec.cond_reg 1) ~hot_taken:9 ~hot_fall:11 ~join_size:6
+        ~cold_size:140 ();
+      Motifs.fixed_loop f ~prefix:"dot" ~trips:4 ~body_size:10;
+      Motifs.diffuse_hammock f ~prefix:"refr" ~cond:(Reg.of_int 8) ~side:95;
+      Motifs.work f 22);
+  Program.of_funcs_exn ~main:"main" ([ B.finish f ] @ cold_funcs)
+
+let input set =
+  let n = 1 + (iterations * reads_per_iteration) + 64 in
+  match set with
+  | Input_gen.Reduced ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:77 ~n ~bound:1000000)
+  | Input_gen.Train ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:1077 ~n ~bound:1000000)
+  | Input_gen.Ref ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:2077 ~n ~bound:1000000)
+
+let spec =
+  {
+    Spec.name = "eon";
+    description = "ray tracing: biased simple hammocks, high ILP";
+    program = lazy (build ());
+    input;
+  }

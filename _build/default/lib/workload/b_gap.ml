@@ -1,0 +1,74 @@
+(* gap stand-in: computer algebra — mostly predictable control flow (low
+   MPKI), but with large input-gated sections: gap has the largest
+   only-run/only-train diverge-branch split in Fig. 10 (26%). *)
+
+open Dmp_ir
+module B = Build
+
+let iterations = 2400
+let reads_per_iteration = 2
+
+let build () =
+  let cold_funcs, cold_entry = Cold_code.library ~seed:7004 ~functions:32 in
+  let f = B.func "main" in
+  let v0 = Spec.value_reg 0 and v1 = Spec.value_reg 1 in
+  let c = Spec.cond_reg 0 and trip = Spec.cond_reg 3 in
+  Spec.outer_loop f ~iterations
+    ~prologue:(fun () -> Cold_code.call_gate f ~entry_name:cold_entry)
+    (fun () ->
+      B.read f v0;
+      B.read f v1;
+      (* Mostly-taken small-integer fast path. *)
+      Motifs.bit_from f ~dst:c ~src:v0 ~percent:94;
+      Motifs.simple_hammock f ~prefix:"fast" ~cond:c ~then_size:9
+        ~else_size:12;
+      Motifs.work f 20;
+      (* Section A runs only when values are large (the reduced set has
+         them; the train set's narrow range never reaches here). *)
+      B.branch f Term.Lt v1 (B.imm 60000) ~target:"skip_big" ();
+      B.label f "bigint";
+      Motifs.bit_from f ~dst:c ~src:v1 ~percent:50;
+      Motifs.simple_hammock f ~prefix:"carry" ~cond:c ~then_size:6
+        ~else_size:7;
+      B.label f "skip_big";
+      (* Garbage-collection check loop: trip depends on the input set
+         distribution; the loop heuristics accept it only when the
+         average iteration count stays under LOOP_ITER. *)
+      (* The gc scan runs on roughly one iteration in eight. *)
+      Motifs.mod_of f ~dst:trip ~src:v0 ~modulus:8;
+      B.branch f Term.Ne trip (B.imm 0) ~target:"skip_gc" ();
+      B.label f "gc_entry";
+      Motifs.mod_of f ~dst:trip ~src:v0 ~modulus:30;
+      B.add f trip trip (B.imm 1);
+      Motifs.data_loop f ~prefix:"gc" ~trip ~body_size:3;
+      B.label f "skip_gc";
+      (* Normalisation loop: small trips under every input set, so it is
+         selected from either profile. *)
+      Motifs.mod_of f ~dst:trip ~src:v1 ~modulus:8;
+      B.add f trip trip (B.imm 1);
+      Motifs.data_loop f ~prefix:"norm" ~trip ~body_size:4;
+      Motifs.fixed_loop f ~prefix:"mul" ~trips:5 ~body_size:10;
+      Motifs.work f 18);
+  Program.of_funcs_exn ~main:"main" ([ B.finish f ] @ cold_funcs)
+
+let input set =
+  let n = 1 + (iterations * reads_per_iteration) + 64 in
+  match set with
+  | Input_gen.Reduced ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:99 ~n ~bound:100000)
+  | Input_gen.Train ->
+      (* Narrow range: the bigint section never executes and the gc loop
+         trip average drops, flipping the loop-selection decision. *)
+      Input_gen.with_mode 1
+        (Input_gen.mixture ~seed:1099 ~n ~bound:59000 ~small_bound:20
+           ~p_small:0.5)
+  | Input_gen.Ref ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:2099 ~n ~bound:100000)
+
+let spec =
+  {
+    Spec.name = "gap";
+    description = "computer algebra: predictable paths, input-gated bigint";
+    program = lazy (build ());
+    input;
+  }

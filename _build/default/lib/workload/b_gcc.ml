@@ -1,0 +1,87 @@
+(* gcc stand-in: a big opcode dispatcher over sections of very unequal
+   length with few clean reconvergence points — complex CFGs with few
+   good diverge-branch candidates but a very high misprediction rate, so
+   naive Every-br does almost as well as careful selection (Section
+   7.2). *)
+
+open Dmp_ir
+module B = Build
+
+let iterations = 1600
+let reads_per_iteration = 2
+
+(* A dispatch chain: compare op against 0..k-1; each case runs a section
+   of a different size, some with internal hammocks, then jumps to the
+   common continuation. Long sections exceed MAX_INSTR, so the
+   continuation is not a selectable exact CFM for the early compares. *)
+let dispatch f ~op ~inner ~rare =
+  let sizes = [| 18; 55; 30; 70; 12; 44; 62; 24 |] in
+  let k = Array.length sizes in
+  for i = 0 to k - 1 do
+    B.branch f Term.Eq op (B.imm i) ~target:(Printf.sprintf "case%d" i)
+      ~fall:(if i = k - 1 then "fallout" else Printf.sprintf "cmp%d" (i + 1))
+      ();
+    if i < k - 1 then B.label f (Printf.sprintf "cmp%d" (i + 1))
+  done;
+  B.label f "fallout";
+  B.jump f "next";
+  Array.iteri
+    (fun i size ->
+      B.label f (Printf.sprintf "case%d" i);
+      Motifs.work f (size / 2);
+      if i mod 3 = 1 then
+        Motifs.freq_hammock f ~cold_exit:"outer_latch" ~prefix:(Printf.sprintf "cs%d" i) ~cond:inner
+          ~rare ~hot_taken:6 ~hot_fall:8 ~join_size:4 ~cold_size:120 ();
+      Motifs.work f (size - (size / 2));
+      (* Odd cases re-enter through a secondary continuation, so "next"
+         is only an approximate CFM for the dispatch compares. *)
+      if i mod 2 = 0 then B.jump f "next" else B.jump f "next2")
+    sizes;
+  B.label f "next2";
+  Motifs.work f 30;
+  B.label f "next"
+
+let build () =
+  let cold_funcs, cold_entry = Cold_code.library ~seed:7005 ~functions:32 in
+  let f = B.func "main" in
+  let v0 = Spec.value_reg 0 and v1 = Spec.value_reg 1 in
+  let op = Spec.cond_reg 0 and inner = Spec.cond_reg 1 in
+  let c = Spec.cond_reg 2 in
+  Spec.outer_loop f ~iterations
+    ~prologue:(fun () -> Cold_code.call_gate f ~entry_name:cold_entry)
+    (fun () ->
+      B.read f v0;
+      B.read f v1;
+      Motifs.mod_of f ~dst:op ~src:v0 ~modulus:8;
+      Motifs.bit_from f ~dst:inner ~src:v1 ~percent:50;
+      B.div f c v1 (B.imm 100);
+      Motifs.bit_from f ~dst:c ~src:c ~percent:3;
+      B.jump f "cmp0";
+      B.label f "cmp0";
+      dispatch f ~op ~inner ~rare:c;
+      (* A nested hammock the selector *can* use. *)
+      Motifs.bit_from f ~dst:c ~src:v1 ~percent:70;
+      Motifs.nested_hammock f ~prefix:"fold" ~cond1:c ~cond2:inner
+        ~sizes:(9, 5, 6, 7);
+      Motifs.fixed_loop f ~prefix:"scan" ~trips:3 ~body_size:8;
+      Motifs.work f 8);
+  Program.of_funcs_exn ~main:"main" ([ B.finish f ] @ cold_funcs)
+
+let input set =
+  let n = 1 + (iterations * reads_per_iteration) + 64 in
+  match set with
+  | Input_gen.Reduced ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:33 ~n ~bound:4096)
+  | Input_gen.Train ->
+      Input_gen.with_mode 1
+        (Input_gen.phased ~seed:1033 ~n ~phase:512 ~bounds:[| 4096; 2048 |])
+  | Input_gen.Ref ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:2033 ~n ~bound:4096)
+
+let spec =
+  {
+    Spec.name = "gcc";
+    description = "compiler: opcode dispatch over unequal sections";
+    program = lazy (build ());
+    input;
+  }

@@ -1,0 +1,86 @@
+(* go (SPEC95) stand-in: the branchiest program in the suite (MPKI ~23,
+   lowest baseline IPC after mcf). Dense 50/50 tactical tests of every
+   hammock shape, plus liberty-count functions whose arms return
+   separately (go gains from return CFMs in the paper). *)
+
+open Dmp_ir
+module B = Build
+
+let iterations = 1500
+let reads_per_iteration = 3
+
+let build () =
+  let liberties =
+    Funcs.ret_hammock ~name:"liberties" ~cond:Spec.arg_reg ~a_size:6
+      ~b_size:8
+  in
+  let cold_funcs, cold_entry = Cold_code.library ~seed:7006 ~functions:32 in
+  let f = B.func "main" in
+  let v0 = Spec.value_reg 0 and v1 = Spec.value_reg 1 in
+  let v2 = Spec.value_reg 2 and t = Spec.value_reg 3 in
+  let c0 = Spec.cond_reg 0 and c1 = Spec.cond_reg 1 in
+  let rare = Spec.cond_reg 2 in
+  Spec.outer_loop f ~iterations
+    ~prologue:(fun () -> Cold_code.call_gate f ~entry_name:cold_entry)
+    (fun () ->
+      B.read f v0;
+      B.read f v1;
+      B.read f v2;
+      (* Conditions for the late unpredicatable branches are
+         computed early, so those branches resolve at the minimum
+         misprediction penalty. *)
+      B.div f (Reg.of_int 8) v0 (B.imm 1000);
+      Motifs.bit_from f ~dst:(Reg.of_int 8) ~src:(Reg.of_int 8) ~percent:50;
+      B.div f (Reg.of_int 9) v1 (B.imm 10);
+      Motifs.bit_from f ~dst:(Reg.of_int 9) ~src:(Reg.of_int 9) ~percent:50;
+      B.div f rare v0 (B.imm 100);
+      Motifs.bit_from f ~dst:rare ~src:rare ~percent:3;
+      Motifs.bit_from f ~dst:c0 ~src:v0 ~percent:70;
+      Motifs.short_freq_hammock f ~cold_exit:"outer_latch" ~prefix:"atari" ~cond:c0 ~rare
+        ~then_size:4 ~else_size:5 ~cold_size:100 ();
+      B.div f t v0 (B.imm 100);
+      Motifs.bit_from f ~dst:c1 ~src:t ~percent:52;
+      Motifs.bit_from f ~dst:c0 ~src:v1 ~percent:58;
+      Motifs.nested_hammock f ~prefix:"lad" ~cond1:c1 ~cond2:c0
+        ~sizes:(6, 4, 5, 5);
+      Motifs.bit_from f ~dst:Spec.arg_reg ~src:v2 ~percent:66;
+      B.call f "liberties";
+      B.div f t v1 (B.imm 100);
+      Motifs.bit_from f ~dst:c0 ~src:t ~percent:58;
+      Motifs.short_freq_hammock f ~cold_exit:"outer_latch" ~prefix:"eye" ~cond:c0 ~rare ~then_size:3
+        ~else_size:4 ~cold_size:90 ();
+      B.div f t v2 (B.imm 1000);
+      Motifs.bit_from f ~dst:rare ~src:t ~percent:5;
+      Motifs.bit_from f ~dst:c1 ~src:v2 ~percent:60;
+      Motifs.freq_hammock f ~cold_exit:"outer_latch" ~prefix:"cut" ~cond:c1 ~rare ~hot_taken:9
+        ~hot_fall:8 ~join_size:6 ~cold_size:120 ();
+      Motifs.bit_from f ~dst:c0 ~src:v0 ~percent:58;
+      Motifs.short_freq_hammock f ~cold_exit:"outer_latch" ~prefix:"ko" ~cond:c0 ~rare ~then_size:4
+        ~else_size:3 ~cold_size:100 ();
+      (* Life-and-death reading: long arms, unmergeable. *)
+      Motifs.diffuse_hammock f ~prefix:"ld" ~cond:(Reg.of_int 8) ~side:95;
+      Motifs.diffuse_hammock f ~prefix:"sek" ~cond:(Reg.of_int 9) ~side:95;
+      Motifs.diffuse_hammock f ~prefix:"inf" ~cond:(Reg.of_int 13) ~side:95;
+      (* Serial board-evaluation chain carried across iterations. *)
+      Motifs.serial_chain f ~reg:(Reg.of_int 15) ~n:24;
+      Motifs.heavy_work f 10);
+  Program.of_funcs_exn ~main:"main"
+    ([ B.finish f; liberties ] @ cold_funcs)
+
+let input set =
+  let n = 1 + (iterations * reads_per_iteration) + 64 in
+  match set with
+  | Input_gen.Reduced ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:155 ~n ~bound:400000)
+  | Input_gen.Train ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:1155 ~n ~bound:360000)
+  | Input_gen.Ref ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:2155 ~n ~bound:400000)
+
+let spec =
+  {
+    Spec.name = "go";
+    description = "go engine: dense 50/50 tactical branches of all shapes";
+    program = lazy (build ());
+    input;
+  }

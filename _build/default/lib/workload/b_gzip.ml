@@ -1,0 +1,78 @@
+(* gzip stand-in: run-length/match-length compression feel. A small
+   data-dependent match loop (the diverge-loop winner in the paper), a
+   frequently-hammock on literal-vs-match, and a biased format check. *)
+
+open Dmp_ir
+module B = Build
+
+let iterations = 2500
+let reads_per_iteration = 2
+
+let build () =
+  let cold_funcs, cold_entry = Cold_code.library ~seed:7007 ~functions:32 in
+  let f = B.func "main" in
+  let v0 = Spec.value_reg 0 and v1 = Spec.value_reg 1 in
+  let c0 = Spec.cond_reg 0 and c1 = Spec.cond_reg 1 in
+  let rare = Spec.cond_reg 2 and trip = Spec.cond_reg 3 in
+  Spec.outer_loop f ~iterations
+    ~prologue:(fun () -> Cold_code.call_gate f ~entry_name:cold_entry)
+    (fun () ->
+      B.read f v0;
+      B.read f v1;
+      (* Conditions for the late unpredicatable branches are
+         computed early, so those branches resolve at the minimum
+         misprediction penalty. *)
+      B.div f (Reg.of_int 8) v1 (B.imm 10);
+      Motifs.bit_from f ~dst:(Reg.of_int 8) ~src:(Reg.of_int 8) ~percent:45;
+      B.div f (Reg.of_int 9) v0 (B.imm 10);
+      Motifs.bit_from f ~dst:(Reg.of_int 9) ~src:(Reg.of_int 9) ~percent:50;
+      (* Match-length loop: trip in 1..3, unpredictable exit; matches
+         occur on about a quarter of the symbols. *)
+      B.div f trip v0 (B.imm 100);
+      B.rem f trip trip (B.imm 4);
+      B.branch f Term.Ne trip (B.imm 0) ~target:"no_match" ();
+      B.label f "match_entry";
+      Motifs.mod_of f ~dst:trip ~src:v0 ~modulus:3;
+      B.add f trip trip (B.imm 1);
+      Motifs.data_loop f ~prefix:"match" ~trip ~body_size:7;
+      B.label f "no_match";
+      (* Literal vs match: hard to predict, merges on the hot paths. *)
+      Motifs.bit_from f ~dst:c0 ~src:v1 ~percent:62;
+      Motifs.bit_from f ~dst:rare ~src:v0 ~percent:4;
+      Motifs.freq_hammock f ~cold_exit:"outer_latch" ~prefix:"lit" ~cond:c0 ~rare ~hot_taken:12
+        ~hot_fall:10 ~join_size:8 ~cold_size:180 ();
+      (* Format check: biased but occasionally surprising. *)
+      Motifs.bit_from f ~dst:c1 ~src:v1 ~percent:88;
+      Motifs.simple_hammock f ~prefix:"fmt" ~cond:c1 ~then_size:6
+        ~else_size:6;
+      (* Huffman table rebuild: hard branch over long, non-merging
+         arms; DMP cannot help here. *)
+      Motifs.diffuse_hammock f ~prefix:"tbl" ~cond:(Reg.of_int 8) ~side:95;
+      Motifs.diffuse_hammock f ~prefix:"win" ~cond:(Reg.of_int 9) ~side:95;
+      (* CRC update: predictable fixed loop. *)
+      Motifs.fixed_loop f ~prefix:"crc" ~trips:3 ~body_size:9;
+      Motifs.work f 10);
+  Program.of_funcs_exn ~main:"main" ([ B.finish f ] @ cold_funcs)
+
+let input set =
+  let n = 1 + (iterations * reads_per_iteration) + 64 in
+  match set with
+  | Input_gen.Reduced ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:11 ~n ~bound:1000)
+  | Input_gen.Train ->
+      (* Different seed and a mildly different magnitude mix: match
+         lengths shift, which is why gzip is the paper's most
+         input-sensitive benchmark. *)
+      Input_gen.with_mode 1
+        (Input_gen.mixture ~seed:1011 ~n ~bound:1000 ~small_bound:150
+           ~p_small:0.45)
+  | Input_gen.Ref ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:2011 ~n ~bound:1000)
+
+let spec =
+  {
+    Spec.name = "gzip";
+    description = "compression: match-length loop + literal/match hammock";
+    program = lazy (build ());
+    input;
+  }

@@ -1,0 +1,72 @@
+(* ijpeg (SPEC95) stand-in: image compression — multiply-heavy fixed
+   inner loops (predictable), a quantisation hammock, and an edge-case
+   frequently-hammock. 18% input-set-exclusive diverge branches. *)
+
+open Dmp_ir
+module B = Build
+
+let iterations = 1500
+let reads_per_iteration = 2
+
+let build () =
+  let cold_funcs, cold_entry = Cold_code.library ~seed:7008 ~functions:32 in
+  let f = B.func "main" in
+  let v0 = Spec.value_reg 0 and v1 = Spec.value_reg 1 in
+  let c = Spec.cond_reg 0 and rare = Spec.cond_reg 1 in
+  let trip = Spec.cond_reg 3 in
+  Spec.outer_loop f ~iterations
+    ~prologue:(fun () -> Cold_code.call_gate f ~entry_name:cold_entry)
+    (fun () ->
+      B.read f v0;
+      B.read f v1;
+      (* Conditions for the late unpredicatable branches are
+         computed early, so those branches resolve at the minimum
+         misprediction penalty. *)
+      B.div f (Reg.of_int 8) v0 (B.imm 1000);
+      Motifs.bit_from f ~dst:(Reg.of_int 8) ~src:(Reg.of_int 8) ~percent:75;
+      (* 8-tap DCT-ish fixed loop: well predicted. *)
+      B.li f trip 8;
+      B.label f "dct_head";
+      Motifs.heavy_work f 6;
+      B.sub f trip trip (B.imm 1);
+      B.branch f Term.Gt trip (B.imm 0) ~target:"dct_head" ();
+      B.label f "dct_done";
+      (* Quantisation clip: biased. *)
+      Motifs.bit_from f ~dst:c ~src:v0 ~percent:86;
+      Motifs.simple_hammock f ~prefix:"clip" ~cond:c ~then_size:6
+        ~else_size:8;
+      (* Huffman escape path: rare, bypasses the merge. *)
+      Motifs.bit_from f ~dst:c ~src:v1 ~percent:60;
+      B.div f rare v1 (B.imm 100);
+      Motifs.bit_from f ~dst:rare ~src:rare ~percent:4;
+      Motifs.freq_hammock f ~cold_exit:"outer_latch" ~prefix:"huff" ~cond:c ~rare ~hot_taken:10
+        ~hot_fall:12 ~join_size:8 ~cold_size:150 ();
+      (* Progressive-mode section: gated on large values. *)
+      B.branch f Term.Lt v0 (B.imm 500000) ~target:"skip_prog" ();
+      B.label f "prog";
+      Motifs.bit_from f ~dst:c ~src:v1 ~percent:50;
+      Motifs.simple_hammock f ~prefix:"pg" ~cond:c ~then_size:5
+        ~else_size:4;
+      B.label f "skip_prog";
+      Motifs.diffuse_hammock f ~prefix:"mrk" ~cond:(Reg.of_int 8) ~side:95;
+      Motifs.work f 10);
+  Program.of_funcs_exn ~main:"main" ([ B.finish f ] @ cold_funcs)
+
+let input set =
+  let n = 1 + (iterations * reads_per_iteration) + 64 in
+  match set with
+  | Input_gen.Reduced ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:166 ~n ~bound:600000)
+  | Input_gen.Train ->
+      (* Small images: the progressive section never runs. *)
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:1166 ~n ~bound:400000)
+  | Input_gen.Ref ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:2166 ~n ~bound:600000)
+
+let spec =
+  {
+    Spec.name = "ijpeg";
+    description = "image codec: fixed DCT loops, quantisation hammocks";
+    program = lazy (build ());
+    input;
+  }

@@ -1,0 +1,80 @@
+(* li (SPEC95) stand-in: lisp interpreter — type-dispatch via *simple*
+   hammocks (the paper notes li's mispredictions are mostly simple
+   hammocks, so even the If-else selector does well), plus cons-cell
+   probing through small calls. *)
+
+open Dmp_ir
+module B = Build
+
+let iterations = 2000
+let reads_per_iteration = 2
+
+let build () =
+  let cons = Funcs.leaf ~name:"cons" ~size:10 in
+  let eval_atom =
+    Funcs.hammock_callee ~name:"eval_atom" ~cond:Spec.arg_reg ~then_size:5
+      ~else_size:7 ~tail:4
+  in
+  let cold_funcs, cold_entry = Cold_code.library ~seed:7009 ~functions:32 in
+  let f = B.func "main" in
+  let v0 = Spec.value_reg 0 and v1 = Spec.value_reg 1 in
+  let t = Spec.value_reg 2 in
+  let c = Spec.cond_reg 0 in
+  Spec.outer_loop f ~iterations
+    ~prologue:(fun () -> Cold_code.call_gate f ~entry_name:cold_entry)
+    (fun () ->
+      B.read f v0;
+      B.read f v1;
+      (* Conditions for the late unpredicatable branches are
+         computed early, so those branches resolve at the minimum
+         misprediction penalty. *)
+      B.div f (Reg.of_int 8) v0 (B.imm 1000);
+      Motifs.bit_from f ~dst:(Reg.of_int 8) ~src:(Reg.of_int 8) ~percent:48;
+      B.div f (Reg.of_int 9) v1 (B.imm 10);
+      Motifs.bit_from f ~dst:(Reg.of_int 9) ~src:(Reg.of_int 9) ~percent:50;
+      (* Atom vs pair. *)
+      B.div f (Spec.cond_reg 2) v0 (B.imm 100);
+      Motifs.bit_from f ~dst:(Spec.cond_reg 2) ~src:(Spec.cond_reg 2)
+        ~percent:3;
+      Motifs.bit_from f ~dst:c ~src:v0 ~percent:58;
+      Motifs.short_freq_hammock f ~cold_exit:"outer_latch" ~prefix:"atom" ~cond:c
+        ~rare:(Spec.cond_reg 2) ~then_size:6 ~else_size:6 ~cold_size:100 ();
+      (* Symbol vs number. *)
+      B.div f t v0 (B.imm 100);
+      Motifs.bit_from f ~dst:c ~src:t ~percent:60;
+      B.div f t v0 (B.imm 10000);
+      Motifs.bit_from f ~dst:(Spec.cond_reg 1) ~src:t ~percent:5;
+      Motifs.freq_hammock f ~cold_exit:"outer_latch" ~prefix:"sym" ~cond:c ~rare:(Spec.cond_reg 1)
+        ~hot_taken:5 ~hot_fall:7 ~join_size:5 ~cold_size:120 ();
+      (* nil test: biased. *)
+      Motifs.bit_from f ~dst:c ~src:v1 ~percent:85;
+      Motifs.simple_hammock f ~prefix:"nil" ~cond:c ~then_size:4
+        ~else_size:4;
+      Motifs.bit_from f ~dst:Spec.arg_reg ~src:v1 ~percent:66;
+      B.call f "eval_atom";
+      B.call f "cons";
+      (* Deep-recursion spill path: unmergeable hard branch. *)
+      Motifs.diffuse_hammock f ~prefix:"gc" ~cond:(Reg.of_int 8) ~side:95;
+      Motifs.diffuse_hammock f ~prefix:"env" ~cond:(Reg.of_int 9) ~side:95;
+      Motifs.fixed_loop f ~prefix:"mark" ~trips:3 ~body_size:8;
+      Motifs.work f 12);
+  Program.of_funcs_exn ~main:"main"
+    ([ B.finish f; cons; eval_atom ] @ cold_funcs)
+
+let input set =
+  let n = 1 + (iterations * reads_per_iteration) + 64 in
+  match set with
+  | Input_gen.Reduced ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:177 ~n ~bound:70000)
+  | Input_gen.Train ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:1177 ~n ~bound:65000)
+  | Input_gen.Ref ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:2177 ~n ~bound:70000)
+
+let spec =
+  {
+    Spec.name = "li";
+    description = "lisp interpreter: simple-hammock type dispatch";
+    program = lazy (build ());
+    input;
+  }

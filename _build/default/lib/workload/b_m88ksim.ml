@@ -1,0 +1,68 @@
+(* m88ksim (SPEC95) stand-in: CPU simulator — a strongly biased
+   instruction-class dispatch (low MPKI) with occasional hard traps. *)
+
+open Dmp_ir
+module B = Build
+
+let iterations = 2100
+let reads_per_iteration = 2
+
+let build () =
+  let cold_funcs, cold_entry = Cold_code.library ~seed:7010 ~functions:32 in
+  let f = B.func "main" in
+  let v0 = Spec.value_reg 0 and v1 = Spec.value_reg 1 in
+  let c = Spec.cond_reg 0 and op = Spec.cond_reg 1 in
+  Spec.outer_loop f ~iterations
+    ~prologue:(fun () -> Cold_code.call_gate f ~entry_name:cold_entry)
+    (fun () ->
+      B.read f v0;
+      B.read f v1;
+      (* Conditions for the late unpredicatable branches are
+         computed early, so those branches resolve at the minimum
+         misprediction penalty. *)
+      B.div f (Reg.of_int 8) v0 (B.imm 1000);
+      Motifs.bit_from f ~dst:(Reg.of_int 8) ~src:(Reg.of_int 8) ~percent:85;
+      (* Instruction class: 85% ALU, 10% mem, 5% control. *)
+      Motifs.mod_of f ~dst:op ~src:v0 ~modulus:100;
+      B.branch f Term.Ge op (B.imm 85) ~target:"cls_mem" ();
+      B.label f "cls_alu";
+      Motifs.work f 16;
+      B.jump f "decode_done";
+      B.label f "cls_mem";
+      B.branch f Term.Ge op (B.imm 95) ~target:"cls_ctl" ();
+      B.label f "cls_mem_body";
+      Motifs.work f 13;
+      B.jump f "decode_done";
+      B.label f "cls_ctl";
+      Motifs.work f 18;
+      B.label f "decode_done";
+      (* Condition-code update hammock: moderately biased. *)
+      Motifs.bit_from f ~dst:c ~src:v1 ~percent:86;
+      Motifs.simple_hammock f ~prefix:"cc" ~cond:c ~then_size:7
+        ~else_size:6;
+      (* Exception check: rarely taken but unpredictable when taken. *)
+      Motifs.bit_from f ~dst:c ~src:v1 ~percent:93;
+      Motifs.simple_hammock f ~prefix:"exc" ~cond:c ~then_size:5
+        ~else_size:9;
+      Motifs.diffuse_hammock f ~prefix:"tlb" ~cond:(Reg.of_int 8) ~side:95;
+      Motifs.fixed_loop f ~prefix:"dec" ~trips:4 ~body_size:9;
+      Motifs.work f 20);
+  Program.of_funcs_exn ~main:"main" ([ B.finish f ] @ cold_funcs)
+
+let input set =
+  let n = 1 + (iterations * reads_per_iteration) + 64 in
+  match set with
+  | Input_gen.Reduced ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:188 ~n ~bound:150000)
+  | Input_gen.Train ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:1188 ~n ~bound:140000)
+  | Input_gen.Ref ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:2188 ~n ~bound:150000)
+
+let spec =
+  {
+    Spec.name = "m88ksim";
+    description = "CPU simulator: biased class dispatch, trap checks";
+    program = lazy (build ());
+    input;
+  }

@@ -1,0 +1,64 @@
+(* parser stand-in: dictionary lookup — a hot, tiny word-comparison loop
+   whose exit branch mispredicts on every unpredictable word length (the
+   paper's flagship diverge-loop case, +14%), plus linkage hammocks. *)
+
+open Dmp_ir
+module B = Build
+
+let iterations = 2400
+let reads_per_iteration = 2
+
+let build () =
+  let cold_funcs, cold_entry = Cold_code.library ~seed:7012 ~functions:32 in
+  let f = B.func "main" in
+  let v0 = Spec.value_reg 0 and v1 = Spec.value_reg 1 in
+  let c0 = Spec.cond_reg 0 and trip = Spec.cond_reg 3 in
+  let trip2 = Spec.cond_reg 2 in
+  Spec.outer_loop f ~iterations
+    ~prologue:(fun () -> Cold_code.call_gate f ~entry_name:cold_entry)
+    (fun () ->
+      B.read f v0;
+      B.read f v1;
+      (* Conditions for the late unpredicatable branches are
+         computed early, so those branches resolve at the minimum
+         misprediction penalty. *)
+      B.div f (Reg.of_int 8) v0 (B.imm 1000);
+      Motifs.bit_from f ~dst:(Reg.of_int 8) ~src:(Reg.of_int 8) ~percent:48;
+      B.div f (Reg.of_int 9) v1 (B.imm 10);
+      Motifs.bit_from f ~dst:(Reg.of_int 9) ~src:(Reg.of_int 9) ~percent:50;
+      (* Compare the input word with a dictionary word, one character
+         per iteration; word lengths are 1..8 and unpredictable. *)
+      Motifs.mod_of f ~dst:trip ~src:v0 ~modulus:6;
+      B.add f trip trip (B.imm 1);
+      Motifs.data_loop f ~prefix:"cmpw" ~trip ~body_size:4;
+      (* Suffix table scan: fixed length, predictable. *)
+      ignore trip2;
+      Motifs.fixed_loop f ~prefix:"sfx" ~trips:3 ~body_size:6;
+      (* Linkage viability hammock. *)
+      Motifs.bit_from f ~dst:c0 ~src:v1 ~percent:60;
+      Motifs.simple_hammock f ~prefix:"link" ~cond:c0 ~then_size:8
+        ~else_size:7;
+      (* Grammar backtracking: unmergeable hard branch. *)
+      Motifs.diffuse_hammock f ~prefix:"bt" ~cond:(Reg.of_int 8) ~side:95;
+      Motifs.diffuse_hammock f ~prefix:"and" ~cond:(Reg.of_int 9) ~side:95;
+      Motifs.fixed_loop f ~prefix:"tok" ~trips:3 ~body_size:8;
+      Motifs.work f 12);
+  Program.of_funcs_exn ~main:"main" ([ B.finish f ] @ cold_funcs)
+
+let input set =
+  let n = 1 + (iterations * reads_per_iteration) + 64 in
+  match set with
+  | Input_gen.Reduced ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:66 ~n ~bound:100000)
+  | Input_gen.Train ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:1066 ~n ~bound:90001)
+  | Input_gen.Ref ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:2066 ~n ~bound:100000)
+
+let spec =
+  {
+    Spec.name = "parser";
+    description = "dictionary lookup: mispredicted word-compare loops";
+    program = lazy (build ());
+    input;
+  }

@@ -1,0 +1,88 @@
+(* perlbmk stand-in: interpreter opcode dispatch plus simple hammocks
+   and a return-CFM callee (string-compare returning from either arm). *)
+
+open Dmp_ir
+module B = Build
+
+let iterations = 1700
+let reads_per_iteration = 2
+
+let build () =
+  let strcmp =
+    Funcs.ret_hammock ~name:"strcmp_like" ~cond:Spec.arg_reg ~a_size:6
+      ~b_size:8
+  in
+  let cold_funcs, cold_entry = Cold_code.library ~seed:7013 ~functions:32 in
+  let f = B.func "main" in
+  let v0 = Spec.value_reg 0 and v1 = Spec.value_reg 1 in
+  let op = Spec.cond_reg 0 and c = Spec.cond_reg 1 in
+  Spec.outer_loop f ~iterations
+    ~prologue:(fun () -> Cold_code.call_gate f ~entry_name:cold_entry)
+    (fun () ->
+      B.read f v0;
+      B.read f v1;
+      (* Conditions for the late unpredicatable branches are
+         computed early, so those branches resolve at the minimum
+         misprediction penalty. *)
+      B.div f (Reg.of_int 8) v1 (B.imm 100);
+      Motifs.bit_from f ~dst:(Reg.of_int 8) ~src:(Reg.of_int 8) ~percent:48;
+      B.div f (Reg.of_int 9) v0 (B.imm 10);
+      Motifs.bit_from f ~dst:(Reg.of_int 9) ~src:(Reg.of_int 9) ~percent:50;
+      (* Opcode dispatch: three-way, biased towards case 0. *)
+      Motifs.mod_of f ~dst:op ~src:v0 ~modulus:10;
+      B.branch f Term.Ge op (B.imm 6) ~target:"op_rare" ();
+      B.label f "op_check2";
+      B.branch f Term.Ge op (B.imm 3) ~target:"op_mid" ();
+      B.label f "op_hot";
+      Motifs.work f 14;
+      B.branch f Term.Gt op (B.imm 1) ~target:"op_done" ();
+      B.label f "op_hot_tail";
+      Motifs.work f 60;
+      B.jump f "op_done";
+      B.label f "op_mid";
+      Motifs.work f 11;
+      B.jump f "op_done";
+      B.label f "op_rare";
+      Motifs.work f 17;
+      B.label f "op_done";
+      (* Pattern-match hammock. *)
+      Motifs.bit_from f ~dst:c ~src:v1 ~percent:65;
+      B.div f (Spec.cond_reg 2) v1 (B.imm 100);
+      Motifs.bit_from f ~dst:(Spec.cond_reg 2) ~src:(Spec.cond_reg 2)
+        ~percent:3;
+      Motifs.freq_hammock f ~cold_exit:"outer_latch" ~prefix:"pat" ~cond:c ~rare:(Spec.cond_reg 2)
+        ~hot_taken:8 ~hot_fall:6 ~join_size:4 ~cold_size:110 ();
+      (* String compare with different returns per arm. *)
+      Motifs.bit_from f ~dst:Spec.arg_reg ~src:v0 ~percent:78;
+      B.call f "strcmp_like";
+      (* Regex backtracking: long unmergeable arms. *)
+      Motifs.diffuse_hammock f ~prefix:"rx" ~cond:(Reg.of_int 8) ~side:95;
+      Motifs.diffuse_hammock f ~prefix:"sub" ~cond:(Reg.of_int 9) ~side:95;
+      B.branch f Term.Lt v0 (B.imm 36000) ~target:"skip_tie" ();
+      B.label f "tie";
+      Motifs.bit_from f ~dst:c ~src:v1 ~percent:50;
+      Motifs.simple_hammock f ~prefix:"tie" ~cond:c ~then_size:4
+        ~else_size:4;
+      B.label f "skip_tie";
+      Motifs.fixed_loop f ~prefix:"cp" ~trips:3 ~body_size:8;
+      Motifs.work f 10);
+  Program.of_funcs_exn ~main:"main"
+    ([ B.finish f; strcmp ] @ cold_funcs)
+
+let input set =
+  let n = 1 + (iterations * reads_per_iteration) + 64 in
+  match set with
+  | Input_gen.Reduced ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:88 ~n ~bound:40000)
+  | Input_gen.Train ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:1088 ~n ~bound:35000)
+  | Input_gen.Ref ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:2088 ~n ~bound:40000)
+
+let spec =
+  {
+    Spec.name = "perlbmk";
+    description = "interpreter: dispatch, pattern hammocks, ret-CFM callee";
+    program = lazy (build ());
+    input;
+  }

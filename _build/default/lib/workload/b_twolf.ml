@@ -1,0 +1,90 @@
+(* twolf stand-in: standard-cell placement — short mispredicted
+   hammocks plus utility functions whose arms return separately (the
+   return-CFM mechanism is worth +8% on twolf in the paper). *)
+
+open Dmp_ir
+module B = Build
+
+let iterations = 1900
+let reads_per_iteration = 2
+
+let build () =
+  let overlap =
+    Funcs.ret_hammock ~name:"overlap" ~cond:Spec.arg_reg ~a_size:7
+      ~b_size:9
+  in
+  let pick_cell =
+    Funcs.ret_hammock ~name:"pick_cell" ~cond:Spec.arg_reg ~a_size:5
+      ~b_size:6
+  in
+  let cold_funcs, cold_entry = Cold_code.library ~seed:7014 ~functions:32 in
+  let f = B.func "main" in
+  let v0 = Spec.value_reg 0 and v1 = Spec.value_reg 1 in
+  let t = Spec.value_reg 2 in
+  let c = Spec.cond_reg 0 in
+  Spec.outer_loop f ~iterations
+    ~prologue:(fun () -> Cold_code.call_gate f ~entry_name:cold_entry)
+    (fun () ->
+      B.read f v0;
+      B.read f v1;
+      (* Conditions for the late unpredicatable branches are
+         computed early, so those branches resolve at the minimum
+         misprediction penalty. *)
+      B.div f (Reg.of_int 8) v0 (B.imm 1000);
+      Motifs.bit_from f ~dst:(Reg.of_int 8) ~src:(Reg.of_int 8) ~percent:48;
+      B.div f (Reg.of_int 9) v1 (B.imm 10);
+      Motifs.bit_from f ~dst:(Reg.of_int 9) ~src:(Reg.of_int 9) ~percent:50;
+      (* Two short cost-comparison hammocks. *)
+      B.div f (Spec.cond_reg 2) v0 (B.imm 100);
+      Motifs.bit_from f ~dst:(Spec.cond_reg 2) ~src:(Spec.cond_reg 2)
+        ~percent:3;
+      Motifs.bit_from f ~dst:c ~src:v0 ~percent:60;
+      Motifs.short_freq_hammock f ~cold_exit:"outer_latch" ~prefix:"cost" ~cond:c
+        ~rare:(Spec.cond_reg 2) ~then_size:4 ~else_size:4 ~cold_size:110 ();
+      B.div f t v0 (B.imm 100);
+      Motifs.bit_from f ~dst:c ~src:t ~percent:80;
+      Motifs.simple_hammock f ~prefix:"wire" ~cond:c ~then_size:3
+        ~else_size:5;
+      (* Return-CFM callees. *)
+      Motifs.bit_from f ~dst:Spec.arg_reg ~src:v1 ~percent:82;
+      B.call f "overlap";
+      B.div f t v1 (B.imm 100);
+      Motifs.bit_from f ~dst:Spec.arg_reg ~src:t ~percent:80;
+      B.call f "pick_cell";
+      (* A moderate frequently-hammock. *)
+      Motifs.bit_from f ~dst:c ~src:v1 ~percent:63;
+      B.div f t v1 (B.imm 10000);
+      Motifs.bit_from f ~dst:(Spec.cond_reg 1) ~src:t ~percent:4;
+      Motifs.freq_hammock f ~cold_exit:"outer_latch" ~prefix:"mv" ~cond:c ~rare:(Spec.cond_reg 1)
+        ~hot_taken:11 ~hot_fall:12 ~join_size:7 ~cold_size:130 ();
+      (* Penalty recomputation: long arms, no close merge. *)
+      Motifs.diffuse_hammock f ~prefix:"pen" ~cond:(Reg.of_int 8) ~side:95;
+      Motifs.diffuse_hammock f ~prefix:"ovl" ~cond:(Reg.of_int 9) ~side:95;
+      B.branch f Term.Ne Spec.mode_reg (B.imm 1) ~target:"skip_dens" ();
+      B.label f "dens";
+      Motifs.bit_from f ~dst:c ~src:v0 ~percent:52;
+      Motifs.simple_hammock f ~prefix:"dn" ~cond:c ~then_size:4
+        ~else_size:5;
+      B.label f "skip_dens";
+      Motifs.fixed_loop f ~prefix:"row" ~trips:3 ~body_size:8;
+      Motifs.work f 16);
+  Program.of_funcs_exn ~main:"main"
+    ([ B.finish f; overlap; pick_cell ] @ cold_funcs)
+
+let input set =
+  let n = 1 + (iterations * reads_per_iteration) + 64 in
+  match set with
+  | Input_gen.Reduced ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:133 ~n ~bound:500000)
+  | Input_gen.Train ->
+      Input_gen.with_mode 2 (Input_gen.uniform ~seed:1133 ~n ~bound:450000)
+  | Input_gen.Ref ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:2133 ~n ~bound:500000)
+
+let spec =
+  {
+    Spec.name = "twolf";
+    description = "placement: short hammocks + return-CFM utilities";
+    program = lazy (build ());
+    input;
+  }

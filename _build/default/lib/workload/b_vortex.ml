@@ -1,0 +1,81 @@
+(* vortex stand-in: object database — highly predictable validation
+   branches (MPKI ~1), deep call chains, high ILP, small-footprint
+   loads that hit in the caches. *)
+
+open Dmp_ir
+module B = Build
+
+let iterations = 2000
+let reads_per_iteration = 2
+let table_base = 1 lsl 14
+
+let build () =
+  let validate =
+    Funcs.hammock_callee ~name:"validate" ~cond:Spec.arg_reg ~then_size:6
+      ~else_size:5 ~tail:8
+  in
+  let pack = Funcs.leaf ~name:"pack" ~size:16 in
+  let cold_funcs, cold_entry = Cold_code.library ~seed:7015 ~functions:32 in
+  let f = B.func "main" in
+  let v0 = Spec.value_reg 0 and v1 = Spec.value_reg 1 in
+  let a = Spec.value_reg 2 in
+  let c = Spec.cond_reg 0 in
+  Spec.outer_loop f ~iterations
+    ~prologue:(fun () ->
+      Cold_code.call_gate f ~entry_name:cold_entry;
+      Motifs.prime_memory f ~prefix:"prime" ~base:table_base ~words:512
+        ~stride:8)
+    (fun () ->
+      B.read f v0;
+      B.read f v1;
+      (* Conditions for the late unpredicatable branches are
+         computed early, so those branches resolve at the minimum
+         misprediction penalty. *)
+      Motifs.bit_from f ~dst:(Reg.of_int 8) ~src:v1 ~percent:47;
+      B.div f (Reg.of_int 9) v0 (B.imm 1000);
+      Motifs.bit_from f ~dst:(Reg.of_int 9) ~src:(Reg.of_int 9) ~percent:88;
+      (* Object-type check: almost always the common case. *)
+      Motifs.bit_from f ~dst:c ~src:v0 ~percent:88;
+      Motifs.simple_hammock f ~prefix:"typ" ~cond:c ~then_size:8
+        ~else_size:9;
+      (* Small hash-table probe that stays in the L1. *)
+      Motifs.mod_of f ~dst:a ~src:v1 ~modulus:4096;
+      B.add f a a (B.imm table_base);
+      B.load f Spec.arg_reg a 0;
+      Motifs.work f 15;
+      (* Validation layers. *)
+      Motifs.bit_from f ~dst:Spec.arg_reg ~src:v1 ~percent:98;
+      B.call f "validate";
+      B.call f "pack";
+      (* One genuinely hard branch, mode-gated, with long arms so it is
+         not a predication candidate. *)
+      B.branch f Term.Ne Spec.mode_reg (B.imm 1) ~target:"skip_compact" ();
+      B.label f "compact";
+      Motifs.diffuse_hammock f ~prefix:"cmp" ~cond:(Reg.of_int 8) ~side:95;
+      Motifs.bit_from f ~dst:c ~src:v1 ~percent:55;
+      Motifs.simple_hammock f ~prefix:"pack2" ~cond:c ~then_size:4
+        ~else_size:4;
+      B.label f "skip_compact";
+      Motifs.diffuse_hammock f ~prefix:"idx" ~cond:(Reg.of_int 9) ~side:95;
+      Motifs.fixed_loop f ~prefix:"fld" ~trips:4 ~body_size:9;
+      Motifs.work f 22);
+  Program.of_funcs_exn ~main:"main"
+    ([ B.finish f; validate; pack ] @ cold_funcs)
+
+let input set =
+  let n = 1 + (iterations * reads_per_iteration) + 64 in
+  match set with
+  | Input_gen.Reduced ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:111 ~n ~bound:300000)
+  | Input_gen.Train ->
+      Input_gen.with_mode 2 (Input_gen.uniform ~seed:1111 ~n ~bound:300000)
+  | Input_gen.Ref ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:2111 ~n ~bound:300000)
+
+let spec =
+  {
+    Spec.name = "vortex";
+    description = "object database: predictable validation, call chains";
+    program = lazy (build ());
+    input;
+  }

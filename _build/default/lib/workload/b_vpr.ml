@@ -1,0 +1,72 @@
+(* vpr stand-in: placement cost comparisons — many highly-mispredicted
+   *short* hammocks (always-predication wins big here in the paper),
+   plus one frequently-hammock on the accept/reject path. *)
+
+open Dmp_ir
+module B = Build
+
+let iterations = 2200
+let reads_per_iteration = 2
+
+let build () =
+  let cold_funcs, cold_entry = Cold_code.library ~seed:7016 ~functions:32 in
+  let f = B.func "main" in
+  let v0 = Spec.value_reg 0 and v1 = Spec.value_reg 1 in
+  let t = Spec.value_reg 2 in
+  let c0 = Spec.cond_reg 0 and c1 = Spec.cond_reg 1 in
+  let c2 = Spec.cond_reg 2 and rare = Spec.cond_reg 3 in
+  Spec.outer_loop f ~iterations
+    ~prologue:(fun () -> Cold_code.call_gate f ~entry_name:cold_entry)
+    (fun () ->
+      B.read f v0;
+      B.read f v1;
+      (* Conditions for the late unpredicatable branches are
+         computed early, so those branches resolve at the minimum
+         misprediction penalty. *)
+      B.div f (Reg.of_int 8) v1 (B.imm 10);
+      Motifs.bit_from f ~dst:(Reg.of_int 8) ~src:(Reg.of_int 8) ~percent:50;
+      B.div f (Reg.of_int 9) v0 (B.imm 100);
+      Motifs.bit_from f ~dst:(Reg.of_int 9) ~src:(Reg.of_int 9) ~percent:48;
+      (* Three independent 50/50 comparisons with tiny arms. *)
+      B.div f rare v0 (B.imm 100);
+      Motifs.bit_from f ~dst:rare ~src:rare ~percent:2;
+      Motifs.bit_from f ~dst:c0 ~src:v0 ~percent:82;
+      Motifs.short_freq_hammock f ~cold_exit:"outer_latch" ~prefix:"dx" ~cond:c0 ~rare ~then_size:4
+        ~else_size:3 ~cold_size:120 ();
+      B.div f t v0 (B.imm 100);
+      Motifs.bit_from f ~dst:c1 ~src:t ~percent:38;
+      Motifs.short_freq_hammock f ~cold_exit:"outer_latch" ~prefix:"dy" ~cond:c1 ~rare ~then_size:3
+        ~else_size:4 ~cold_size:110 ();
+      Motifs.bit_from f ~dst:c2 ~src:v1 ~percent:60;
+      Motifs.simple_hammock f ~prefix:"swap" ~cond:c2 ~then_size:4
+        ~else_size:4;
+      Motifs.diffuse_hammock f ~prefix:"rt" ~cond:(Reg.of_int 8) ~side:95;
+      (* Accept/reject with a rare timing-driven recompute. *)
+      Motifs.bit_from f ~dst:c0 ~src:v1 ~percent:66;
+      B.div f t v1 (B.imm 100);
+      Motifs.bit_from f ~dst:rare ~src:t ~percent:3;
+      Motifs.freq_hammock f ~cold_exit:"outer_latch" ~prefix:"acc" ~cond:c0 ~rare ~hot_taken:15
+        ~hot_fall:13 ~join_size:10 ~cold_size:150 ();
+      (* Bounding-box recomputation: long unmergeable arms. *)
+      Motifs.diffuse_hammock f ~prefix:"bb" ~cond:(Reg.of_int 9) ~side:95;
+      Motifs.fixed_loop f ~prefix:"net" ~trips:4 ~body_size:8;
+      Motifs.work f 14);
+  Program.of_funcs_exn ~main:"main" ([ B.finish f ] @ cold_funcs)
+
+let input set =
+  let n = 1 + (iterations * reads_per_iteration) + 64 in
+  match set with
+  | Input_gen.Reduced ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:22 ~n ~bound:10000)
+  | Input_gen.Train ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:1022 ~n ~bound:9000)
+  | Input_gen.Ref ->
+      Input_gen.with_mode 1 (Input_gen.uniform ~seed:2022 ~n ~bound:10000)
+
+let spec =
+  {
+    Spec.name = "vpr";
+    description = "placement: short mispredicted hammocks + accept/reject";
+    program = lazy (build ());
+    input;
+  }

@@ -1,0 +1,84 @@
+(* Cold code: generated library functions that are present in the
+   binary but never executed (guarded by an impossible mode check), as
+   the bulk of any real program's static code is. They give the
+   synthetic binaries realistic static instruction and branch counts
+   (the paper's Table 2 reports hundreds to thousands of static
+   branches per benchmark), exercise the analysis passes on much larger
+   CFGs, and cost nothing at run time.
+
+   Everything is generated deterministically from a seed. *)
+
+open Dmp_ir
+module B = Build
+
+let fresh_name seed i = Printf.sprintf "cold_%d_%d" seed i
+
+(* One cold function: a few hammocks and a loop over the argument
+   registers, shaped like ordinary utility code. *)
+let cold_function st ~name =
+  let f = B.func name in
+  let a = Reg.of_int 4 and b = Reg.of_int 5 and t = Reg.of_int 10 in
+  let acc = Reg.of_int 11 in
+  let n_sections = 2 + Random.State.int st 3 in
+  for s = 0 to n_sections - 1 do
+    let lbl suffix = Printf.sprintf "s%d_%s" s suffix in
+    match Random.State.int st 3 with
+    | 0 ->
+        (* simple hammock on an argument *)
+        B.rem f t a (B.imm (2 + Random.State.int st 5));
+        B.branch f Term.Ne t (B.imm 0) ~target:(lbl "t") ();
+        B.label f (lbl "f");
+        for _ = 0 to Random.State.int st 4 do
+          B.add f acc acc (B.imm (1 + Random.State.int st 9))
+        done;
+        B.jump f (lbl "j");
+        B.label f (lbl "t");
+        for _ = 0 to Random.State.int st 4 do
+          B.sub f acc acc (B.imm (1 + Random.State.int st 9))
+        done;
+        B.label f (lbl "j")
+    | 1 ->
+        (* bounded loop *)
+        B.rem f t b (B.imm (3 + Random.State.int st 5));
+        B.add f t t (B.imm 1);
+        B.label f (lbl "head");
+        B.add f acc acc (B.reg a);
+        B.xor f acc acc (B.imm (Random.State.int st 255));
+        B.sub f t t (B.imm 1);
+        B.branch f Term.Gt t (B.imm 0) ~target:(lbl "head") ();
+        B.label f (lbl "x")
+    | _ ->
+        (* early-return check *)
+        B.branch f Term.Lt a (B.imm (Random.State.int st 100))
+          ~target:(lbl "ret") ();
+        B.label f (lbl "go");
+        B.mul f acc acc (B.imm 3);
+        B.jump f (lbl "x");
+        B.label f (lbl "ret");
+        B.ret f;
+        B.label f (lbl "x")
+  done;
+  B.mov f (Reg.of_int 1) acc;
+  B.ret f;
+  B.finish f
+
+(* The library plus its dispatcher, which calls every function in turn
+   (so all of them are statically reachable and the program validates). *)
+let library ~seed ~functions =
+  let st = Random.State.make [| seed; 0xC01D |] in
+  let names = List.init functions (fresh_name seed) in
+  let funcs = List.map (fun name -> cold_function st ~name) names in
+  let entry_name = Printf.sprintf "cold_entry_%d" seed in
+  let d = B.func entry_name in
+  List.iter (fun name -> B.call d name) names;
+  B.ret d;
+  (B.finish d :: funcs, entry_name)
+
+(* Emit the impossible guard that keeps the library statically reachable
+   but dynamically dead: the benchmark mode word is never 0. *)
+let call_gate f ~entry_name =
+  B.branch f Term.Ne Spec.mode_reg (B.imm 0)
+    ~target:("skip_" ^ entry_name) ();
+  B.label f ("enter_" ^ entry_name);
+  B.call f entry_name;
+  B.label f ("skip_" ^ entry_name)

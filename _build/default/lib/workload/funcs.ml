@@ -1,0 +1,41 @@
+(* Common callee shapes shared by the benchmarks. *)
+
+open Dmp_ir
+module B = Build
+
+(* Straight-line leaf function. *)
+let leaf ~name ~size =
+  let f = B.func name in
+  Motifs.work f size;
+  B.ret f;
+  B.finish f
+
+(* A function whose branch sides end in *different* returns: the
+   canonical return-CFM shape of Section 3.5. The condition arrives in
+   [cond]. *)
+let ret_hammock ~name ~cond ~a_size ~b_size =
+  let f = B.func name in
+  B.branch f Term.Ne cond (B.imm 0) ~target:"a" ();
+  B.label f "b";
+  Motifs.work f b_size;
+  B.ret f;
+  B.label f "a";
+  Motifs.work f a_size;
+  B.ret f;
+  B.finish f
+
+(* A function containing a simple hammock that merges before a single
+   return. *)
+let hammock_callee ~name ~cond ~then_size ~else_size ~tail =
+  let f = B.func name in
+  Motifs.simple_hammock f ~prefix:"h" ~cond ~then_size ~else_size;
+  Motifs.work f tail;
+  B.ret f;
+  B.finish f
+
+(* A function with a small data-dependent loop (trip in [trip]). *)
+let loop_callee ~name ~trip ~body_size =
+  let f = B.func name in
+  Motifs.data_loop f ~prefix:"l" ~trip ~body_size;
+  B.ret f;
+  B.finish f

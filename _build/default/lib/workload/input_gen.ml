@@ -1,0 +1,49 @@
+(* Seeded input-set generators. Every benchmark reads one stream of
+   non-negative integers and derives branch conditions, loop trip counts
+   and memory addresses from it, so an input set is fully described by a
+   seed, a length and a value distribution. The paper's
+   MinneSPEC-reduced vs SPEC-train distinction maps to different seeds
+   *and* different distributions. *)
+
+type set = Reduced | Train | Ref
+
+let set_to_string = function
+  | Reduced -> "reduced"
+  | Train -> "train"
+  | Ref -> "ref"
+
+let set_of_string = function
+  | "reduced" -> Reduced
+  | "train" -> Train
+  | "ref" -> Ref
+  | s -> invalid_arg ("Input_gen.set_of_string: " ^ s)
+
+let uniform ~seed ~n ~bound =
+  let st = Random.State.make [| seed |] in
+  Array.init n (fun _ -> Random.State.int st bound)
+
+(* A mixture of two uniform ranges; [p_small] selects the narrow one.
+   Shifts modulus-derived branch probabilities between input sets. *)
+let mixture ~seed ~n ~bound ~small_bound ~p_small =
+  let st = Random.State.make [| seed |] in
+  Array.init n (fun _ ->
+      if Random.State.float st 1. < p_small then
+        Random.State.int st small_bound
+      else Random.State.int st bound)
+
+(* Piecewise-phased stream: the distribution changes every [phase]
+   values, modelling program phase behaviour (hurts history-based
+   predictors in a controlled way). *)
+let phased ~seed ~n ~phase ~bounds =
+  let st = Random.State.make [| seed |] in
+  let k = Array.length bounds in
+  Array.init n (fun i ->
+      let b = bounds.((i / phase) mod k) in
+      Random.State.int st b)
+
+(* Prefix the stream with a mode word: benchmarks dispatch on it, so
+   different input sets can exercise different code sections (the
+   only-run / only-train effect of Figure 10). *)
+let with_mode mode values = Array.append [| mode |] values
+
+let concat = Array.concat

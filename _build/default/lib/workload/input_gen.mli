@@ -1,0 +1,23 @@
+(** Seeded input-set generators. The paper's MinneSPEC-reduced vs
+    SPEC-train distinction maps to different seeds and distributions. *)
+
+type set = Reduced | Train | Ref
+
+val set_to_string : set -> string
+val set_of_string : string -> set
+val uniform : seed:int -> n:int -> bound:int -> int array
+
+val mixture :
+  seed:int -> n:int -> bound:int -> small_bound:int -> p_small:float ->
+  int array
+(** Mixture of two uniform ranges; shifts modulus-derived branch
+    probabilities and loop trip counts between input sets. *)
+
+val phased : seed:int -> n:int -> phase:int -> bounds:int array -> int array
+(** The distribution changes every [phase] values (program phases). *)
+
+val with_mode : int -> int array -> int array
+(** Prefix the stream with a mode word; benchmarks dispatch on it so
+    different input sets exercise different code sections (Fig. 10). *)
+
+val concat : int array list -> int array

@@ -1,0 +1,317 @@
+(* Control-flow motif combinators used to assemble the synthetic
+   benchmarks. Each motif emits blocks into a Build.fn under a unique
+   label prefix and leaves the builder positioned at the motif's join
+   point, so motifs compose sequentially.
+
+   Register conventions (never touched by [work] filler):
+     r2..r9   benchmark locals / arguments
+     r10..r15 motif condition and trip registers
+     r20..r27 scratch registers for filler work *)
+
+open Dmp_ir
+module B = Build
+
+let scratch_base = 20
+let scratch_count = 8
+let scratch i = Reg.of_int (scratch_base + (i mod scratch_count))
+
+(* Global accumulator: motif arms fold their result into it, so it is
+   live at every join point and each dynamic hammock needs at least one
+   select-uop, as in real code. *)
+let acc_reg = Reg.of_int 16
+
+let work_counter = ref 0
+
+let bump_acc f =
+  let k = !work_counter in
+  incr work_counter;
+  B.add f acc_reg acc_reg (B.imm ((k mod 11) + 1))
+
+(* [work f n] emits [n] dependence-mixed ALU instructions over the
+   scratch registers. Every read is of a register written earlier in the
+   same call, so scratch registers are *dead* at every motif join point
+   — select-µops only reconcile genuinely live state, as a real
+   compiler's temporaries would. The op mix is deterministic but varied
+   so different call sites produce different code. *)
+let work f n =
+  if n > 0 then begin
+    let k0 = !work_counter in
+    incr work_counter;
+    let first = scratch k0 in
+    B.li f first ((k0 mod 89) + 1);
+    let last = ref first and prev = ref first in
+    for _ = 2 to n do
+      let k = !work_counter in
+      incr work_counter;
+      let dst = scratch k in
+      let a = !last and b = !prev in
+      (match k mod 5 with
+      | 0 -> B.add f dst a (B.imm ((k mod 13) + 1))
+      | 1 -> B.xor f dst a (B.reg b)
+      | 2 -> B.sub f dst a (B.imm ((k mod 7) + 1))
+      | 3 -> B.shl f dst a (B.imm ((k mod 3) + 1))
+      | _ -> B.or_ f dst a (B.reg b));
+      prev := a;
+      last := dst
+    done
+  end
+
+(* Heavier filler containing a serial multiply chain, lowering local
+   IPC. Same liveness discipline as [work]. *)
+let heavy_work f n =
+  if n > 0 then begin
+    let k0 = !work_counter in
+    incr work_counter;
+    let first = scratch k0 in
+    B.li f first ((k0 mod 31) + 2);
+    let last = ref first in
+    for i = 2 to n do
+      let k = !work_counter in
+      incr work_counter;
+      let dst = scratch k in
+      if i mod 4 = 0 then B.mul f dst !last (B.imm ((k mod 5) + 3))
+      else B.add f dst !last (B.imm 1);
+      last := dst
+    done
+  end
+
+(* dst <- 1 with probability [percent]/100, assuming [src] holds a
+   uniformly distributed non-negative value. *)
+let bit_from f ~dst ~src ~percent =
+  B.rem f dst src (B.imm 100);
+  B.alu f Instr.Slt dst dst (B.imm percent)
+
+(* dst <- src mod modulus (loop trip counts, table indices). *)
+let mod_of f ~dst ~src ~modulus = B.rem f dst src (B.imm modulus)
+
+(* Read the next input value into [dst]. *)
+let read f dst = B.read f dst
+
+(* if cond <> 0 then <then_size insts> else <else_size insts>; join.
+   An exact simple hammock (Figure 3a); [else_size = 0] gives the plain
+   "if" shape. *)
+let simple_hammock f ~prefix ~cond ~then_size ~else_size =
+  let lbl s = prefix ^ "_" ^ s in
+  B.branch f Term.Ne cond (B.imm 0) ~target:(lbl "then") ();
+  B.label f (lbl "else");
+  work f else_size;
+  bump_acc f;
+  B.jump f (lbl "join");
+  B.label f (lbl "then");
+  work f then_size;
+  bump_acc f;
+  B.label f (lbl "join")
+
+(* Nested hammock (Figure 3b): the taken side contains an inner
+   hammock on [cond2]. The IPOSDOM of the outer branch is the join. *)
+let nested_hammock f ~prefix ~cond1 ~cond2 ~sizes =
+  let s1, s2, s3, s4 = sizes in
+  let lbl s = prefix ^ "_" ^ s in
+  B.branch f Term.Ne cond1 (B.imm 0) ~target:(lbl "then") ();
+  B.label f (lbl "else");
+  work f s1;
+  bump_acc f;
+  B.jump f (lbl "join");
+  B.label f (lbl "then");
+  work f s2;
+  B.branch f Term.Ne cond2 (B.imm 0) ~target:(lbl "ithen") ();
+  B.label f (lbl "ielse");
+  work f s3;
+  bump_acc f;
+  B.jump f (lbl "join");
+  B.label f (lbl "ithen");
+  work f s4;
+  bump_acc f;
+  B.label f (lbl "join")
+
+(* Frequently-hammock (Figure 3c): both hot sides merge at "join", but
+   the taken side has a rare exit ([rare] <> 0, low probability) to a
+   long cold path that bypasses the join, so the join is only an
+   approximate CFM point and the exact CFM (IPOSDOM) is far away. *)
+let freq_hammock f ?cold_exit ~prefix ~cond ~rare ~hot_taken ~hot_fall
+    ~join_size ~cold_size () =
+  let lbl s = prefix ^ "_" ^ s in
+  let cold_target = match cold_exit with Some l -> l | None -> lbl "after" in
+  B.branch f Term.Ne cond (B.imm 0) ~target:(lbl "hot_t") ();
+  B.label f (lbl "hot_nt");
+  work f hot_fall;
+  bump_acc f;
+  B.jump f (lbl "join");
+  B.label f (lbl "hot_t");
+  work f (hot_taken / 2);
+  B.branch f Term.Ne rare (B.imm 0) ~target:(lbl "cold") ();
+  B.label f (lbl "hot_t2");
+  work f (hot_taken - (hot_taken / 2));
+  bump_acc f;
+  B.jump f (lbl "join");
+  B.label f (lbl "cold");
+  work f cold_size;
+  B.jump f cold_target;
+  B.label f (lbl "join");
+  work f join_size;
+  B.label f (lbl "after")
+
+(* Frequently-hammock with rare exits on both sides (lower merge
+   probability, exercises MIN_MERGE_PROB). *)
+let freq_hammock2 f ?cold_exit ~prefix ~cond ~rare_t ~rare_nt ~hot_taken
+    ~hot_fall ~join_size ~cold_size () =
+  let lbl s = prefix ^ "_" ^ s in
+  let cold_target = match cold_exit with Some l -> l | None -> lbl "after" in
+  B.branch f Term.Ne cond (B.imm 0) ~target:(lbl "hot_t") ();
+  B.label f (lbl "hot_nt");
+  work f (hot_fall / 2);
+  B.branch f Term.Ne rare_nt (B.imm 0) ~target:(lbl "cold_nt") ();
+  B.label f (lbl "hot_nt2");
+  work f (hot_fall - (hot_fall / 2));
+  bump_acc f;
+  B.jump f (lbl "join");
+  B.label f (lbl "hot_t");
+  work f (hot_taken / 2);
+  B.branch f Term.Ne rare_t (B.imm 0) ~target:(lbl "cold_t") ();
+  B.label f (lbl "hot_t2");
+  work f (hot_taken - (hot_taken / 2));
+  bump_acc f;
+  B.jump f (lbl "join");
+  B.label f (lbl "cold_t");
+  work f cold_size;
+  B.jump f cold_target;
+  B.label f (lbl "cold_nt");
+  work f cold_size;
+  B.jump f cold_target;
+  B.label f (lbl "join");
+  work f join_size;
+  B.label f (lbl "after")
+
+(* Short hammock with a rare bypass on the taken side: the join is an
+   *approximate* CFM point (merge probability ~ 1 - p(rare)), so the
+   branch is found by Alg-freq rather than Alg-exact, yet still
+   qualifies for always-predication under the short-hammock heuristic
+   (sides < 10 instructions, merge probability >= 95%). *)
+let short_freq_hammock f ?cold_exit ~prefix ~cond ~rare ~then_size
+    ~else_size ~cold_size () =
+  let lbl s = prefix ^ "_" ^ s in
+  let cold_target = match cold_exit with Some l -> l | None -> lbl "after" in
+  B.branch f Term.Ne cond (B.imm 0) ~target:(lbl "then") ();
+  B.label f (lbl "else");
+  work f else_size;
+  bump_acc f;
+  B.jump f (lbl "join");
+  B.label f (lbl "then");
+  work f then_size;
+  bump_acc f;
+  B.branch f Term.Ne rare (B.imm 0) ~target:(lbl "cold") ();
+  B.label f (lbl "join");
+  work f 2;
+  B.jump f (lbl "after");
+  B.label f (lbl "cold");
+  work f cold_size;
+  B.jump f cold_target;
+  B.label f (lbl "after")
+
+(* A hard-to-predict branch whose arms are long and rejoin only far
+   away: dynamic predication of it would fill the window with wrong-path
+   instructions, so neither the threshold heuristics (MAX_INSTR) nor the
+   cost-benefit model selects it. Its mispredictions are the ones DMP
+   cannot remove — every real program has plenty. *)
+let diffuse_hammock f ~prefix ~cond ~side =
+  let lbl s = prefix ^ "_" ^ s in
+  B.branch f Term.Ne cond (B.imm 0) ~target:(lbl "long_t") ();
+  B.label f (lbl "long_nt");
+  work f (side / 3);
+  bump_acc f;
+  work f (side - (side / 3));
+  bump_acc f;
+  B.jump f (lbl "join");
+  B.label f (lbl "long_t");
+  work f (side / 2);
+  bump_acc f;
+  work f (side - (side / 2));
+  bump_acc f;
+  B.label f (lbl "join")
+
+(* Loop-carried serial dependency chain on a persistent register:
+   models data-dependent computation that the out-of-order core cannot
+   parallelise across iterations (board evaluation, graph updates).
+   Caps the achievable baseline IPC. *)
+let serial_chain f ~reg ~n =
+  for i = 1 to n do
+    if i mod 3 = 0 then B.rem f reg reg (B.imm 65521)
+    else if i mod 3 = 1 then B.mul f reg reg (B.imm 3)
+    else B.add f reg reg (B.imm 7)
+  done
+
+(* Fixed-trip loop: fully predictable after warm-up; dilutes the
+   misprediction rate the way real programs' regular loops do. *)
+let fixed_loop f ~prefix ~trips ~body_size =
+  let t = Reg.of_int 19 in
+  let lbl s = prefix ^ "_" ^ s in
+  B.li f t trips;
+  B.label f (lbl "head");
+  work f body_size;
+  B.sub f t t (B.imm 1);
+  B.branch f Term.Gt t (B.imm 0) ~target:(lbl "head") ();
+  B.label f (lbl "exit")
+
+(* Data-dependent loop: executes the body [trip] times (trip >= 1).
+   The exit branch mispredicts when the trip count is irregular. *)
+let data_loop f ~prefix ~trip ~body_size =
+  let lbl s = prefix ^ "_" ^ s in
+  B.label f (lbl "head");
+  work f body_size;
+  bump_acc f;
+  B.sub f trip trip (B.imm 1);
+  B.branch f Term.Gt trip (B.imm 0) ~target:(lbl "head") ();
+  B.label f (lbl "exit")
+
+(* Loop with a hammock inside the body: mispredictions inside loops. *)
+let loop_with_hammock f ~prefix ~trip ~cond_src ~body_size ~percent =
+  let lbl s = prefix ^ "_" ^ s in
+  let c = Reg.of_int 15 in
+  B.label f (lbl "head");
+  read f cond_src;
+  bit_from f ~dst:c ~src:cond_src ~percent;
+  simple_hammock f ~prefix:(lbl "h") ~cond:c ~then_size:(body_size / 2)
+    ~else_size:(body_size / 2);
+  B.sub f trip trip (B.imm 1);
+  B.branch f Term.Gt trip (B.imm 0) ~target:(lbl "head") ();
+  B.label f (lbl "exit")
+
+(* Pointer-chase style loads: [n] dependent loads at pseudo-random
+   addresses derived from [addr_src], over a [footprint]-byte region
+   starting at [base]. Large footprints produce cache misses. After the
+   chase, r18 holds the final (load-dependent) address and r17 the last
+   loaded value — conditions derived from them resolve only after the
+   cache misses, like real pointer-chasing code. *)
+let chase_addr_reg = Reg.of_int 18
+let chase_value_reg = Reg.of_int 17
+
+let chase f ~addr_src ~base ~footprint ~n =
+  let a = Reg.of_int 18 and v = Reg.of_int 17 in
+  B.rem f a addr_src (B.imm footprint);
+  B.add f a a (B.imm base);
+  for _ = 1 to n do
+    B.load f v a 0;
+    B.sub f a a (B.imm base);
+    B.add f a a (B.reg v);
+    B.mul f a a (B.imm 1103);
+    B.add f a a (B.reg addr_src);
+    B.rem f a a (B.imm footprint);
+    B.add f a a (B.imm base)
+  done
+
+(* Strided stores priming a memory region (so later chase loads find
+   plausible values). *)
+let prime_memory f ~prefix ~base ~words ~stride =
+  let a = Reg.of_int 14 and v = Reg.of_int 13 and i = Reg.of_int 12 in
+  let lbl s = prefix ^ "_" ^ s in
+  B.li f i words;
+  B.li f a base;
+  B.li f v 17;
+  B.label f (lbl "head");
+  B.store f v a 0;
+  B.add f a a (B.imm stride);
+  B.mul f v v (B.imm 13);
+  B.rem f v v (B.imm 97);
+  B.sub f i i (B.imm 1);
+  B.branch f Term.Gt i (B.imm 0) ~target:(lbl "head") ();
+  B.label f (lbl "done")

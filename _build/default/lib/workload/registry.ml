@@ -1,0 +1,30 @@
+(* All benchmarks: the 12 SPEC CPU2000 INT stand-ins followed by the 5
+   SPEC95 INT stand-ins, in the paper's Table 2 order. *)
+
+let int2000 =
+  [
+    B_gzip.spec;
+    B_vpr.spec;
+    B_gcc.spec;
+    B_mcf.spec;
+    B_crafty.spec;
+    B_parser.spec;
+    B_eon.spec;
+    B_perlbmk.spec;
+    B_gap.spec;
+    B_vortex.spec;
+    B_bzip2.spec;
+    B_twolf.spec;
+  ]
+
+let int95 =
+  [ B_compress.spec; B_go.spec; B_ijpeg.spec; B_li.spec; B_m88ksim.spec ]
+
+let all = int2000 @ int95
+
+let find name =
+  match List.find_opt (fun s -> String.equal s.Spec.name name) all with
+  | Some s -> s
+  | None -> invalid_arg ("Registry.find: unknown benchmark " ^ name)
+
+let names = List.map (fun s -> s.Spec.name) all

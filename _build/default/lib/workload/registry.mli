@@ -1,0 +1,11 @@
+(** The benchmark suite: 12 SPEC CPU2000 INT stand-ins followed by the 5
+    SPEC95 INT stand-ins, in the paper's Table 2 order. *)
+
+val int2000 : Spec.t list
+val int95 : Spec.t list
+val all : Spec.t list
+
+val find : string -> Spec.t
+(** @raise Invalid_argument on an unknown name. *)
+
+val names : string list

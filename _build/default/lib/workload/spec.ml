@@ -1,0 +1,33 @@
+open Dmp_ir
+module B = Build
+
+type t = {
+  name : string;
+  description : string;
+  program : Program.t Lazy.t;
+  input : Input_gen.set -> int array;
+}
+
+let mode_reg = Reg.of_int 2
+let arg_reg = Reg.of_int 14  (* condition argument for helper callees *)
+let counter_reg = Reg.of_int 3
+let value_reg n = Reg.of_int (4 + n)  (* r4..r9 *)
+let cond_reg n = Reg.of_int (10 + n)  (* r10..r13 *)
+
+(* Standard driver: read the mode word, run [body] [iterations] times,
+   halt. [prologue] runs once before the loop (e.g. memory priming). *)
+let outer_loop f ~iterations ?(prologue = fun () -> ()) body =
+  B.read f mode_reg;
+  prologue ();
+  B.li f counter_reg iterations;
+  B.label f "outer";
+  body ();
+  B.label f "outer_latch";
+  (* Consume the motif accumulator so it is live across every join. *)
+  B.write f Motifs.acc_reg;
+  B.sub f counter_reg counter_reg (B.imm 1);
+  B.branch f Term.Gt counter_reg (B.imm 0) ~target:"outer" ();
+  B.label f "end";
+  B.halt f
+
+let linked spec = Linked.link (Lazy.force spec.program)

@@ -1,0 +1,30 @@
+(** A benchmark: a program plus its input-set generators.
+
+    Register conventions used by the benchmark builders:
+    r2 mode word, r3 outer counter, r4..r9 per-iteration values,
+    r10..r13 condition/trip registers, r14 callee argument, r16 the
+    motif accumulator, r17..r19 motif-private, r20..r27 filler scratch. *)
+
+open Dmp_ir
+
+type t = {
+  name : string;
+  description : string;
+  program : Program.t Lazy.t;
+  input : Input_gen.set -> int array;
+}
+
+val mode_reg : Reg.t
+val arg_reg : Reg.t
+val counter_reg : Reg.t
+val value_reg : int -> Reg.t
+val cond_reg : int -> Reg.t
+
+val outer_loop :
+  Build.fn -> iterations:int -> ?prologue:(unit -> unit) ->
+  (unit -> unit) -> unit
+(** Standard driver: read the mode word, run the body [iterations]
+    times (consuming the motif accumulator at the [outer_latch] label so
+    it stays live across every join), halt. *)
+
+val linked : t -> Linked.t

@@ -1,0 +1,1 @@
+test/helpers.ml: Array Build Dmp_ir Instr Printf Program Random Reg Term

@@ -1,0 +1,1 @@
+test/test_binary.ml: Alcotest Array Dmp_core Dmp_exec Dmp_ir Dmp_profile Dmp_workload Emulator Encode Helpers Lazy Linked List Printf Program QCheck QCheck_alcotest Recover String

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Build Cfg Dmp_cfg Dmp_ir Dom Dot Helpers List Live Loops Postdom Program QCheck QCheck_alcotest Random Reg String Term

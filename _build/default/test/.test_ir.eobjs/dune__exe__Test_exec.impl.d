@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Build Dmp_exec Dmp_ir Emulator Event Helpers Linked Program QCheck QCheck_alcotest Random Reg Term

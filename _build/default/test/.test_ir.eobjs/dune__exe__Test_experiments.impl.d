@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Astring_contains Dmp_core Dmp_experiments Dmp_workload Fig10 Fig5 Fig7 Input_gen List Registry Report Runner Table2 Variants

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Annotation Config Dmp_core Dmp_profile Dmp_uarch Dmp_workload Hashtbl Input_gen List Registry Select Sim Simple_select Spec Stats

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Asm Block Build Dmp_exec Dmp_ir Func Helpers Instr Linked List Program QCheck QCheck_alcotest Random Reg Term

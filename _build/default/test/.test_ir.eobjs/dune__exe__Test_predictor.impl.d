@@ -1,0 +1,1 @@
+test/test_predictor.ml: Alcotest Conf Dmp_predictor History List Predictor QCheck QCheck_alcotest Random Ras

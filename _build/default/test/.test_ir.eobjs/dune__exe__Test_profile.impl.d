@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Block Build Dmp_cfg Dmp_exec Dmp_ir Dmp_profile Func Helpers Linked List Option Profile Program QCheck QCheck_alcotest Random Term Two_d

@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Build Cache Config Dmp_core Dmp_exec Dmp_ir Dmp_profile Dmp_uarch Helpers Linked Program QCheck QCheck_alcotest Random Reg Sim Static_info Stats Term

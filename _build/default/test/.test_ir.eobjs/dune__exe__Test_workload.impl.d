@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dmp_exec Dmp_ir Dmp_profile Dmp_workload Input_gen Lazy List Program Registry Spec

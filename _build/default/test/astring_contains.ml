@@ -1,0 +1,12 @@
+(* Tiny substring check so the tests avoid an extra dependency. *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else
+    let rec go i =
+      if i + n > h then false
+      else if String.sub haystack i n = needle then true
+      else go (i + 1)
+    in
+    go 0

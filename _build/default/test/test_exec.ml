@@ -1,0 +1,176 @@
+open Dmp_ir
+open Dmp_exec
+module B = Build
+
+let check = Alcotest.check
+let reg = Reg.of_int
+
+let run_program ?(input = [||]) program =
+  let linked = Linked.link program in
+  let emu = Emulator.create linked ~input in
+  ignore (Emulator.run emu);
+  emu
+
+let test_arithmetic () =
+  let f = B.func "main" in
+  B.li f (reg 4) 21;
+  B.mul f (reg 5) (reg 4) (B.imm 2);
+  B.add f (reg 5) (reg 5) (B.imm (-2));
+  B.write f (reg 5);
+  B.halt f;
+  let emu = run_program (Program.of_funcs_exn ~main:"main" [ B.finish f ]) in
+  check Alcotest.(list int) "output" [ 40 ] (Emulator.output emu)
+
+let test_branching () =
+  let f = B.func "main" in
+  B.li f (reg 4) 3;
+  B.branch f Term.Gt (reg 4) (B.imm 5) ~target:"big" ();
+  B.label f "small";
+  B.li f (reg 5) 1;
+  B.jump f "out";
+  B.label f "big";
+  B.li f (reg 5) 2;
+  B.label f "out";
+  B.write f (reg 5);
+  B.halt f;
+  let emu = run_program (Program.of_funcs_exn ~main:"main" [ B.finish f ]) in
+  check Alcotest.(list int) "took fall side" [ 1 ] (Emulator.output emu)
+
+let test_loop_and_memory () =
+  (* Store 0..4 at 100..104, then sum them back. *)
+  let f = B.func "main" in
+  let i = reg 4 and a = reg 5 and acc = reg 6 and v = reg 7 in
+  B.li f i 0;
+  B.label f "store";
+  B.add f a i (B.imm 100);
+  B.store f i a 0;
+  B.add f i i (B.imm 1);
+  B.branch f Term.Lt i (B.imm 5) ~target:"store" ();
+  B.label f "load";
+  B.li f i 0;
+  B.li f acc 0;
+  B.label f "load_head";
+  B.add f a i (B.imm 100);
+  B.load f v a 0;
+  B.add f acc acc (B.reg v);
+  B.add f i i (B.imm 1);
+  B.branch f Term.Lt i (B.imm 5) ~target:"load_head" ();
+  B.label f "out";
+  B.write f acc;
+  B.halt f;
+  let emu = run_program (Program.of_funcs_exn ~main:"main" [ B.finish f ]) in
+  check Alcotest.(list int) "sum" [ 10 ] (Emulator.output emu)
+
+let test_call_ret () =
+  let callee = B.func "double" in
+  B.add callee (reg 4) (reg 4) (B.reg (reg 4));
+  B.ret callee;
+  let callee = B.finish callee in
+  let f = B.func "main" in
+  B.li f (reg 4) 5;
+  B.call f "double";
+  B.call f "double";
+  B.write f (reg 4);
+  B.halt f;
+  let emu =
+    run_program (Program.of_funcs_exn ~main:"main" [ B.finish f; callee ])
+  in
+  check Alcotest.(list int) "nested calls" [ 20 ] (Emulator.output emu)
+
+let test_main_return_halts () =
+  let f = B.func "main" in
+  B.li f (reg 4) 1;
+  B.ret f;
+  let emu = run_program (Program.of_funcs_exn ~main:"main" [ B.finish f ]) in
+  check Alcotest.bool "halted" true (Emulator.halted emu);
+  check Alcotest.int "retired" 2 (Emulator.retired emu)
+
+let test_input_exhaustion () =
+  let f = B.func "main" in
+  B.read f (reg 4);
+  B.read f (reg 5);
+  B.write f (reg 4);
+  B.write f (reg 5);
+  B.halt f;
+  let emu =
+    run_program ~input:[| 7 |]
+      (Program.of_funcs_exn ~main:"main" [ B.finish f ])
+  in
+  check Alcotest.(list int) "reads past end yield 0" [ 7; 0 ]
+    (Emulator.output emu)
+
+let test_max_insts () =
+  let f = B.func "main" in
+  B.label f "spin";
+  B.nop f;
+  B.jump f "spin";
+  let linked = Linked.link (Program.of_funcs_exn ~main:"main" [ B.finish f ]) in
+  let emu = Emulator.create linked ~input:[||] in
+  let n = Emulator.run ~max_insts:100 emu in
+  check Alcotest.int "bounded" 100 n;
+  check Alcotest.bool "not halted" false (Emulator.halted emu)
+
+let test_branch_event_fields () =
+  let program = Helpers.simple_hammock_program ~iters:10 () in
+  let linked = Linked.link program in
+  let emu = Emulator.create linked ~input:(Helpers.uniform_input 100) in
+  let saw_branch = ref false in
+  Emulator.iter emu (fun e ->
+      match e.Event.kind with
+      | Event.Branch { taken; target; fall } ->
+          saw_branch := true;
+          check Alcotest.int "next matches direction"
+            (if taken then target else fall)
+            e.Event.next
+      | _ -> ());
+  check Alcotest.bool "branches seen" true !saw_branch
+
+let test_determinism () =
+  let program = Helpers.freq_hammock_program ~iters:300 () in
+  let linked = Linked.link program in
+  let input = Helpers.uniform_input 400 in
+  let run () =
+    let emu = Emulator.create linked ~input in
+    let trace = ref [] in
+    Emulator.iter emu (fun e -> trace := e.Event.addr :: !trace);
+    (!trace, Emulator.output emu)
+  in
+  let t1, o1 = run () and t2, o2 = run () in
+  check Alcotest.bool "same trace" true (t1 = t2);
+  check Alcotest.bool "same output" true (o1 = o2)
+
+let qcheck_random_programs_terminate =
+  QCheck.Test.make ~name:"random programs halt within fuel" ~count:60
+    QCheck.(int_range 2 20)
+    (fun n ->
+      let st = Random.State.make [| n; 31 |] in
+      let program = Helpers.random_program st ~nblocks:n in
+      let emu =
+        Emulator.create (Linked.link program)
+          ~input:(Helpers.uniform_input 64)
+      in
+      let retired = Emulator.run ~max_insts:100_000 emu in
+      Emulator.halted emu && retired < 100_000)
+
+let () =
+  Alcotest.run "dmp_exec"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "branching" `Quick test_branching;
+          Alcotest.test_case "loop+memory" `Quick test_loop_and_memory;
+          Alcotest.test_case "call/ret" `Quick test_call_ret;
+          Alcotest.test_case "main return halts" `Quick
+            test_main_return_halts;
+          Alcotest.test_case "input exhaustion" `Quick test_input_exhaustion;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "max_insts" `Quick test_max_insts;
+          Alcotest.test_case "branch events" `Quick test_branch_event_fields;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest qcheck_random_programs_terminate ] );
+    ]

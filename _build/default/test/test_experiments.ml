@@ -1,0 +1,135 @@
+open Dmp_experiments
+open Dmp_workload
+
+let check = Alcotest.check
+
+(* A tiny runner over two benchmarks with capped simulations keeps the
+   suite fast. *)
+let small_runner () =
+  Runner.create
+    ~benchmarks:[ Registry.find "vpr"; Registry.find "li" ]
+    ~max_insts:120_000 ()
+
+let test_runner_caching () =
+  let r = small_runner () in
+  let p1 = Runner.profile r "vpr" Input_gen.Reduced in
+  let p2 = Runner.profile r "vpr" Input_gen.Reduced in
+  check Alcotest.bool "profile cached (physical equality)" true (p1 == p2);
+  let b1 = Runner.baseline r "vpr" in
+  let b2 = Runner.baseline r "vpr" in
+  check Alcotest.bool "baseline cached" true (b1 == b2)
+
+let test_runner_unknown () =
+  let r = small_runner () in
+  Alcotest.check_raises "unknown benchmark"
+    (Invalid_argument "Runner: unknown benchmark nope") (fun () ->
+      ignore (Runner.linked r "nope"))
+
+let test_amean () =
+  check (Alcotest.float 1e-9) "mean" 2. (Runner.amean [ 1.; 2.; 3. ]);
+  check (Alcotest.float 1e-9) "empty" 0. (Runner.amean [])
+
+let test_variants_lookup () =
+  List.iter
+    (fun name ->
+      match Variants.of_string name with
+      | Some _ -> ()
+      | None -> Alcotest.failf "variant %s not found" name)
+    Variants.names;
+  check Alcotest.bool "unknown variant" true (Variants.of_string "x" = None)
+
+let test_table2 () =
+  let r = small_runner () in
+  let rows = Table2.compute r in
+  check Alcotest.int "one row per benchmark" 2 (List.length rows);
+  List.iter
+    (fun row ->
+      check Alcotest.bool "ipc positive" true (row.Table2.base_ipc > 0.);
+      check Alcotest.bool "has static branches" true
+        (row.Table2.static_branches > 0);
+      check Alcotest.bool "diverge branches selected" true
+        (row.Table2.diverge_branches > 0);
+      check Alcotest.bool "avg cfm in [1, max_cfm]" true
+        (row.Table2.avg_cfm >= 1.
+         && row.Table2.avg_cfm
+            <= float_of_int Dmp_core.Params.default.Dmp_core.Params.max_cfm))
+    rows;
+  let rendered = Table2.render rows in
+  check Alcotest.bool "render mentions benchmarks" true
+    (Astring_contains.contains rendered "vpr"
+     && Astring_contains.contains rendered "li")
+
+let test_fig5_left () =
+  let r = small_runner () in
+  let fig = Fig5.left r in
+  check Alcotest.int "five series" 5 (List.length fig.Report.series);
+  List.iter
+    (fun s ->
+      check Alcotest.int "value per benchmark" 2
+        (List.length s.Report.values))
+    fig.Report.series;
+  (* all-best-heur must beat exact alone on these hammock-heavy
+     benchmarks *)
+  let mean label =
+    Report.mean_of
+      (List.find (fun s -> s.Report.label = label) fig.Report.series)
+  in
+  check Alcotest.bool "cumulative techniques help" true
+    (mean "all-best-h" >= mean "exact")
+
+let test_fig10_percentages () =
+  let r = small_runner () in
+  List.iter
+    (fun row ->
+      let total =
+        row.Fig10.pct_only_run +. row.Fig10.pct_only_train
+        +. row.Fig10.pct_either
+      in
+      check Alcotest.bool "sums to 100" true (abs_float (total -. 100.) < 1e-6))
+    (Fig10.run r)
+
+let test_fig7_grid () =
+  let r = small_runner () in
+  let points =
+    Fig7.run ~max_instrs:[ 10; 50 ] ~merge_probs:[ 0.01; 0.9 ] r
+  in
+  check Alcotest.int "grid size" 4 (List.length points);
+  let rendered = Fig7.render points in
+  check Alcotest.bool "mentions MAX_INSTR" true
+    (Astring_contains.contains rendered "MAX_INSTR")
+
+let test_report_render () =
+  let fig =
+    {
+      Report.title = "t";
+      unit_label = "u";
+      benchmarks = [ "a"; "b" ];
+      series =
+        [ { Report.label = "s1"; values = [ ("a", 1.); ("b", 3.) ] } ];
+    }
+  in
+  let s = Report.render fig in
+  check Alcotest.bool "has mean row" true
+    (Astring_contains.contains s "amean");
+  check Alcotest.bool "mean correct" true (Astring_contains.contains s "2.00")
+
+let () =
+  Alcotest.run "dmp_experiments"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "caching" `Quick test_runner_caching;
+          Alcotest.test_case "unknown" `Quick test_runner_unknown;
+          Alcotest.test_case "amean" `Quick test_amean;
+        ] );
+      ( "variants",
+        [ Alcotest.test_case "lookup" `Quick test_variants_lookup ] );
+      ( "figures",
+        [
+          Alcotest.test_case "table2" `Slow test_table2;
+          Alcotest.test_case "fig5 left" `Slow test_fig5_left;
+          Alcotest.test_case "fig10 sums" `Slow test_fig10_percentages;
+          Alcotest.test_case "fig7 grid" `Slow test_fig7_grid;
+          Alcotest.test_case "report render" `Quick test_report_render;
+        ] );
+    ]

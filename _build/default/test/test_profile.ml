@@ -1,0 +1,205 @@
+open Dmp_ir
+open Dmp_profile
+module B = Build
+
+let check = Alcotest.check
+
+let profile_of program ~input =
+  let linked = Linked.link program in
+  (linked, Profile.collect linked ~input)
+
+(* A branch taken with an exact, known probability: taken when the input
+   value is odd; input = alternating parity. *)
+let test_taken_prob_exact () =
+  let program = Helpers.simple_hammock_program ~iters:1000 () in
+  let input = Array.init 1100 (fun i -> i) in
+  let linked, profile = profile_of program ~input in
+  (* find the hammock branch: the one with taken prob ~0.5 *)
+  let hammock =
+    List.filter
+      (fun addr ->
+        let p = Profile.taken_prob profile ~addr in
+        p > 0.4 && p < 0.6)
+      (Profile.branch_addrs profile)
+  in
+  check Alcotest.bool "one mid-probability branch" true
+    (List.length hammock = 1);
+  let addr = List.hd hammock in
+  check Alcotest.int "executed once per iteration" 1000
+    (Profile.executed profile ~addr);
+  (* alternating parity: taken exactly half the time *)
+  let p = Profile.taken_prob profile ~addr in
+  check Alcotest.bool "p = 0.5" true (abs_float (p -. 0.5) < 0.01);
+  ignore linked
+
+let test_edge_prob_consistency () =
+  let program = Helpers.freq_hammock_program ~iters:500 () in
+  let input = Helpers.uniform_input 600 in
+  let linked, profile = profile_of program ~input in
+  let program = linked.Linked.program in
+  for func = 0 to Program.num_funcs program - 1 do
+    let f = Program.func program func in
+    for block = 0 to Func.num_blocks f - 1 do
+      match (Func.block f block).Block.term with
+      | Term.Branch _ ->
+          let t = Profile.edge_prob profile ~func ~block
+              ~dir:Dmp_cfg.Cfg.Taken
+          in
+          let nt =
+            Profile.edge_prob profile ~func ~block ~dir:Dmp_cfg.Cfg.Fallthrough
+          in
+          check Alcotest.bool "t + nt = 1" true
+            (abs_float (t +. nt -. 1.) < 1e-9)
+      | Term.Jump _ ->
+          check Alcotest.bool "jump prob 1" true
+            (Profile.edge_prob profile ~func ~block ~dir:Dmp_cfg.Cfg.Always
+             = 1.)
+      | Term.Ret | Term.Halt -> ()
+    done
+  done
+
+let test_block_counts () =
+  let program = Helpers.simple_hammock_program ~iters:100 () in
+  let input = Array.init 200 (fun i -> i) in
+  let linked, profile = profile_of program ~input in
+  ignore linked;
+  (* entry block executes once; loop head 100 times; arms sum to 100 *)
+  check Alcotest.int "entry once" 1 (Profile.block_count profile ~func:0 ~block:0);
+  let loop_total =
+    Profile.block_count profile ~func:0 ~block:2
+    + Profile.block_count profile ~func:0 ~block:3
+  in
+  check Alcotest.int "arms sum to iterations" 100 loop_total
+
+let test_unexecuted_branch_defaults () =
+  let program = Helpers.simple_hammock_program ~iters:10 () in
+  let _, profile = profile_of program ~input:(Array.make 100 0) in
+  check Alcotest.bool "unknown addr" true
+    (Profile.branch profile ~addr:9999 = None);
+  check Alcotest.bool "default taken prob" true
+    (Profile.taken_prob profile ~addr:9999 = 0.5);
+  check Alcotest.bool "default misp" true
+    (Profile.misp_rate profile ~addr:9999 = 0.)
+
+let test_mispredictions_random_vs_constant () =
+  (* A hammock driven by random parity mispredicts a lot; driven by a
+     constant it barely mispredicts. *)
+  let program = Helpers.simple_hammock_program ~iters:2000 () in
+  let _, noisy = profile_of program ~input:(Helpers.uniform_input 2100) in
+  let _, quiet = profile_of program ~input:(Array.make 2100 2) in
+  check Alcotest.bool "noisy mispredicts more" true
+    (Profile.total_mispredictions noisy
+     > 5 * Profile.total_mispredictions quiet);
+  check Alcotest.bool "mpki positive" true (Profile.mpki noisy > 1.)
+
+let test_loop_average_iterations () =
+  let program = Helpers.data_loop_program ~iters:1000 ~modulus:6 () in
+  let input = Helpers.uniform_input 1100 in
+  let linked, profile = profile_of program ~input in
+  (* find the inner-loop exit branch: executed > 1000 times *)
+  let inner =
+    List.find
+      (fun addr -> Profile.executed profile ~addr > 1500)
+      (Profile.branch_addrs profile)
+  in
+  let s = Option.get (Profile.branch profile ~addr:inner) in
+  let exits = s.Profile.executed - s.Profile.taken in
+  let avg = float_of_int s.Profile.executed /. float_of_int exits in
+  (* trip = v mod 6 + 1, uniform -> mean 3.5 *)
+  check Alcotest.bool "avg iterations ~3.5" true
+    (avg > 3.2 && avg < 3.8);
+  ignore linked
+
+let test_retired_counts () =
+  let program = Helpers.simple_hammock_program ~iters:50 () in
+  let linked = Linked.link program in
+  let profile = Profile.collect linked ~input:(Array.make 100 1) in
+  let emu = Dmp_exec.Emulator.create linked ~input:(Array.make 100 1) in
+  let retired = Dmp_exec.Emulator.run emu in
+  check Alcotest.int "profiler sees every instruction" retired
+    (Profile.retired profile)
+
+(* ---------- 2D-profiling ---------- *)
+
+let test_two_d_phase_detection () =
+  (* First half of the input makes the hammock condition constant; the
+     second half makes it random: a phase-dependent branch. *)
+  let program = Helpers.simple_hammock_program ~iters:2000 () in
+  let linked = Linked.link program in
+  let rnd = Helpers.uniform_input ~seed:5 2100 in
+  let input = Array.init 2100 (fun i -> if i < 1000 then 2 else rnd.(i)) in
+  let td = Two_d.collect ~num_slices:8 linked ~input in
+  (* the hammock branch: mid taken prob overall *)
+  let dependent =
+    Two_d.fold
+      (fun b acc -> acc || Two_d.phase_std_dev b > 0.1)
+      td false
+  in
+  check Alcotest.bool "phase-dependent branch detected" true dependent
+
+let test_two_d_always_easy () =
+  let program = Helpers.simple_hammock_program ~iters:2000 () in
+  let linked = Linked.link program in
+  (* constant condition: every branch easy in every phase after warmup *)
+  let input = Array.make 2100 2 in
+  let td = Two_d.collect ~num_slices:8 linked ~input in
+  let profile = Profile.collect linked ~input in
+  let easy =
+    List.filter
+      (fun addr -> Two_d.is_always_easy ~rate:0.05 td addr)
+      (Profile.branch_addrs profile)
+  in
+  check Alcotest.bool "most branches classified easy" true
+    (List.length easy >= 1);
+  (* random condition: the hammock must NOT be always-easy *)
+  let input = Helpers.uniform_input 2100 in
+  let td = Two_d.collect ~num_slices:8 linked ~input in
+  let hard =
+    Two_d.fold (fun b acc -> acc || Two_d.misp_rate b > 0.3) td false
+  in
+  check Alcotest.bool "hard branch present" true hard
+
+let qcheck_profile_total_branches =
+  QCheck.Test.make ~name:"branch executions bounded by retired" ~count:40
+    QCheck.(int_range 2 15)
+    (fun n ->
+      let st = Random.State.make [| n; 77 |] in
+      let program = Helpers.random_program st ~nblocks:n in
+      let linked = Linked.link program in
+      let profile =
+        Profile.collect linked ~input:(Helpers.uniform_input 64)
+      in
+      Profile.total_branch_executions profile <= Profile.retired profile
+      && Profile.total_mispredictions profile
+         <= Profile.total_branch_executions profile)
+
+let () =
+  Alcotest.run "dmp_profile"
+    [
+      ( "branch stats",
+        [
+          Alcotest.test_case "taken prob" `Quick test_taken_prob_exact;
+          Alcotest.test_case "unexecuted defaults" `Quick
+            test_unexecuted_branch_defaults;
+          Alcotest.test_case "mispredictions" `Quick
+            test_mispredictions_random_vs_constant;
+          Alcotest.test_case "loop averages" `Quick
+            test_loop_average_iterations;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "consistency" `Quick test_edge_prob_consistency;
+          Alcotest.test_case "block counts" `Quick test_block_counts;
+        ] );
+      ( "totals",
+        [
+          Alcotest.test_case "retired" `Quick test_retired_counts;
+          QCheck_alcotest.to_alcotest qcheck_profile_total_branches;
+        ] );
+      ( "2d-profiling",
+        [
+          Alcotest.test_case "phase detection" `Quick
+            test_two_d_phase_detection;
+          Alcotest.test_case "always easy" `Quick test_two_d_always_easy;
+        ] );
+    ]

@@ -1,0 +1,266 @@
+open Dmp_ir
+open Dmp_uarch
+module B = Build
+
+let check = Alcotest.check
+let reg = Reg.of_int
+
+(* ---------- cache ---------- *)
+
+let test_cache_hit_miss () =
+  let c = Cache.create ~log2_sets:2 ~ways:2 ~line_bytes:64 in
+  check Alcotest.bool "cold miss" false (Cache.access c 0);
+  check Alcotest.bool "hit same line" true (Cache.access c 32);
+  check Alcotest.bool "different line" false (Cache.access c 256);
+  check Alcotest.bool "first still resident" true (Cache.access c 0)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~log2_sets:0 ~ways:2 ~line_bytes:64 in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 64);
+  ignore (Cache.access c 128);
+  (* 0 is the LRU victim *)
+  check Alcotest.bool "victim evicted" false (Cache.access c 0);
+  check Alcotest.bool "recent kept" true (Cache.access c 128)
+
+let test_hierarchy_latencies () =
+  let h = Cache.hierarchy Config.baseline in
+  let first = Cache.load_latency h 4096 in
+  check Alcotest.int "cold miss costs memory latency"
+    Config.baseline.Config.memory_latency first;
+  let second = Cache.load_latency h 4096 in
+  check Alcotest.int "then L1 hit" Config.baseline.Config.l1_hit_latency
+    second
+
+(* ---------- static info ---------- *)
+
+let test_static_info () =
+  let program = Helpers.ret_cfm_program ~iters:5 () in
+  let linked = Linked.link program in
+  let si = Static_info.of_linked linked in
+  check Alcotest.int "covers every address" (Linked.size linked)
+    (Static_info.size si);
+  let found_call = ref false and found_branch = ref false in
+  for a = 0 to Static_info.size si - 1 do
+    let i = Static_info.get si a in
+    match i.Static_info.klass with
+    | Static_info.K_call ->
+        found_call := true;
+        check Alcotest.int "call fallthrough" (a + 1)
+          i.Static_info.fall_addr;
+        check Alcotest.int "call target is callee entry"
+          (Linked.func_entry linked (Linked.func_of_name linked "decide"))
+          i.Static_info.taken_addr
+    | Static_info.K_branch ->
+        found_branch := true;
+        check Alcotest.bool "branch targets valid" true
+          (i.Static_info.taken_addr >= 0 && i.Static_info.fall_addr >= 0)
+    | _ -> ()
+  done;
+  check Alcotest.bool "saw call" true !found_call;
+  check Alcotest.bool "saw branch" true !found_branch
+
+(* ---------- simulator basics ---------- *)
+
+let sim_program ?config ?annotation program ~input =
+  Sim.run ?config ?annotation (Linked.link program) ~input
+
+let test_sim_retires_whole_trace () =
+  let program = Helpers.simple_hammock_program ~iters:200 () in
+  let input = Helpers.uniform_input 300 in
+  let linked = Linked.link program in
+  let emu = Dmp_exec.Emulator.create linked ~input in
+  let expected = Dmp_exec.Emulator.run emu in
+  let stats = Sim.run linked ~input in
+  check Alcotest.int "retired = architectural trace" expected
+    stats.Stats.retired;
+  check Alcotest.bool "cycles positive" true (stats.Stats.cycles > 0)
+
+let test_sim_baseline_flushes_equal_mispredictions () =
+  let program = Helpers.freq_hammock_program ~iters:500 () in
+  let stats =
+    sim_program ~config:Config.baseline program
+      ~input:(Helpers.uniform_input 600)
+  in
+  check Alcotest.int "every misprediction flushes"
+    stats.Stats.mispredictions stats.Stats.flushes
+
+let test_sim_dmp_empty_annotation_matches_baseline () =
+  let program = Helpers.freq_hammock_program ~iters:500 () in
+  let input = Helpers.uniform_input 600 in
+  let base = sim_program ~config:Config.baseline program ~input in
+  let dmp =
+    sim_program ~config:Config.dmp
+      ~annotation:(Dmp_core.Annotation.empty ())
+      program ~input
+  in
+  check Alcotest.int "identical cycle count" base.Stats.cycles
+    dmp.Stats.cycles;
+  check Alcotest.int "identical flushes" base.Stats.flushes dmp.Stats.flushes
+
+let test_sim_deterministic () =
+  let program = Helpers.simple_hammock_program ~iters:400 () in
+  let input = Helpers.uniform_input 500 in
+  let a = sim_program program ~input in
+  let b = sim_program program ~input in
+  check Alcotest.int "same cycles" a.Stats.cycles b.Stats.cycles
+
+let test_predictable_code_has_high_ipc () =
+  (* straight-line arithmetic with an easy loop: IPC well above 1 *)
+  let f = B.func "main" in
+  let n = reg 4 in
+  B.li f n 2000;
+  B.label f "loop";
+  for i = 0 to 9 do
+    B.add f (reg (8 + (i mod 4))) (reg (8 + ((i + 1) mod 4))) (B.imm 1)
+  done;
+  B.sub f n n (B.imm 1);
+  B.branch f Term.Gt n (B.imm 0) ~target:"loop" ();
+  B.label f "end";
+  B.halt f;
+  let stats =
+    sim_program
+      (Program.of_funcs_exn ~main:"main" [ B.finish f ])
+      ~input:[||]
+  in
+  check Alcotest.bool "IPC > 2" true (Stats.ipc stats > 2.);
+  check Alcotest.bool "almost no flushes" true (stats.Stats.flushes < 20)
+
+(* ---------- DMP behaviour ---------- *)
+
+let dmp_setup program ~input =
+  let linked = Linked.link program in
+  let profile = Dmp_profile.Profile.collect linked ~input in
+  let ann = Dmp_core.Select.run linked profile in
+  let base = Sim.run ~config:Config.baseline linked ~input in
+  let dmp = Sim.run ~config:Config.dmp ~annotation:ann linked ~input in
+  (ann, base, dmp)
+
+let test_dmp_reduces_flushes_on_hammock () =
+  let _, base, dmp =
+    dmp_setup (Helpers.simple_hammock_program ())
+      ~input:(Helpers.uniform_input 2100)
+  in
+  check Alcotest.bool "flushes cut by more than half" true
+    (dmp.Stats.flushes * 2 < base.Stats.flushes);
+  check Alcotest.bool "faster" true (Stats.ipc dmp > Stats.ipc base);
+  check Alcotest.bool "dpred entered" true (dmp.Stats.dpred_entries > 0);
+  check Alcotest.bool "merges happened" true (dmp.Stats.dpred_merges > 0)
+
+let test_dmp_loop_cases_observed () =
+  let _, _, dmp =
+    dmp_setup
+      (Helpers.data_loop_program ~iters:2000 ~modulus:6 ())
+      ~input:(Helpers.uniform_input 2100)
+  in
+  check Alcotest.bool "loop dpred entered" true
+    (dmp.Stats.dpred_loop_entries > 0);
+  check Alcotest.bool "late exits observed" true
+    (dmp.Stats.loop_late_exits > 0)
+
+let test_dmp_return_cfm_merges () =
+  let ann, base, dmp =
+    dmp_setup (Helpers.ret_cfm_program ()) ~input:(Helpers.uniform_input 2100)
+  in
+  let has_ret =
+    Dmp_core.Annotation.fold
+      (fun d acc -> acc || d.Dmp_core.Annotation.return_cfm)
+      ann false
+  in
+  check Alcotest.bool "return CFM annotated" true has_ret;
+  check Alcotest.bool "merges" true (dmp.Stats.dpred_merges > 0);
+  check Alcotest.bool "not slower" true
+    (Stats.ipc dmp > Stats.ipc base *. 0.97)
+
+let test_confidence_pvn_range () =
+  let _, _, dmp =
+    dmp_setup (Helpers.freq_hammock_program ())
+      ~input:(Helpers.uniform_input 2100)
+  in
+  let pvn = Stats.confidence_pvn dmp in
+  (* the paper quotes 15%-50% for JRS-style estimators *)
+  check Alcotest.bool "PVN plausible" true (pvn > 0.10 && pvn < 0.65)
+
+let test_stats_accounting () =
+  let _, _, dmp =
+    dmp_setup (Helpers.freq_hammock_program ())
+      ~input:(Helpers.uniform_input 2100)
+  in
+  check Alcotest.int "hammock + loop = entries"
+    dmp.Stats.dpred_entries
+    (dmp.Stats.dpred_hammock_entries + dmp.Stats.dpred_loop_entries);
+  check Alcotest.bool "avoided <= mispredictions" true
+    (dmp.Stats.dpred_flushes_avoided <= dmp.Stats.mispredictions);
+  check Alcotest.bool "flushes + avoided <= mispredictions + early" true
+    (dmp.Stats.flushes <= dmp.Stats.mispredictions)
+
+(* ---------- properties ---------- *)
+
+let qcheck_sim_terminates_and_counts =
+  QCheck.Test.make ~name:"simulator retires exactly the trace" ~count:30
+    QCheck.(int_range 2 15)
+    (fun n ->
+      let st = Random.State.make [| n; 55 |] in
+      let program = Helpers.random_program st ~nblocks:n in
+      let linked = Linked.link program in
+      let input = Helpers.uniform_input 64 in
+      let emu = Dmp_exec.Emulator.create linked ~input in
+      let expected = Dmp_exec.Emulator.run emu in
+      let stats = Sim.run linked ~input in
+      stats.Stats.retired = expected
+      && stats.Stats.flushes = stats.Stats.mispredictions)
+
+let qcheck_dmp_never_wildly_slower =
+  QCheck.Test.make ~name:"DMP within 40% of baseline on random programs"
+    ~count:20
+    QCheck.(int_range 2 12)
+    (fun n ->
+      let st = Random.State.make [| n; 61 |] in
+      let program = Helpers.random_program st ~nblocks:n in
+      let linked = Linked.link program in
+      let input = Helpers.uniform_input 64 in
+      let profile = Dmp_profile.Profile.collect linked ~input in
+      let ann = Dmp_core.Select.run linked profile in
+      let base = Sim.run ~config:Config.baseline linked ~input in
+      let dmp = Sim.run ~config:Config.dmp ~annotation:ann linked ~input in
+      float_of_int dmp.Stats.cycles
+      <= 1.4 *. float_of_int (max 1 base.Stats.cycles))
+
+let () =
+  Alcotest.run "dmp_uarch"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "LRU" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "hierarchy" `Quick test_hierarchy_latencies;
+        ] );
+      ( "static info",
+        [ Alcotest.test_case "classification" `Quick test_static_info ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "retires trace" `Quick
+            test_sim_retires_whole_trace;
+          Alcotest.test_case "flushes = mispredictions" `Quick
+            test_sim_baseline_flushes_equal_mispredictions;
+          Alcotest.test_case "empty annotation = baseline" `Quick
+            test_sim_dmp_empty_annotation_matches_baseline;
+          Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+          Alcotest.test_case "predictable code fast" `Quick
+            test_predictable_code_has_high_ipc;
+        ] );
+      ( "dmp",
+        [
+          Alcotest.test_case "hammock flush reduction" `Quick
+            test_dmp_reduces_flushes_on_hammock;
+          Alcotest.test_case "loop cases" `Quick test_dmp_loop_cases_observed;
+          Alcotest.test_case "return CFM" `Quick test_dmp_return_cfm_merges;
+          Alcotest.test_case "confidence PVN" `Quick test_confidence_pvn_range;
+          Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_sim_terminates_and_counts;
+          QCheck_alcotest.to_alcotest qcheck_dmp_never_wildly_slower;
+        ] );
+    ]

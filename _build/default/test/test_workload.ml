@@ -1,0 +1,141 @@
+open Dmp_ir
+open Dmp_workload
+
+let check = Alcotest.check
+
+let test_registry () =
+  check Alcotest.int "12 + 5 benchmarks" 17 (List.length Registry.all);
+  check Alcotest.int "int2000" 12 (List.length Registry.int2000);
+  check Alcotest.int "int95" 5 (List.length Registry.int95);
+  check Alcotest.bool "names unique" true
+    (List.length (List.sort_uniq compare Registry.names)
+     = List.length Registry.names);
+  check Alcotest.string "lookup" "mcf" (Registry.find "mcf").Spec.name;
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Registry.find: unknown benchmark nope") (fun () ->
+      ignore (Registry.find "nope"))
+
+let test_programs_validate () =
+  List.iter
+    (fun spec ->
+      let program = Lazy.force spec.Spec.program in
+      match Program.validate program with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" spec.Spec.name m)
+    Registry.all
+
+let test_programs_halt () =
+  (* Every benchmark must run to completion on every input set, within a
+     generous instruction bound, and never exhaust its input stream. *)
+  List.iter
+    (fun spec ->
+      let linked = Spec.linked spec in
+      List.iter
+        (fun set ->
+          let input = spec.Spec.input set in
+          let emu = Dmp_exec.Emulator.create linked ~input in
+          let retired = Dmp_exec.Emulator.run ~max_insts:3_000_000 emu in
+          if not (Dmp_exec.Emulator.halted emu) then
+            Alcotest.failf "%s (%s) did not halt after %d insts"
+              spec.Spec.name
+              (Input_gen.set_to_string set)
+              retired)
+        [ Input_gen.Reduced; Input_gen.Train ])
+    Registry.all
+
+let test_dynamic_sizes () =
+  List.iter
+    (fun spec ->
+      let linked = Spec.linked spec in
+      let emu =
+        Dmp_exec.Emulator.create linked
+          ~input:(spec.Spec.input Input_gen.Reduced)
+      in
+      let retired = Dmp_exec.Emulator.run emu in
+      if retired < 50_000 || retired > 2_000_000 then
+        Alcotest.failf "%s: %d dynamic instructions out of range"
+          spec.Spec.name retired)
+    Registry.all
+
+let test_input_sets_differ () =
+  List.iter
+    (fun spec ->
+      let r = spec.Spec.input Input_gen.Reduced in
+      let t = spec.Spec.input Input_gen.Train in
+      check Alcotest.bool
+        (spec.Spec.name ^ ": reduced and train differ")
+        true (r <> t))
+    Registry.all
+
+let test_inputs_deterministic () =
+  List.iter
+    (fun spec ->
+      check Alcotest.bool
+        (spec.Spec.name ^ ": input generation deterministic")
+        true
+        (spec.Spec.input Input_gen.Reduced = spec.Spec.input Input_gen.Reduced))
+    Registry.all
+
+let test_mpki_spread () =
+  (* The suite must span easy and hard benchmarks, like Table 2. *)
+  let mpkis =
+    List.map
+      (fun spec ->
+        let linked = Spec.linked spec in
+        let profile =
+          Dmp_profile.Profile.collect ~max_insts:150_000 linked
+            ~input:(spec.Spec.input Input_gen.Reduced)
+        in
+        (spec.Spec.name, Dmp_profile.Profile.mpki profile))
+      Registry.all
+  in
+  let values = List.map snd mpkis in
+  let lo = List.fold_left min infinity values in
+  let hi = List.fold_left max neg_infinity values in
+  check Alcotest.bool "some easy benchmark (MPKI < 5)" true (lo < 5.);
+  check Alcotest.bool "some hard benchmark (MPKI > 9)" true (hi > 9.);
+  (* go must be among the most mispredicted, as in the paper *)
+  let go = List.assoc "go" mpkis in
+  let harder = List.filter (fun v -> v > go) values in
+  check Alcotest.bool "go among the most mispredicted (top five)" true
+    (List.length harder <= 4)
+
+let test_input_gen_distributions () =
+  let u = Input_gen.uniform ~seed:1 ~n:10_000 ~bound:100 in
+  check Alcotest.int "length" 10_000 (Array.length u);
+  Array.iter (fun v -> assert (v >= 0 && v < 100)) u;
+  let mean = Array.fold_left ( + ) 0 u / 10_000 in
+  check Alcotest.bool "mean near 50" true (mean > 45 && mean < 55);
+  let m =
+    Input_gen.mixture ~seed:2 ~n:10_000 ~bound:1000 ~small_bound:10
+      ~p_small:0.5
+  in
+  let small = Array.fold_left (fun a v -> if v < 10 then a + 1 else a) 0 m in
+  check Alcotest.bool "mixture has both modes" true
+    (small > 4_000 && small < 7_000);
+  let ph = Input_gen.phased ~seed:3 ~n:100 ~phase:10 ~bounds:[| 10; 1000 |] in
+  check Alcotest.int "phased length" 100 (Array.length ph);
+  let w = Input_gen.with_mode 42 [| 1; 2 |] in
+  check Alcotest.(list int) "mode prefix" [ 42; 1; 2 ] (Array.to_list w)
+
+let () =
+  Alcotest.run "dmp_workload"
+    [
+      ( "registry",
+        [ Alcotest.test_case "contents" `Quick test_registry ] );
+      ( "programs",
+        [
+          Alcotest.test_case "validate" `Quick test_programs_validate;
+          Alcotest.test_case "halt" `Slow test_programs_halt;
+          Alcotest.test_case "dynamic sizes" `Slow test_dynamic_sizes;
+        ] );
+      ( "inputs",
+        [
+          Alcotest.test_case "sets differ" `Quick test_input_sets_differ;
+          Alcotest.test_case "deterministic" `Quick test_inputs_deterministic;
+          Alcotest.test_case "distributions" `Quick
+            test_input_gen_distributions;
+        ] );
+      ( "characteristics",
+        [ Alcotest.test_case "MPKI spread" `Slow test_mpki_spread ] );
+    ]
