@@ -6,26 +6,15 @@
    Usage:
      bench/main.exe                 regenerate all tables and figures
      bench/main.exe table1 fig5l …  regenerate a subset
-     bench/main.exe micro           Bechamel micro-benchmarks *)
+     bench/main.exe micro           Bechamel micro-benchmarks
+
+   Options:
+     -j/--jobs N   worker domains for the prefetch (default: DMP_JOBS
+                   or the recommended domain count)
+     --timings     print a per-stage wall-clock summary to stderr
+     --no-cache    do not read or write the persistent _cache/ dir *)
 
 open Dmp_experiments
-
-let all_targets =
-  [ "table1"; "table2"; "fig5l"; "fig5r"; "fig6"; "fig7"; "fig8"; "fig9";
-    "fig10"; "ablations" ]
-
-let run_target runner = function
-  | "table1" -> print_string (Table1.render ())
-  | "table2" -> print_string (Table2.render (Table2.compute runner))
-  | "fig5l" -> print_string (Report.render (Fig5.left runner))
-  | "fig5r" -> print_string (Report.render (Fig5.right runner))
-  | "fig6" -> print_string (Report.render (Fig6.run runner))
-  | "fig7" -> print_string (Fig7.render (Fig7.run runner))
-  | "fig8" -> print_string (Report.render (Fig8.run runner))
-  | "fig9" -> print_string (Report.render (Fig9.run runner))
-  | "fig10" -> print_string (Fig10.render (Fig10.run runner))
-  | "ablations" -> print_string (Ablations.render (Ablations.run runner))
-  | t -> Printf.eprintf "unknown target %s\n" t
 
 (* Bechamel micro-benchmarks: the compile-time cost of each analysis
    stage on a real workload binary (gcc has the largest CFG). One
@@ -87,21 +76,76 @@ let micro () =
         analysis)
     tests
 
+let valid_targets_msg () =
+  Printf.sprintf "valid targets: %s"
+    (String.concat ", " (Targets.all @ [ "micro" ]))
+
+let usage_error msg =
+  Printf.eprintf "bench: %s\n%s\n" msg (valid_targets_msg ());
+  exit 2
+
+type opts = {
+  mutable targets : string list;  (* reversed *)
+  mutable timings : bool;
+  mutable jobs : int option;
+  mutable cache : bool;
+}
+
+let parse_args args =
+  let o = { targets = []; timings = false; jobs = None; cache = true } in
+  let rec go = function
+    | [] -> ()
+    | "--timings" :: rest ->
+        o.timings <- true;
+        go rest
+    | "--no-cache" :: rest ->
+        o.cache <- false;
+        go rest
+    | ("-j" | "--jobs") :: rest -> (
+        match rest with
+        | n :: rest' -> (
+            match int_of_string_opt n with
+            | Some j when j > 0 ->
+                o.jobs <- Some j;
+                go rest'
+            | Some _ | None ->
+                usage_error (Printf.sprintf "bad job count %S" n))
+        | [] -> usage_error "-j/--jobs needs a positive integer")
+    | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
+        usage_error ("unknown option " ^ flag)
+    | target :: rest ->
+        o.targets <- target :: o.targets;
+        go rest
+  in
+  go args;
+  o.targets <- List.rev o.targets;
+  o
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  let o = parse_args (List.tl (Array.to_list Sys.argv)) in
+  match o.targets with
   | [ "micro" ] -> micro ()
-  | [] ->
-      let runner = Runner.create () in
+  | requested ->
+      let targets = if requested = [] then Targets.all else requested in
+      let known, unknown = List.partition Targets.is_valid targets in
+      List.iter
+        (fun t -> Printf.eprintf "bench: unknown target %s\n" t)
+        unknown;
+      if unknown <> [] then prerr_endline (valid_targets_msg ());
+      if known = [] then exit 2;
+      let runner =
+        Runner.create ?cache_dir:(if o.cache then Some "_cache" else None) ()
+      in
+      Runner.prefetch
+        ~profile_sets:(Targets.profile_sets known)
+        ?jobs:o.jobs runner;
       List.iter
         (fun t ->
-          run_target runner t;
-          print_newline ())
-        all_targets
-  | targets ->
-      let runner = Runner.create () in
-      List.iter
-        (fun t ->
-          run_target runner t;
-          print_newline ())
-        targets
+          match Targets.render runner t with
+          | Ok s ->
+              print_string s;
+              print_newline ()
+          | Error msg -> Printf.eprintf "bench: %s\n" msg)
+        known;
+      if o.timings then prerr_string (Runner.timing_summary runner);
+      if unknown <> [] then exit 2

@@ -34,10 +34,23 @@ let lookup_variant name =
         (String.concat ", " Variants.names);
       exit 2
 
-let lookup_set s = Input_gen.set_of_string s
+let lookup_bench name =
+  match Registry.find_opt name with
+  | Some spec -> spec
+  | None ->
+      Printf.eprintf "unknown benchmark %s; known: %s\n" name
+        (String.concat ", " Registry.names);
+      exit 2
+
+let lookup_set s =
+  match Input_gen.set_of_string_opt s with
+  | Some set -> set
+  | None ->
+      Printf.eprintf "unknown input set %s; known: reduced, train, ref\n" s;
+      exit 2
 
 let pipeline bench set =
-  let spec = Registry.find bench in
+  let spec = lookup_bench bench in
   let linked = Spec.linked spec in
   let input = spec.Spec.input (lookup_set set) in
   let profile = Dmp_profile.Profile.collect linked ~input in
@@ -172,7 +185,7 @@ let cfg_cmd =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.")
   in
   let run bench func dot =
-    let spec = Registry.find bench in
+    let spec = lookup_bench bench in
     let program = Lazy.force spec.Spec.program in
     match Program.find_func program func with
     | None ->
@@ -191,7 +204,7 @@ let cfg_cmd =
 
 let asm_cmd =
   let run bench =
-    let spec = Registry.find bench in
+    let spec = lookup_bench bench in
     print_string (Dmp_ir.Asm.to_string (Lazy.force spec.Spec.program))
   in
   Cmd.v
@@ -200,7 +213,7 @@ let asm_cmd =
 
 let disasm_cmd =
   let run bench =
-    let spec = Registry.find bench in
+    let spec = lookup_bench bench in
     let linked = Spec.linked spec in
     let image = Dmp_ir.Encode.encode linked in
     List.iter
@@ -225,28 +238,21 @@ let experiment_cmd =
     Arg.(
       value
       & pos 0 string "table2"
-      & info [] ~docv:"TARGET"
-          ~doc:
-            "table1, table2, fig5l, fig5r, fig6, fig7, fig8, fig9, fig10, \
-             ablations")
+      & info [] ~docv:"TARGET" ~doc:(String.concat ", " Targets.all))
   in
   let run target =
+    if not (Targets.is_valid target) then begin
+      Printf.eprintf "unknown experiment target %s; valid targets: %s\n"
+        target
+        (String.concat ", " Targets.all);
+      exit 2
+    end;
     let runner = Runner.create () in
-    let out =
-      match target with
-      | "table1" -> Table1.render ()
-      | "table2" -> Table2.render (Table2.compute runner)
-      | "fig5l" -> Report.render (Fig5.left runner)
-      | "fig5r" -> Report.render (Fig5.right runner)
-      | "fig6" -> Report.render (Fig6.run runner)
-      | "fig7" -> Fig7.render (Fig7.run runner)
-      | "fig8" -> Report.render (Fig8.run runner)
-      | "fig9" -> Report.render (Fig9.run runner)
-      | "fig10" -> Fig10.render (Fig10.run runner)
-      | "ablations" -> Ablations.render (Ablations.run runner)
-      | t -> Printf.sprintf "unknown experiment target %s\n" t
-    in
-    print_string out
+    match Targets.render runner target with
+    | Ok out -> print_string out
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure of the paper")

@@ -38,18 +38,26 @@ let useless_insts method_ cfm ~taken_prob =
 (* Equations 14, 16 and 17: fetch-cycle overhead of one entry into
    dpred-mode for a branch with one or more CFM points. When the paths
    do not merge, half of the fetch bandwidth is wasted until the branch
-   resolves. *)
+   resolves.
+
+   One dpred episode merges at most once, so each CFM point's
+   probability is capped by whatever the earlier (closer) CFM points
+   left over: profiled per-CFM probabilities can overlap and sum above
+   1, and an uncapped sum would charge the useless-instruction term for
+   more than one merge per entry. The cap also makes the total merge
+   probability at most 1 by construction. *)
 let dpred_overhead params method_ cfms ~taken_prob =
   let fw = float_of_int params.Params.fetch_width in
   let resol = float_of_int params.Params.misp_penalty in
   let merged, p_merge_total =
     List.fold_left
       (fun (acc, ptot) cfm ->
-        let p = cfm.Candidate.merge_prob in
+        let p =
+          Float.max 0. (Float.min cfm.Candidate.merge_prob (1. -. ptot))
+        in
         (acc +. (p *. useless_insts method_ cfm ~taken_prob), ptot +. p))
       (0., 0.) cfms
   in
-  let p_merge_total = Float.min 1. p_merge_total in
   (merged /. fw) +. ((1. -. p_merge_total) *. (resol /. 2.))
 
 (* Equation 1. *)
@@ -76,7 +84,19 @@ let loop_late_exit_overhead params ~n_body ~n_select ~dpred_iter ~extra_iter =
   +. loop_select_overhead params ~n_select ~dpred_iter
 
 (* Equation 20 (reconstructed): expected cost over the four dynamic
-   predication cases of a loop branch; only late-exit saves the flush. *)
+   predication cases of a loop branch (Section 5.1).
+
+   - correct: the exit was predicted correctly; the episode only pays
+     the select-µops of the predicated iterations.
+   - early-exit: the loop exits while still in dpred-mode; the fetched
+     iterations were all real iterations, so again only select-µops.
+   - late-exit: the loop runs past the predicted exit; the extra
+     iterations are fetched as NOPs (plus their select-µops) but the
+     misprediction flush is avoided.
+   - no-exit: the branch resolves after more than the supported extra
+     iterations, so the machine flushes anyway: it pays for the same
+     uselessly fetched extra-iteration bodies as late-exit *and* still
+     takes the flush (no penalty saved). *)
 let loop_cost params ~n_body ~n_select ~dpred_iter ~extra_iter ~p_correct
     ~p_early ~p_late ~p_noexit =
   let ovh_sel = loop_select_overhead params ~n_select ~dpred_iter in
@@ -86,4 +106,4 @@ let loop_cost params ~n_body ~n_select ~dpred_iter ~extra_iter ~p_correct
   let penalty = float_of_int params.Params.misp_penalty in
   (p_correct *. ovh_sel) +. (p_early *. ovh_sel)
   +. (p_late *. (ovh_late -. penalty))
-  +. (p_noexit *. ovh_sel)
+  +. (p_noexit *. ovh_late)

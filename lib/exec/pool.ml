@@ -1,0 +1,123 @@
+(* Fixed-size domain pool. Tasks are closures pulled from a shared
+   queue under a mutex; each batch ([map]/[run]) blocks the submitting
+   domain until all its tasks settle, so the pool never outlives the
+   work it was given and results can be collected positionally. *)
+
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  queue : task Queue.t;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "DMP_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.work_available t.mutex
+    done;
+    match Queue.take_opt t.queue with
+    | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        loop ()
+    | None ->
+        (* stopping and drained *)
+        Mutex.unlock t.mutex
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let t =
+    {
+      jobs;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init jobs (fun _ -> Domain.spawn (worker t));
+  t
+
+let jobs t = t.jobs
+
+(* Every task writes its slot and bumps [done_count]; the submitter
+   waits on [batch_done]. Exceptions are captured per-slot so the whole
+   batch settles before the first one is re-raised in order. *)
+let map t ~f xs =
+  let xs = Array.of_list xs in
+  let n = Array.length xs in
+  let results = Array.make n None in
+  if t.jobs = 1 || n <= 1 then
+    Array.iteri
+      (fun i x ->
+        results.(i) <-
+          (try Some (Ok (f x))
+           with e -> Some (Error (e, Printexc.get_raw_backtrace ()))))
+      xs
+  else begin
+    let done_count = ref 0 in
+    let batch_done = Condition.create () in
+    let task i () =
+      let r =
+        try Ok (f xs.(i))
+        with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.mutex;
+      results.(i) <- Some r;
+      incr done_count;
+      if !done_count = n then Condition.signal batch_done;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.map: pool is shut down"
+    end;
+    for i = 0 to n - 1 do
+      Queue.add (task i) t.queue
+    done;
+    Condition.broadcast t.work_available;
+    while !done_count < n do
+      Condition.wait batch_done t.mutex
+    done;
+    Mutex.unlock t.mutex
+  end;
+  Array.to_list
+    (Array.map
+       (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+       results)
+
+let run t thunks = ignore (map t ~f:(fun th -> th ()) thunks : unit list)
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

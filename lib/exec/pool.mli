@@ -1,0 +1,36 @@
+(** Fixed-size domain pool for embarrassingly parallel per-benchmark
+    work (linking, profiling, baseline simulation).
+
+    Workers are OCaml 5 domains fed from a shared queue. Results come
+    back in submission order regardless of completion order, and an
+    exception raised by any task is re-raised (with its backtrace) from
+    the submitting domain once every task of the batch has settled. *)
+
+type t
+
+val default_jobs : unit -> int
+(** Worker count used when [create] is given no [jobs]: the [DMP_JOBS]
+    environment variable when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] is clamped below at 1. A pool with [jobs = 1] runs tasks
+    inline on the submitting domain, spawning no workers. *)
+
+val jobs : t -> int
+
+val map : t -> f:('a -> 'b) -> 'a list -> 'b list
+(** [map t ~f xs] applies [f] to every element, in parallel across the
+    pool's workers. The result list matches the order of [xs]. If one or
+    more applications raise, the batch still runs to completion and the
+    first exception (in submission order) is re-raised. *)
+
+val run : t -> (unit -> unit) list -> unit
+(** Like [map] for effectful thunks with no result. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains. The pool must not be used afterwards;
+    calling [shutdown] twice is harmless. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run the callback, and [shutdown] (also on exception). *)

@@ -1,0 +1,109 @@
+(* Persistent stage cache. Each entry is one file:
+
+     magic | Digest(payload) | payload
+
+   with the payload a [Marshal]-serialised [Profile.raw] or [Stats.t].
+   Writes go through a temporary file in the same directory followed by
+   a rename, so a crashed or concurrent writer can never leave a
+   half-written entry under the final name; corruption that happens
+   anyway (truncation, editing, format drift) fails the digest check
+   and reads as a miss. *)
+
+open Dmp_profile
+open Dmp_uarch
+open Dmp_workload
+
+type t = { dir : string }
+
+let magic = "DMPCACHE1\n"
+
+(* Bump when the emulator, profiler, predictor or simulator change in a
+   way that alters profiles or baseline statistics: the fingerprint
+   below only sees data that is explicit in the key. *)
+let format_version = 1
+
+let fingerprint ~max_insts =
+  let key =
+    ( format_version,
+      Sys.ocaml_version,
+      Dmp_core.Params.default,
+      Dmp_core.Params.for_cost_model,
+      Config.baseline,
+      max_insts )
+  in
+  Digest.to_hex (Digest.string (Marshal.to_string key []))
+
+let mkdir_if_absent d =
+  match Sys.mkdir d 0o755 with
+  | () -> ()
+  | exception Sys_error _ when Sys.file_exists d && Sys.is_directory d -> ()
+
+let create ?(dir = "_cache") ~max_insts () =
+  mkdir_if_absent dir;
+  let sub = Filename.concat dir (fingerprint ~max_insts) in
+  mkdir_if_absent sub;
+  { dir = sub }
+
+let dir t = t.dir
+
+let path t ~bench ~set ~kind =
+  Filename.concat t.dir
+    (Printf.sprintf "%s-%s.%s" bench (Input_gen.set_to_string set) kind)
+
+let store t ~bench ~set ~kind value =
+  let payload = Marshal.to_string value [] in
+  let final = path t ~bench ~set ~kind in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" final (Unix.getpid ())
+      (Domain.self () :> int)
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      Digest.output oc (Digest.string payload);
+      output_string oc payload);
+  Sys.rename tmp final
+
+(* Any failure — missing file, bad magic, bad digest, Marshal noise —
+   is a miss; a recognisably corrupt entry is also deleted so it cannot
+   shadow the recomputed value if the later store fails too. *)
+let load t ~bench ~set ~kind =
+  let file = path t ~bench ~set ~kind in
+  match open_in_bin file with
+  | exception Sys_error _ -> None
+  | ic -> (
+      let r =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            try
+              let m = really_input_string ic (String.length magic) in
+              if m <> magic then None
+              else
+                let d = Digest.input ic in
+                let len =
+                  in_channel_length ic - String.length magic - 16
+                in
+                let payload = really_input_string ic len in
+                if Digest.string payload <> d then None
+                else Some (Marshal.from_string payload 0)
+            with End_of_file | Failure _ -> None)
+      in
+      (match r with
+      | None -> ( try Sys.remove file with Sys_error _ -> ())
+      | Some _ -> ());
+      r)
+
+let load_profile t linked ~bench ~set =
+  Option.map (Profile.of_raw linked) (load t ~bench ~set ~kind:"profile")
+
+let store_profile t ~bench ~set profile =
+  store t ~bench ~set ~kind:"profile" (Profile.to_raw profile)
+
+let load_baseline t ~bench ~set : Stats.t option =
+  load t ~bench ~set ~kind:"baseline"
+
+let store_baseline t ~bench ~set (stats : Stats.t) =
+  store t ~bench ~set ~kind:"baseline" stats

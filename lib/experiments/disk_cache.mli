@@ -1,0 +1,36 @@
+(** Persistent on-disk cache for the expensive pipeline stages.
+
+    Profiles and baseline statistics are stored under
+    [dir/<fingerprint>/<benchmark>-<input set>.<kind>], where the
+    fingerprint digests the cache format version, the selection /
+    cost-model parameters, the baseline machine configuration and the
+    [max_insts] cap — changing any of these invalidates every entry at
+    once by moving the cache to a fresh subdirectory. Entries carry a
+    digest of their payload; a truncated, tampered-with or otherwise
+    unreadable entry loads as [None] and the caller recomputes. *)
+
+open Dmp_ir
+open Dmp_profile
+open Dmp_uarch
+open Dmp_workload
+
+type t
+
+val create : ?dir:string -> max_insts:int option -> unit -> t
+(** [dir] defaults to ["_cache"]. Creates the directory eagerly;
+    raises [Sys_error] if that is impossible. *)
+
+val dir : t -> string
+(** The fingerprinted subdirectory entries of this cache live in. *)
+
+val load_profile :
+  t -> Linked.t -> bench:string -> set:Input_gen.set -> Profile.t option
+
+val store_profile :
+  t -> bench:string -> set:Input_gen.set -> Profile.t -> unit
+
+val load_baseline :
+  t -> bench:string -> set:Input_gen.set -> Stats.t option
+
+val store_baseline :
+  t -> bench:string -> set:Input_gen.set -> Stats.t -> unit

@@ -1,37 +1,61 @@
 (* Shared experiment pipeline with caching of the expensive stages
-   (linking, profiling, baseline simulation) across figures. *)
+   (linking, profiling, baseline simulation) across figures.
+
+   Concurrency: every entry owns a lock that guards its memo tables and
+   its one-shot linking, so a stage is computed exactly once no matter
+   how many domains ask for it, and distinct benchmarks proceed in
+   parallel. The runner-wide state (stage timings) has its own lock and
+   is never held across a stage computation. *)
 
 open Dmp_ir
+open Dmp_exec
 open Dmp_profile
 open Dmp_uarch
 open Dmp_workload
 
 type entry = {
   spec : Spec.t;
-  linked : Linked.t Lazy.t;
+  lock : Mutex.t;
+  mutable linked_v : Linked.t option;
   profiles : (Input_gen.set, Profile.t) Hashtbl.t;
   baselines : (Input_gen.set, Stats.t) Hashtbl.t;
 }
+
+type timing = { mutable calls : int; mutable seconds : float }
 
 type t = {
   entries : (string, entry) Hashtbl.t;
   order : string list;
   max_insts : int option;
+  cache : Disk_cache.t option;
+  timings : (string, timing) Hashtbl.t;
+  timings_lock : Mutex.t;
 }
 
-let create ?(benchmarks = Registry.all) ?max_insts () =
+let create ?(benchmarks = Registry.all) ?max_insts ?cache_dir () =
   let entries = Hashtbl.create 32 in
   List.iter
     (fun spec ->
       Hashtbl.replace entries spec.Spec.name
         {
           spec;
-          linked = lazy (Spec.linked spec);
+          lock = Mutex.create ();
+          linked_v = None;
           profiles = Hashtbl.create 4;
           baselines = Hashtbl.create 4;
         })
     benchmarks;
-  { entries; order = List.map (fun s -> s.Spec.name) benchmarks; max_insts }
+  let cache =
+    Option.map (fun dir -> Disk_cache.create ~dir ~max_insts ()) cache_dir
+  in
+  {
+    entries;
+    order = List.map (fun s -> s.Spec.name) benchmarks;
+    max_insts;
+    cache;
+    timings = Hashtbl.create 8;
+    timings_lock = Mutex.create ();
+  }
 
 let names t = t.order
 
@@ -40,36 +64,121 @@ let entry t name =
   | Some e -> e
   | None -> invalid_arg ("Runner: unknown benchmark " ^ name)
 
-let linked t name = Lazy.force (entry t name).linked
+let timed t stage f =
+  let t0 = Unix.gettimeofday () in
+  let finally () =
+    let dt = Unix.gettimeofday () -. t0 in
+    Mutex.lock t.timings_lock;
+    (match Hashtbl.find_opt t.timings stage with
+    | Some tm ->
+        tm.calls <- tm.calls + 1;
+        tm.seconds <- tm.seconds +. dt
+    | None -> Hashtbl.replace t.timings stage { calls = 1; seconds = dt });
+    Mutex.unlock t.timings_lock
+  in
+  Fun.protect ~finally f
+
+let with_lock e f =
+  Mutex.lock e.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock e.lock) f
+
+(* Caller must hold [e.lock]. *)
+let linked_locked t e =
+  match e.linked_v with
+  | Some l -> l
+  | None ->
+      let l = timed t "link" (fun () -> Spec.linked e.spec) in
+      e.linked_v <- Some l;
+      l
+
+let linked t name =
+  let e = entry t name in
+  with_lock e (fun () -> linked_locked t e)
+
 let input t name set = (entry t name).spec.Spec.input set
 
 let profile t name set =
   let e = entry t name in
-  match Hashtbl.find_opt e.profiles set with
-  | Some p -> p
-  | None ->
-      let p =
-        Profile.collect ?max_insts:t.max_insts (Lazy.force e.linked)
-          ~input:(e.spec.Spec.input set)
-      in
-      Hashtbl.replace e.profiles set p;
-      p
+  with_lock e (fun () ->
+      match Hashtbl.find_opt e.profiles set with
+      | Some p -> p
+      | None ->
+          let linked = linked_locked t e in
+          let cached =
+            match t.cache with
+            | None -> None
+            | Some c ->
+                timed t "profile (disk cache)" (fun () ->
+                    Disk_cache.load_profile c linked ~bench:name ~set)
+          in
+          let p =
+            match cached with
+            | Some p -> p
+            | None ->
+                let p =
+                  timed t "profile (collect)" (fun () ->
+                      Profile.collect ?max_insts:t.max_insts linked
+                        ~input:(e.spec.Spec.input set))
+                in
+                Option.iter
+                  (fun c -> Disk_cache.store_profile c ~bench:name ~set p)
+                  t.cache;
+                p
+          in
+          Hashtbl.replace e.profiles set p;
+          p)
 
 let baseline ?(set = Input_gen.Reduced) t name =
   let e = entry t name in
-  match Hashtbl.find_opt e.baselines set with
-  | Some s -> s
-  | None ->
-      let s =
-        Sim.run ~config:Config.baseline ?max_insts:t.max_insts
-          (Lazy.force e.linked) ~input:(e.spec.Spec.input set)
-      in
-      Hashtbl.replace e.baselines set s;
-      s
+  with_lock e (fun () ->
+      match Hashtbl.find_opt e.baselines set with
+      | Some s -> s
+      | None ->
+          let linked = linked_locked t e in
+          let cached =
+            match t.cache with
+            | None -> None
+            | Some c ->
+                timed t "baseline (disk cache)" (fun () ->
+                    Disk_cache.load_baseline c ~bench:name ~set)
+          in
+          let s =
+            match cached with
+            | Some s -> s
+            | None ->
+                let s =
+                  timed t "baseline (simulate)" (fun () ->
+                      Sim.run ~config:Config.baseline
+                        ?max_insts:t.max_insts linked
+                        ~input:(e.spec.Spec.input set))
+                in
+                Option.iter
+                  (fun c -> Disk_cache.store_baseline c ~bench:name ~set s)
+                  t.cache;
+                s
+          in
+          Hashtbl.replace e.baselines set s;
+          s)
 
 let dmp ?(set = Input_gen.Reduced) ?(config = Config.dmp) t name annotation =
-  Sim.run ~config ~annotation ?max_insts:t.max_insts (linked t name)
-    ~input:(input t name set)
+  let linked = linked t name in
+  timed t "dmp (simulate)" (fun () ->
+      Sim.run ~config ~annotation ?max_insts:t.max_insts linked
+        ~input:(input t name set))
+
+let prefetch ?(profile_sets = [ Input_gen.Reduced ])
+    ?(baseline_sets = [ Input_gen.Reduced ]) ?jobs t =
+  (* One task per benchmark: stages of the same benchmark share its
+     lock anyway, so finer tasks would only make workers queue on it. *)
+  Pool.with_pool ?jobs (fun pool ->
+      Pool.run pool
+        (List.map
+           (fun name () ->
+             List.iter (fun set -> ignore (profile t name set)) profile_sets;
+             List.iter
+               (fun set -> ignore (baseline ~set t name))
+               baseline_sets)
+           t.order))
 
 let speedup_pct ~base stats =
   (Stats.ipc stats /. Stats.ipc base -. 1.) *. 100.
@@ -78,3 +187,26 @@ let amean xs =
   match xs with
   | [] -> 0.
   | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let timings t =
+  Mutex.lock t.timings_lock;
+  let rows =
+    Hashtbl.fold
+      (fun stage tm acc -> (stage, tm.calls, tm.seconds) :: acc)
+      t.timings []
+  in
+  Mutex.unlock t.timings_lock;
+  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) rows
+
+let timing_summary t =
+  let rows = timings t in
+  let b = Buffer.create 256 in
+  Buffer.add_string b "== Stage timings ==\n";
+  Buffer.add_string b
+    (Printf.sprintf "%-24s %8s %12s\n" "stage" "calls" "seconds");
+  List.iter
+    (fun (stage, calls, seconds) ->
+      Buffer.add_string b
+        (Printf.sprintf "%-24s %8d %12.3f\n" stage calls seconds))
+    rows;
+  Buffer.contents b

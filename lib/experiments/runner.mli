@@ -1,5 +1,10 @@
 (** Shared experiment pipeline with caching of linking, profiling and
-    baseline simulation across figures. *)
+    baseline simulation across figures.
+
+    A runner is safe for concurrent use from multiple domains: each
+    benchmark's stages are guarded by a per-benchmark lock, so distinct
+    benchmarks link / profile / simulate in parallel while every cached
+    stage is still computed exactly once. *)
 
 open Dmp_ir
 open Dmp_profile
@@ -9,10 +14,13 @@ open Dmp_workload
 type t
 
 val create :
-  ?benchmarks:Spec.t list -> ?max_insts:int -> unit -> t
+  ?benchmarks:Spec.t list -> ?max_insts:int -> ?cache_dir:string ->
+  unit -> t
 (** Defaults to the full 17-benchmark suite with uncapped simulations.
     [max_insts] caps both profiling and simulation (for quick runs and
-    tests). *)
+    tests). When [cache_dir] is given, profiles and baseline statistics
+    additionally persist across processes in a {!Disk_cache} rooted
+    there; corrupt or stale entries are recomputed transparently. *)
 
 val names : t -> string list
 val linked : t -> string -> Linked.t
@@ -29,5 +37,29 @@ val dmp :
   Dmp_core.Annotation.t -> Stats.t
 (** Uncached: one DMP simulation under the given annotation. *)
 
+val prefetch :
+  ?profile_sets:Input_gen.set list ->
+  ?baseline_sets:Input_gen.set list -> ?jobs:int -> t -> unit
+(** Warm link, profile and baseline for every benchmark, spreading the
+    benchmarks over a {!Dmp_exec.Pool} of [jobs] workers (default:
+    [Pool.default_jobs ()], i.e. the [DMP_JOBS] environment variable or
+    the recommended domain count). [profile_sets] and [baseline_sets]
+    both default to [[Input_gen.Reduced]]. The first exception raised
+    by any stage is re-raised after the batch settles. *)
+
 val speedup_pct : base:Stats.t -> Stats.t -> float
 val amean : float list -> float
+
+(** {2 Stage timing}
+
+    Every stage records its wall-clock time under a stage label:
+    ["link"], ["profile (collect)"] / ["profile (disk cache)"],
+    ["baseline (simulate)"] / ["baseline (disk cache)"] and
+    ["dmp (simulate)"]. A warm persistent cache is visible as the
+    collect/simulate rows dropping to zero calls. *)
+
+val timings : t -> (string * int * float) list
+(** [(stage, calls, total seconds)], sorted by stage label. *)
+
+val timing_summary : t -> string
+(** Render {!timings} as an aligned table, one stage per line. *)

@@ -1,0 +1,30 @@
+open Dmp_workload
+
+let all =
+  [ "table1"; "table2"; "fig5l"; "fig5r"; "fig6"; "fig7"; "fig8"; "fig9";
+    "fig10"; "ablations" ]
+
+let is_valid t = List.mem t all
+
+let render runner = function
+  | "table1" -> Ok (Table1.render ())
+  | "table2" -> Ok (Table2.render (Table2.compute runner))
+  | "fig5l" -> Ok (Report.render (Fig5.left runner))
+  | "fig5r" -> Ok (Report.render (Fig5.right runner))
+  | "fig6" -> Ok (Report.render (Fig6.run runner))
+  | "fig7" -> Ok (Fig7.render (Fig7.run runner))
+  | "fig8" -> Ok (Report.render (Fig8.run runner))
+  | "fig9" -> Ok (Report.render (Fig9.run runner))
+  | "fig10" -> Ok (Fig10.render (Fig10.run runner))
+  | "ablations" -> Ok (Ablations.render (Ablations.run runner))
+  | t ->
+      Error
+        (Printf.sprintf "unknown target %s; valid targets: %s" t
+           (String.concat ", " all))
+
+let needs_train = function "fig9" | "fig10" -> true | _ -> false
+
+let profile_sets targets =
+  if List.exists needs_train targets then
+    [ Input_gen.Reduced; Input_gen.Train ]
+  else [ Input_gen.Reduced ]

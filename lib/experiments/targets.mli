@@ -1,0 +1,17 @@
+(** The named tables and figures of the paper's evaluation (Section 7),
+    shared by [bench/main.exe] and [dmp experiment] so both agree on
+    the valid target names. *)
+
+val all : string list
+(** In presentation order: tables first, then figures, then ablations. *)
+
+val is_valid : string -> bool
+
+val render : Runner.t -> string -> (string, string) result
+(** [Ok output] for a valid target, [Error message] (naming the valid
+    targets) otherwise. *)
+
+val profile_sets : string list -> Dmp_workload.Input_gen.set list
+(** The input sets whose profiles the given targets consume — what a
+    prefetch should warm. [Train] is only needed by the
+    input-sensitivity studies (fig9, fig10). *)

@@ -112,3 +112,35 @@ let mpki t =
 let branch_addrs t =
   Hashtbl.fold (fun addr _ acc -> addr :: acc) t.branch_stats []
   |> List.sort Int.compare
+
+(* Branches are kept as a sorted association list so the serialised
+   bytes do not depend on hash-table insertion order. *)
+type raw = {
+  raw_branches : (int * branch) list;
+  raw_block_counts : int array array;
+  raw_retired : int;
+}
+
+let to_raw t =
+  {
+    raw_branches =
+      Hashtbl.fold (fun addr s acc -> (addr, s) :: acc) t.branch_stats []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+    raw_block_counts = t.block_counts;
+    raw_retired = t.retired;
+  }
+
+let of_raw linked raw =
+  let branch_stats = Hashtbl.create 256 in
+  List.iter
+    (fun (addr, s) ->
+      Hashtbl.replace branch_stats addr
+        { executed = s.executed; taken = s.taken;
+          mispredicted = s.mispredicted })
+    raw.raw_branches;
+  {
+    linked;
+    branch_stats;
+    block_counts = Array.map Array.copy raw.raw_block_counts;
+    retired = raw.raw_retired;
+  }

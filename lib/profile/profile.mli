@@ -41,3 +41,13 @@ val mpki : t -> float
 (** Mispredictions per kilo-instruction under the profiling predictor. *)
 
 val branch_addrs : t -> int list
+
+type raw
+(** Marshal-friendly image of a profile: all collected counters, but not
+    the [Linked.t] the profile was collected against (programs contain
+    structure that must not be serialised and is cheap to rebuild).
+    Two profiles with equal counters have byte-identical
+    [Marshal]-serialised raws. *)
+
+val to_raw : t -> raw
+val of_raw : Linked.t -> raw -> t

@@ -67,6 +67,6 @@ let spec =
   {
     Spec.name = "bzip2";
     description = "block sort: freq-hammocks, run loop, value-gated rescan";
-    program = lazy (build ());
+    program = lazy (Motifs.fresh_build build ());
     input;
   }

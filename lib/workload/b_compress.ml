@@ -64,6 +64,6 @@ let spec =
   {
     Spec.name = "compress";
     description = "LZW: hash probes, hit/miss hammock, emission loop";
-    program = lazy (build ());
+    program = lazy (Motifs.fresh_build build ());
     input;
   }

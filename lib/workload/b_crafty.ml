@@ -72,6 +72,6 @@ let spec =
   {
     Spec.name = "crafty";
     description = "chess: nested hammocks, callee hammock, gated endgame";
-    program = lazy (build ());
+    program = lazy (Motifs.fresh_build build ());
     input;
   }

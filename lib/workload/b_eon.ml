@@ -63,6 +63,6 @@ let spec =
   {
     Spec.name = "eon";
     description = "ray tracing: biased simple hammocks, high ILP";
-    program = lazy (build ());
+    program = lazy (Motifs.fresh_build build ());
     input;
   }

@@ -69,6 +69,6 @@ let spec =
   {
     Spec.name = "gap";
     description = "computer algebra: predictable paths, input-gated bigint";
-    program = lazy (build ());
+    program = lazy (Motifs.fresh_build build ());
     input;
   }

@@ -82,6 +82,6 @@ let spec =
   {
     Spec.name = "gcc";
     description = "compiler: opcode dispatch over unequal sections";
-    program = lazy (build ());
+    program = lazy (Motifs.fresh_build build ());
     input;
   }

@@ -81,6 +81,6 @@ let spec =
   {
     Spec.name = "go";
     description = "go engine: dense 50/50 tactical branches of all shapes";
-    program = lazy (build ());
+    program = lazy (Motifs.fresh_build build ());
     input;
   }

@@ -73,6 +73,6 @@ let spec =
   {
     Spec.name = "gzip";
     description = "compression: match-length loop + literal/match hammock";
-    program = lazy (build ());
+    program = lazy (Motifs.fresh_build build ());
     input;
   }

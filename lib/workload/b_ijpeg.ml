@@ -67,6 +67,6 @@ let spec =
   {
     Spec.name = "ijpeg";
     description = "image codec: fixed DCT loops, quantisation hammocks";
-    program = lazy (build ());
+    program = lazy (Motifs.fresh_build build ());
     input;
   }

@@ -75,6 +75,6 @@ let spec =
   {
     Spec.name = "li";
     description = "lisp interpreter: simple-hammock type dispatch";
-    program = lazy (build ());
+    program = lazy (Motifs.fresh_build build ());
     input;
   }

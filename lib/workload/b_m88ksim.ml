@@ -63,6 +63,6 @@ let spec =
   {
     Spec.name = "m88ksim";
     description = "CPU simulator: biased class dispatch, trap checks";
-    program = lazy (build ());
+    program = lazy (Motifs.fresh_build build ());
     input;
   }

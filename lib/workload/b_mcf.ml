@@ -83,6 +83,6 @@ let spec =
   {
     Spec.name = "mcf";
     description = "network simplex: pointer chasing + short hammock";
-    program = lazy (build ());
+    program = lazy (Motifs.fresh_build build ());
     input;
   }

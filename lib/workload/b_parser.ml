@@ -59,6 +59,6 @@ let spec =
   {
     Spec.name = "parser";
     description = "dictionary lookup: mispredicted word-compare loops";
-    program = lazy (build ());
+    program = lazy (Motifs.fresh_build build ());
     input;
   }

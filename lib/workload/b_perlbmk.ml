@@ -83,6 +83,6 @@ let spec =
   {
     Spec.name = "perlbmk";
     description = "interpreter: dispatch, pattern hammocks, ret-CFM callee";
-    program = lazy (build ());
+    program = lazy (Motifs.fresh_build build ());
     input;
   }

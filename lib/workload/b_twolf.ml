@@ -85,6 +85,6 @@ let spec =
   {
     Spec.name = "twolf";
     description = "placement: short hammocks + return-CFM utilities";
-    program = lazy (build ());
+    program = lazy (Motifs.fresh_build build ());
     input;
   }

@@ -76,6 +76,6 @@ let spec =
   {
     Spec.name = "vortex";
     description = "object database: predictable validation, call chains";
-    program = lazy (build ());
+    program = lazy (Motifs.fresh_build build ());
     input;
   }

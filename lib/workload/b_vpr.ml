@@ -67,6 +67,6 @@ let spec =
   {
     Spec.name = "vpr";
     description = "placement: short mispredicted hammocks + accept/reject";
-    program = lazy (build ());
+    program = lazy (Motifs.fresh_build build ());
     input;
   }

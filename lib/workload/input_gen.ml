@@ -12,11 +12,16 @@ let set_to_string = function
   | Train -> "train"
   | Ref -> "ref"
 
-let set_of_string = function
-  | "reduced" -> Reduced
-  | "train" -> Train
-  | "ref" -> Ref
-  | s -> invalid_arg ("Input_gen.set_of_string: " ^ s)
+let set_of_string_opt = function
+  | "reduced" -> Some Reduced
+  | "train" -> Some Train
+  | "ref" -> Some Ref
+  | _ -> None
+
+let set_of_string s =
+  match set_of_string_opt s with
+  | Some set -> set
+  | None -> invalid_arg ("Input_gen.set_of_string: " ^ s)
 
 let uniform ~seed ~n ~bound =
   let st = Random.State.make [| seed |] in

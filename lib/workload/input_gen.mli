@@ -4,7 +4,11 @@
 type set = Reduced | Train | Ref
 
 val set_to_string : set -> string
+
 val set_of_string : string -> set
+(** @raise Invalid_argument on an unknown name. *)
+
+val set_of_string_opt : string -> set option
 val uniform : seed:int -> n:int -> bound:int -> int array
 
 val mixture :

@@ -20,11 +20,25 @@ let scratch i = Reg.of_int (scratch_base + (i mod scratch_count))
    select-uop, as in real code. *)
 let acc_reg = Reg.of_int 16
 
-let work_counter = ref 0
+(* The filler-variation counter is domain-local and reset at the start
+   of every benchmark build (see [fresh_build]), so the program a
+   benchmark builds depends neither on which benchmarks were built
+   before it in this process nor on which domain builds it. Persistent
+   profile caching and parallel prefetching both rely on this. *)
+let work_counter = Domain.DLS.new_key (fun () -> ref 0)
+
+let next_work_index () =
+  let c = Domain.DLS.get work_counter in
+  let k = !c in
+  incr c;
+  k
+
+let fresh_build build () =
+  Domain.DLS.get work_counter := 0;
+  build ()
 
 let bump_acc f =
-  let k = !work_counter in
-  incr work_counter;
+  let k = next_work_index () in
   B.add f acc_reg acc_reg (B.imm ((k mod 11) + 1))
 
 (* [work f n] emits [n] dependence-mixed ALU instructions over the
@@ -35,14 +49,12 @@ let bump_acc f =
    so different call sites produce different code. *)
 let work f n =
   if n > 0 then begin
-    let k0 = !work_counter in
-    incr work_counter;
+    let k0 = next_work_index () in
     let first = scratch k0 in
     B.li f first ((k0 mod 89) + 1);
     let last = ref first and prev = ref first in
     for _ = 2 to n do
-      let k = !work_counter in
-      incr work_counter;
+      let k = next_work_index () in
       let dst = scratch k in
       let a = !last and b = !prev in
       (match k mod 5 with
@@ -60,14 +72,12 @@ let work f n =
    IPC. Same liveness discipline as [work]. *)
 let heavy_work f n =
   if n > 0 then begin
-    let k0 = !work_counter in
-    incr work_counter;
+    let k0 = next_work_index () in
     let first = scratch k0 in
     B.li f first ((k0 mod 31) + 2);
     let last = ref first in
     for i = 2 to n do
-      let k = !work_counter in
-      incr work_counter;
+      let k = next_work_index () in
       let dst = scratch k in
       if i mod 4 = 0 then B.mul f dst !last (B.imm ((k mod 5) + 3))
       else B.add f dst !last (B.imm 1);

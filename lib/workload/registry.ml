@@ -22,8 +22,11 @@ let int95 =
 
 let all = int2000 @ int95
 
+let find_opt name =
+  List.find_opt (fun s -> String.equal s.Spec.name name) all
+
 let find name =
-  match List.find_opt (fun s -> String.equal s.Spec.name name) all with
+  match find_opt name with
   | Some s -> s
   | None -> invalid_arg ("Registry.find: unknown benchmark " ^ name)
 

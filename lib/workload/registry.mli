@@ -8,4 +8,6 @@ val all : Spec.t list
 val find : string -> Spec.t
 (** @raise Invalid_argument on an unknown name. *)
 
+val find_opt : string -> Spec.t option
+
 val names : string list

@@ -333,6 +333,32 @@ let test_useless_insts () =
   in
   check (Alcotest.float 1e-9) "still one side useless" 10. u
 
+(* Regression: per-CFM merge probabilities can overlap and sum above 1;
+   one dpred episode merges at most once, so the useless-instruction
+   term must cap the cumulative probability exactly like the unmerged
+   term does (Eq. 17). *)
+let test_dpred_overhead_multi_cfm_clamped () =
+  let p = Params.default in
+  let c1 = synthetic_cfm ~insts:10 ~merge_prob:0.7 in
+  let c2 = synthetic_cfm ~insts:10 ~merge_prob:0.6 in
+  let two =
+    Cost_model.dpred_overhead p Cost_model.Edge_weighted [ c1; c2 ]
+      ~taken_prob:0.5
+  in
+  (* both CFM points have 10 useless instructions, the probabilities
+     cap at 0.7 + 0.3: merged = 10, overhead = 10 / fetch_width, no
+     unmerged term. The uncapped sum would give 1.3 * 10 / 8. *)
+  check (Alcotest.float 1e-9) "capped at one merge per entry"
+    (10. /. float_of_int p.Params.fetch_width)
+    two;
+  (* identical to a single always-merging CFM point of the same size *)
+  let one =
+    Cost_model.dpred_overhead p Cost_model.Edge_weighted
+      [ synthetic_cfm ~insts:10 ~merge_prob:1.0 ]
+      ~taken_prob:0.5
+  in
+  check (Alcotest.float 1e-9) "= single exact CFM" one two
+
 let test_loop_cost_model () =
   let p = Params.default in
   (* late-exit dominated -> negative cost (profitable) *)
@@ -347,6 +373,34 @@ let test_loop_cost_model () =
       ~extra_iter:1. ~p_correct:0.5 ~p_early:0.25 ~p_late:0. ~p_noexit:0.25
   in
   check Alcotest.bool "no-late-exit loop unprofitable" true (hopeless > 0.)
+
+(* Pin the four-case breakdown of Eq. 20 with Params.default
+   (fetch_width 8, misp_penalty 25), n_body 10, n_select 2,
+   dpred_iter 3, extra_iter 1:
+     ovh_sel  = 2 * 3 / 8        = 0.75
+     ovh_late = 10 * 1 / 8 + ovh_sel = 2.0
+   correct / early pay only select-µops; late-exit pays ovh_late but
+   saves the flush; no-exit pays the same useless extra-iteration
+   fetches as late-exit *and* still flushes. *)
+let test_loop_cost_four_cases () =
+  let p = Params.default in
+  let cost ~p_correct ~p_early ~p_late ~p_noexit =
+    Cost_model.loop_cost p ~n_body:10 ~n_select:2 ~dpred_iter:3.
+      ~extra_iter:1. ~p_correct ~p_early ~p_late ~p_noexit
+  in
+  check (Alcotest.float 1e-9) "correct: select-µops only" 0.75
+    (cost ~p_correct:1. ~p_early:0. ~p_late:0. ~p_noexit:0.);
+  check (Alcotest.float 1e-9) "early-exit: select-µops only" 0.75
+    (cost ~p_correct:0. ~p_early:1. ~p_late:0. ~p_noexit:0.);
+  check (Alcotest.float 1e-9) "late-exit: NOPed iterations - flush"
+    (2.0 -. 25.0)
+    (cost ~p_correct:0. ~p_early:0. ~p_late:1. ~p_noexit:0.);
+  check (Alcotest.float 1e-9) "no-exit: NOPed iterations, flush kept" 2.0
+    (cost ~p_correct:0. ~p_early:0. ~p_late:0. ~p_noexit:1.);
+  check (Alcotest.float 1e-9) "mixture is the probability blend"
+    ((0.2 *. 0.75) +. (0.05 *. 0.75) +. (0.7 *. (2.0 -. 25.0))
+    +. (0.05 *. 2.0))
+    (cost ~p_correct:0.2 ~p_early:0.05 ~p_late:0.7 ~p_noexit:0.05)
 
 (* ---------- annotation serialisation ---------- *)
 
@@ -634,7 +688,11 @@ let () =
           Alcotest.test_case "selection decision" `Quick
             test_cost_select_decision;
           Alcotest.test_case "useless insts" `Quick test_useless_insts;
+          Alcotest.test_case "multi-CFM merge prob clamped" `Quick
+            test_dpred_overhead_multi_cfm_clamped;
           Alcotest.test_case "loop cost" `Quick test_loop_cost_model;
+          Alcotest.test_case "loop cost four cases" `Quick
+            test_loop_cost_four_cases;
         ] );
       ( "simple selectors",
         [ Alcotest.test_case "behaviour" `Quick test_simple_selectors ] );

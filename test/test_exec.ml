@@ -152,6 +152,54 @@ let qcheck_random_programs_terminate =
       let retired = Emulator.run ~max_insts:100_000 emu in
       Emulator.halted emu && retired < 100_000)
 
+(* ---------- domain pool ---------- *)
+
+let test_pool_map_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      check
+        Alcotest.(list int)
+        "results in submission order"
+        (List.map (fun x -> x * x) xs)
+        (Pool.map pool ~f:(fun x -> x * x) xs))
+
+let test_pool_inline () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      check Alcotest.int "one worker" 1 (Pool.jobs pool);
+      let d0 = (Domain.self () :> int) in
+      let ds =
+        Pool.map pool ~f:(fun _ -> (Domain.self () :> int)) [ 1; 2; 3 ]
+      in
+      check
+        Alcotest.(list int)
+        "tasks run on the submitting domain" [ d0; d0; d0 ] ds)
+
+let test_pool_exception () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.check_raises "first failure re-raised"
+        (Invalid_argument "task 3") (fun () ->
+          ignore
+            (Pool.map pool
+               ~f:(fun i ->
+                 if i mod 3 = 0 then
+                   invalid_arg (Printf.sprintf "task %d" i)
+                 else i)
+               [ 1; 2; 3; 4; 5; 6 ])))
+
+let test_pool_effects () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let hits = Atomic.make 0 in
+      Pool.run pool
+        (List.init 50 (fun _ () -> Atomic.incr hits));
+      check Alcotest.int "every task ran" 50 (Atomic.get hits))
+
+let test_pool_reuse () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let a = Pool.map pool ~f:succ [ 1; 2; 3 ] in
+      let b = Pool.map pool ~f:succ [ 4; 5 ] in
+      check Alcotest.(list int) "first batch" [ 2; 3; 4 ] a;
+      check Alcotest.(list int) "second batch" [ 5; 6 ] b)
+
 let () =
   Alcotest.run "dmp_exec"
     [
@@ -170,6 +218,16 @@ let () =
           Alcotest.test_case "max_insts" `Quick test_max_insts;
           Alcotest.test_case "branch events" `Quick test_branch_event_fields;
           Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map order" `Quick test_pool_map_order;
+          Alcotest.test_case "inline when jobs=1" `Quick test_pool_inline;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception;
+          Alcotest.test_case "runs every task" `Quick test_pool_effects;
+          Alcotest.test_case "reusable across batches" `Quick
+            test_pool_reuse;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest qcheck_random_programs_terminate ] );

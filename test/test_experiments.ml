@@ -98,6 +98,115 @@ let test_fig7_grid () =
   check Alcotest.bool "mentions MAX_INSTR" true
     (Astring_contains.contains rendered "MAX_INSTR")
 
+(* ---------- parallel prefetch and the persistent cache ---------- *)
+
+let profile_bytes p = Marshal.to_string (Dmp_profile.Profile.to_raw p) []
+let stats_bytes (s : Dmp_uarch.Stats.t) = Marshal.to_string s []
+
+let quad_benchmarks () =
+  [ Registry.find "vpr"; Registry.find "li"; Registry.find "gzip";
+    Registry.find "mcf" ]
+
+(* A 4-worker prefetch must produce byte-identical profiles and
+   baseline statistics to a purely sequential run: program construction
+   is domain-local and order-independent, and every stage is keyed, not
+   raced. *)
+let test_parallel_prefetch_equivalence () =
+  let seq = Runner.create ~benchmarks:(quad_benchmarks ()) ~max_insts:80_000 () in
+  let par = Runner.create ~benchmarks:(quad_benchmarks ()) ~max_insts:80_000 () in
+  List.iter
+    (fun name ->
+      ignore (Runner.profile seq name Input_gen.Reduced);
+      ignore (Runner.baseline seq name))
+    (Runner.names seq);
+  Runner.prefetch ~jobs:4 par;
+  List.iter
+    (fun name ->
+      check Alcotest.bool (name ^ ": profile bytes identical") true
+        (profile_bytes (Runner.profile seq name Input_gen.Reduced)
+        = profile_bytes (Runner.profile par name Input_gen.Reduced));
+      check Alcotest.bool (name ^ ": baseline bytes identical") true
+        (stats_bytes (Runner.baseline seq name)
+        = stats_bytes (Runner.baseline par name)))
+    (Runner.names seq)
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter
+      (fun f -> remove_tree (Filename.concat path f))
+      (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_cache_dir f =
+  let dir = Filename.temp_file "dmp_cache_test" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+
+let stage_calls runner stage =
+  match
+    List.find_opt (fun (s, _, _) -> s = stage) (Runner.timings runner)
+  with
+  | Some (_, calls, _) -> calls
+  | None -> 0
+
+let cached_runner dir =
+  Runner.create
+    ~benchmarks:[ Registry.find "li" ]
+    ~max_insts:80_000 ~cache_dir:dir ()
+
+let test_disk_cache_round_trip () =
+  with_temp_cache_dir (fun dir ->
+      let r1 = cached_runner dir in
+      let p1 = profile_bytes (Runner.profile r1 "li" Input_gen.Reduced) in
+      let b1 = stats_bytes (Runner.baseline r1 "li") in
+      check Alcotest.int "cold run collects" 1
+        (stage_calls r1 "profile (collect)");
+      (* a fresh runner over the same directory loads instead of
+         recomputing *)
+      let r2 = cached_runner dir in
+      let p2 = profile_bytes (Runner.profile r2 "li" Input_gen.Reduced) in
+      let b2 = stats_bytes (Runner.baseline r2 "li") in
+      check Alcotest.bool "profile round-trips" true (p1 = p2);
+      check Alcotest.bool "baseline round-trips" true (b1 = b2);
+      check Alcotest.int "warm run does not collect" 0
+        (stage_calls r2 "profile (collect)");
+      check Alcotest.int "warm run does not simulate" 0
+        (stage_calls r2 "baseline (simulate)");
+      check Alcotest.int "warm run hits the disk cache" 1
+        (stage_calls r2 "profile (disk cache)"))
+
+let test_disk_cache_corrupt_fallback () =
+  with_temp_cache_dir (fun dir ->
+      let r1 = cached_runner dir in
+      let p1 = profile_bytes (Runner.profile r1 "li" Input_gen.Reduced) in
+      (* clobber every cache entry *)
+      Array.iter
+        (fun sub ->
+          let sub = Filename.concat dir sub in
+          if Sys.is_directory sub then
+            Array.iter
+              (fun f ->
+                let oc = open_out_bin (Filename.concat sub f) in
+                output_string oc "not a cache entry";
+                close_out oc)
+              (Sys.readdir sub))
+        (Sys.readdir dir);
+      let r2 = cached_runner dir in
+      let p2 = profile_bytes (Runner.profile r2 "li" Input_gen.Reduced) in
+      check Alcotest.bool "corrupt entry falls back to recompute" true
+        (p1 = p2);
+      check Alcotest.int "recompute happened" 1
+        (stage_calls r2 "profile (collect)");
+      (* the recompute re-stored a good entry *)
+      let r3 = cached_runner dir in
+      let p3 = profile_bytes (Runner.profile r3 "li" Input_gen.Reduced) in
+      check Alcotest.bool "re-stored entry loads" true (p1 = p3);
+      check Alcotest.int "no recompute after re-store" 0
+        (stage_calls r3 "profile (collect)"))
+
 let test_report_render () =
   let fig =
     {
@@ -124,6 +233,17 @@ let () =
         ] );
       ( "variants",
         [ Alcotest.test_case "lookup" `Quick test_variants_lookup ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "prefetch = sequential" `Slow
+            test_parallel_prefetch_equivalence;
+        ] );
+      ( "disk cache",
+        [
+          Alcotest.test_case "round trip" `Slow test_disk_cache_round_trip;
+          Alcotest.test_case "corrupt fallback" `Slow
+            test_disk_cache_corrupt_fallback;
+        ] );
       ( "figures",
         [
           Alcotest.test_case "table2" `Slow test_table2;
