@@ -9,10 +9,11 @@
      bench/main.exe micro           Bechamel micro-benchmarks
 
    Options:
-     -j/--jobs N   worker domains for the prefetch (default: DMP_JOBS
-                   or the recommended domain count)
-     --timings     print a per-stage wall-clock summary to stderr
-     --no-cache    do not read or write the persistent _cache/ dir *)
+     -j/--jobs N          worker domains for the prefetch (default:
+                          DMP_JOBS or the recommended domain count)
+     --timings            print a per-stage wall-clock summary to stderr
+     --timings-json FILE  write the per-stage timings to FILE as JSON
+     --no-cache           do not read or write the persistent _cache/ *)
 
 open Dmp_experiments
 
@@ -27,6 +28,9 @@ let micro () =
   let input = spec.Dmp_workload.Spec.input Dmp_workload.Input_gen.Reduced in
   let profile =
     Dmp_profile.Profile.collect ~max_insts:100_000 linked ~input
+  in
+  let trace =
+    Dmp_exec.Trace.capture ~max_insts:100_000 linked ~input
   in
   let ctx = Dmp_core.Context.create linked profile in
   let tests =
@@ -48,11 +52,20 @@ let micro () =
              ignore
                (Dmp_profile.Profile.collect ~max_insts:100_000 linked
                   ~input)));
-      Test.make ~name:"simulate-100k-baseline"
+      Test.make ~name:"trace-capture-100k"
+        (Staged.stage (fun () ->
+             ignore
+               (Dmp_exec.Trace.capture ~max_insts:100_000 linked ~input)));
+      Test.make ~name:"simulate-100k-baseline-live"
         (Staged.stage (fun () ->
              ignore
                (Dmp_uarch.Sim.run ~config:Dmp_uarch.Config.baseline
                   ~max_insts:100_000 linked ~input)));
+      Test.make ~name:"simulate-100k-baseline-replay"
+        (Staged.stage (fun () ->
+             ignore
+               (Dmp_uarch.Sim.run_replay ~config:Dmp_uarch.Config.baseline
+                  ~max_insts:100_000 linked trace)));
     ]
   in
   let ols =
@@ -87,17 +100,27 @@ let usage_error msg =
 type opts = {
   mutable targets : string list;  (* reversed *)
   mutable timings : bool;
+  mutable timings_json : string option;
   mutable jobs : int option;
   mutable cache : bool;
 }
 
 let parse_args args =
-  let o = { targets = []; timings = false; jobs = None; cache = true } in
+  let o =
+    { targets = []; timings = false; timings_json = None; jobs = None;
+      cache = true }
+  in
   let rec go = function
     | [] -> ()
     | "--timings" :: rest ->
         o.timings <- true;
         go rest
+    | "--timings-json" :: rest -> (
+        match rest with
+        | file :: rest' ->
+            o.timings_json <- Some file;
+            go rest'
+        | [] -> usage_error "--timings-json needs a file name")
     | "--no-cache" :: rest ->
         o.cache <- false;
         go rest
@@ -148,4 +171,11 @@ let () =
           | Error msg -> Printf.eprintf "bench: %s\n" msg)
         known;
       if o.timings then prerr_string (Runner.timing_summary runner);
+      Option.iter
+        (fun file ->
+          let oc = open_out file in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc (Runner.timings_json runner)))
+        o.timings_json;
       if unknown <> [] then exit 2

@@ -1,9 +1,25 @@
 open Dmp_ir
 
+(* Data memory is a paged flat-array store: locations in
+   [0, direct_limit) index a page directory of plain int arrays (two
+   array reads per access, no hashing, no boxed bindings), which covers
+   every address the workloads touch. Pathological locations — negative
+   or huge addresses computed by arbitrary arithmetic — fall back to a
+   hashtable so semantics stay total. Absent pages and absent far
+   bindings read as 0, preserving the default-zero memory model. *)
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let page_mask = page_size - 1
+let direct_pages = 1 lsl 10
+let direct_limit = direct_pages lsl page_bits
+let no_page : int array = [||]
+
 type t = {
   linked : Linked.t;
   regs : int array;
-  memory : (int, int) Hashtbl.t;
+  mutable pages : int array array;  (* grows up to [direct_pages] *)
+  far_memory : (int, int) Hashtbl.t;
   mutable call_stack : int list;
   input : int array;
   mutable input_pos : int;
@@ -17,7 +33,8 @@ let create linked ~input =
   {
     linked;
     regs = Array.make Reg.count 0;
-    memory = Hashtbl.create 4096;
+    pages = Array.make 8 no_page;
+    far_memory = Hashtbl.create 16;
     call_stack = [];
     input;
     input_pos = 0;
@@ -37,9 +54,43 @@ let operand_value t = function
   | Instr.Imm i -> i
 
 let mem_load t location =
-  match Hashtbl.find_opt t.memory location with Some v -> v | None -> 0
+  if location >= 0 && location < direct_limit then begin
+    let p = location lsr page_bits in
+    if p >= Array.length t.pages then 0
+    else
+      let page = Array.unsafe_get t.pages p in
+      if page == no_page then 0
+      else Array.unsafe_get page (location land page_mask)
+  end
+  else
+    match Hashtbl.find_opt t.far_memory location with
+    | Some v -> v
+    | None -> 0
 
-let mem_store t location v = Hashtbl.replace t.memory location v
+let mem_store t location v =
+  if location >= 0 && location < direct_limit then begin
+    let p = location lsr page_bits in
+    if p >= Array.length t.pages then begin
+      let len = ref (Array.length t.pages) in
+      while p >= !len do
+        len := min (2 * !len) direct_pages
+      done;
+      let pages = Array.make !len no_page in
+      Array.blit t.pages 0 pages 0 (Array.length t.pages);
+      t.pages <- pages
+    end;
+    let page =
+      let pg = t.pages.(p) in
+      if pg != no_page then pg
+      else begin
+        let pg = Array.make page_size 0 in
+        t.pages.(p) <- pg;
+        pg
+      end
+    in
+    Array.unsafe_set page (location land page_mask) v
+  end
+  else Hashtbl.replace t.far_memory location v
 
 let read_input t =
   if t.input_pos < Array.length t.input then begin

@@ -1,0 +1,59 @@
+(* Trace-source abstraction: one supply interface over a live emulator
+   and a replayed packed trace, so the simulator and the profiler are
+   written once against current-event accessors. The replay path never
+   allocates; the live path allocates exactly the one Event.t the
+   emulator produces per step. *)
+
+type t =
+  | Live of { emu : Emulator.t; mutable e : Event.t }
+  | Replay of Trace.cursor
+
+let dummy_event = { Event.addr = -1; kind = Event.Plain; next = -1 }
+let live emu = Live { emu; e = dummy_event }
+let replay trace = Replay (Trace.cursor trace)
+
+let advance = function
+  | Live s -> (
+      match Emulator.step s.emu with
+      | Some e ->
+          s.e <- e;
+          true
+      | None -> false)
+  | Replay c -> Trace.advance c
+
+let addr = function
+  | Live s -> s.e.Event.addr
+  | Replay c -> Trace.addr c
+
+let next_addr = function
+  | Live s -> s.e.Event.next
+  | Replay c -> Trace.next_addr c
+
+let taken = function
+  | Live s -> (
+      match s.e.Event.kind with Event.Branch { taken; _ } -> taken | _ -> false)
+  | Replay c -> Trace.taken c
+
+let is_cond_branch = function
+  | Live s -> (
+      match s.e.Event.kind with Event.Branch _ -> true | _ -> false)
+  | Replay c -> Trace.is_cond_branch c
+
+let p1 = function
+  | Live s -> (
+      match s.e.Event.kind with
+      | Event.Branch { target; _ } -> target
+      | Event.Mem { location; _ } -> location
+      | Event.Call { callee_entry } -> callee_entry
+      | Event.Return { return_to } -> return_to
+      | Event.Plain -> s.e.Event.next)
+  | Replay c -> Trace.p1 c
+
+let p2 = function
+  | Live s -> (
+      match s.e.Event.kind with Event.Branch { fall; _ } -> fall | _ -> 0)
+  | Replay c -> Trace.p2 c
+
+let current_event = function
+  | Live s -> s.e
+  | Replay c -> Trace.current_event c

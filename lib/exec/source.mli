@@ -1,0 +1,37 @@
+(** Trace-source abstraction: a single supply interface over a live
+    {!Emulator} and a replayed packed {!Trace}, consumed by the
+    cycle-level simulator and the profiler.
+
+    Protocol: {!advance} loads the next retired instruction and returns
+    [false] when the stream ends; the accessors then read the current
+    event without allocating. Accessors are only meaningful after an
+    {!advance} that returned [true], and remain valid until the next
+    {!advance}. *)
+
+type t
+
+val live : Emulator.t -> t
+(** Supply events by stepping the emulator. *)
+
+val replay : Trace.t -> t
+(** Supply events from a packed trace (no emulation, no allocation). *)
+
+val advance : t -> bool
+
+val addr : t -> int
+val next_addr : t -> int
+
+val taken : t -> bool
+(** Direction of the current conditional branch (false otherwise). *)
+
+val is_cond_branch : t -> bool
+
+val p1 : t -> int
+(** Branch target / memory location / callee entry / return-to. *)
+
+val p2 : t -> int
+(** Branch fall-through address (conditional branches only). *)
+
+val current_event : t -> Event.t
+(** Boxed decode of the current event (allocates on the replay path;
+    for tests and debugging). *)

@@ -2,13 +2,15 @@
 
      magic | Digest(payload) | payload
 
-   with the payload a [Marshal]-serialised [Profile.raw] or [Stats.t].
+   with the payload a [Marshal]-serialised [Profile.raw], [Stats.t] or
+   packed [Trace.t] (Bigarray buffers marshal their raw contents).
    Writes go through a temporary file in the same directory followed by
    a rename, so a crashed or concurrent writer can never leave a
    half-written entry under the final name; corruption that happens
    anyway (truncation, editing, format drift) fails the digest check
    and reads as a miss. *)
 
+open Dmp_exec
 open Dmp_profile
 open Dmp_uarch
 open Dmp_workload
@@ -107,3 +109,9 @@ let load_baseline t ~bench ~set : Stats.t option =
 
 let store_baseline t ~bench ~set (stats : Stats.t) =
   store t ~bench ~set ~kind:"baseline" stats
+
+let load_trace t ~bench ~set : Trace.t option =
+  load t ~bench ~set ~kind:"trace"
+
+let store_trace t ~bench ~set (trace : Trace.t) =
+  store t ~bench ~set ~kind:"trace" trace

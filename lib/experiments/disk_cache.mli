@@ -10,6 +10,7 @@
     unreadable entry loads as [None] and the caller recomputes. *)
 
 open Dmp_ir
+open Dmp_exec
 open Dmp_profile
 open Dmp_uarch
 open Dmp_workload
@@ -34,3 +35,10 @@ val load_baseline :
 
 val store_baseline :
   t -> bench:string -> set:Input_gen.set -> Stats.t -> unit
+
+val load_trace : t -> bench:string -> set:Input_gen.set -> Trace.t option
+(** Packed architectural traces persist under the same fingerprint and
+    digest discipline as profiles, so a cold process replays instead of
+    re-emulating. *)
+
+val store_trace : t -> bench:string -> set:Input_gen.set -> Trace.t -> unit

@@ -1,5 +1,9 @@
 (* Shared experiment pipeline with caching of the expensive stages
-   (linking, profiling, baseline simulation) across figures.
+   (linking, trace capture, profiling, baseline simulation) across
+   figures. The architectural emulator runs once per (benchmark, input
+   set): its event stream is captured into a packed [Trace.t] under the
+   per-benchmark lock and every later profile / baseline / dmp call
+   replays that trace instead of re-emulating.
 
    Concurrency: every entry owns a lock that guards its memo tables and
    its one-shot linking, so a stage is computed exactly once no matter
@@ -17,6 +21,7 @@ type entry = {
   spec : Spec.t;
   lock : Mutex.t;
   mutable linked_v : Linked.t option;
+  traces : (Input_gen.set, Trace.t) Hashtbl.t;
   profiles : (Input_gen.set, Profile.t) Hashtbl.t;
   baselines : (Input_gen.set, Stats.t) Hashtbl.t;
 }
@@ -41,6 +46,7 @@ let create ?(benchmarks = Registry.all) ?max_insts ?cache_dir () =
           spec;
           lock = Mutex.create ();
           linked_v = None;
+          traces = Hashtbl.create 4;
           profiles = Hashtbl.create 4;
           baselines = Hashtbl.create 4;
         })
@@ -97,6 +103,44 @@ let linked t name =
 
 let input t name set = (entry t name).spec.Spec.input set
 
+(* Caller must hold [e.lock]. Captured with the runner's own
+   [max_insts] cap, which also fingerprints the disk cache, so a
+   persisted trace always covers exactly what the replaying stages
+   consume. *)
+let trace_locked t e set =
+  match Hashtbl.find_opt e.traces set with
+  | Some tr -> tr
+  | None ->
+      let linked = linked_locked t e in
+      let name = e.spec.Spec.name in
+      let cached =
+        match t.cache with
+        | None -> None
+        | Some c ->
+            timed t "trace (disk cache)" (fun () ->
+                Disk_cache.load_trace c ~bench:name ~set)
+      in
+      let tr =
+        match cached with
+        | Some tr -> tr
+        | None ->
+            let tr =
+              timed t "trace (capture)" (fun () ->
+                  Trace.capture ?max_insts:t.max_insts linked
+                    ~input:(e.spec.Spec.input set))
+            in
+            Option.iter
+              (fun c -> Disk_cache.store_trace c ~bench:name ~set tr)
+              t.cache;
+            tr
+      in
+      Hashtbl.replace e.traces set tr;
+      tr
+
+let trace t name set =
+  let e = entry t name in
+  with_lock e (fun () -> trace_locked t e set)
+
 let profile t name set =
   let e = entry t name in
   with_lock e (fun () ->
@@ -115,10 +159,11 @@ let profile t name set =
             match cached with
             | Some p -> p
             | None ->
+                let tr = trace_locked t e set in
                 let p =
                   timed t "profile (collect)" (fun () ->
-                      Profile.collect ?max_insts:t.max_insts linked
-                        ~input:(e.spec.Spec.input set))
+                      Profile.collect_trace ?max_insts:t.max_insts linked
+                        tr)
                 in
                 Option.iter
                   (fun c -> Disk_cache.store_profile c ~bench:name ~set p)
@@ -146,11 +191,11 @@ let baseline ?(set = Input_gen.Reduced) t name =
             match cached with
             | Some s -> s
             | None ->
+                let tr = trace_locked t e set in
                 let s =
                   timed t "baseline (simulate)" (fun () ->
-                      Sim.run ~config:Config.baseline
-                        ?max_insts:t.max_insts linked
-                        ~input:(e.spec.Spec.input set))
+                      Sim.run_replay ~config:Config.baseline
+                        ?max_insts:t.max_insts linked tr)
                 in
                 Option.iter
                   (fun c -> Disk_cache.store_baseline c ~bench:name ~set s)
@@ -161,10 +206,12 @@ let baseline ?(set = Input_gen.Reduced) t name =
           s)
 
 let dmp ?(set = Input_gen.Reduced) ?(config = Config.dmp) t name annotation =
-  let linked = linked t name in
+  let e = entry t name in
+  let linked, tr =
+    with_lock e (fun () -> (linked_locked t e, trace_locked t e set))
+  in
   timed t "dmp (simulate)" (fun () ->
-      Sim.run ~config ~annotation ?max_insts:t.max_insts linked
-        ~input:(input t name set))
+      Sim.run_replay ~config ~annotation ?max_insts:t.max_insts linked tr)
 
 let prefetch ?(profile_sets = [ Input_gen.Reduced ])
     ?(baseline_sets = [ Input_gen.Reduced ]) ?jobs t =
@@ -197,6 +244,21 @@ let timings t =
   in
   Mutex.unlock t.timings_lock;
   List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) rows
+
+let timings_json t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i (stage, calls, seconds) ->
+      if i > 0 then Buffer.add_string b ",";
+      (* Stage labels are fixed ASCII strings without quotes or
+         backslashes, so plain quoting is valid JSON. *)
+      Buffer.add_string b
+        (Printf.sprintf "\n  {\"stage\": %S, \"calls\": %d, \"seconds\": %.6f}"
+           stage calls seconds))
+    (timings t);
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
 
 let timing_summary t =
   let rows = timings t in

@@ -1,12 +1,19 @@
-(** Shared experiment pipeline with caching of linking, profiling and
-    baseline simulation across figures.
+(** Shared experiment pipeline with caching of linking, trace capture,
+    profiling and baseline simulation across figures.
+
+    The architectural emulator runs once per (benchmark, input set):
+    its event stream is captured into a packed {!Dmp_exec.Trace} on
+    first use and every later [profile] / [baseline] / [dmp] call
+    replays the trace instead of re-emulating, with bit-identical
+    results.
 
     A runner is safe for concurrent use from multiple domains: each
     benchmark's stages are guarded by a per-benchmark lock, so distinct
-    benchmarks link / profile / simulate in parallel while every cached
-    stage is still computed exactly once. *)
+    benchmarks link / capture / profile / simulate in parallel while
+    every cached stage is still computed exactly once. *)
 
 open Dmp_ir
+open Dmp_exec
 open Dmp_profile
 open Dmp_uarch
 open Dmp_workload
@@ -17,14 +24,20 @@ val create :
   ?benchmarks:Spec.t list -> ?max_insts:int -> ?cache_dir:string ->
   unit -> t
 (** Defaults to the full 17-benchmark suite with uncapped simulations.
-    [max_insts] caps both profiling and simulation (for quick runs and
-    tests). When [cache_dir] is given, profiles and baseline statistics
-    additionally persist across processes in a {!Disk_cache} rooted
-    there; corrupt or stale entries are recomputed transparently. *)
+    [max_insts] caps trace capture, profiling and simulation alike (for
+    quick runs and tests). When [cache_dir] is given, traces, profiles
+    and baseline statistics additionally persist across processes in a
+    {!Disk_cache} rooted there; corrupt or stale entries are recomputed
+    transparently. *)
 
 val names : t -> string list
 val linked : t -> string -> Linked.t
 val input : t -> string -> Input_gen.set -> int array
+
+val trace : t -> string -> Input_gen.set -> Trace.t
+(** The packed architectural trace, captured (or loaded from the disk
+    cache) on first use and then shared by every replaying stage.
+    Cached per (benchmark, input set). *)
 
 val profile : t -> string -> Input_gen.set -> Profile.t
 (** Cached per (benchmark, input set). *)
@@ -53,13 +66,18 @@ val amean : float list -> float
 (** {2 Stage timing}
 
     Every stage records its wall-clock time under a stage label:
-    ["link"], ["profile (collect)"] / ["profile (disk cache)"],
+    ["link"], ["trace (capture)"] / ["trace (disk cache)"],
+    ["profile (collect)"] / ["profile (disk cache)"],
     ["baseline (simulate)"] / ["baseline (disk cache)"] and
     ["dmp (simulate)"]. A warm persistent cache is visible as the
-    collect/simulate rows dropping to zero calls. *)
+    capture/collect/simulate rows dropping to zero calls. *)
 
 val timings : t -> (string * int * float) list
 (** [(stage, calls, total seconds)], sorted by stage label. *)
+
+val timings_json : t -> string
+(** Render {!timings} as a JSON array of
+    [{"stage": ..., "calls": ..., "seconds": ...}] rows. *)
 
 val timing_summary : t -> string
 (** Render {!timings} as an aligned table, one stage per line. *)

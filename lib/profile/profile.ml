@@ -23,8 +23,8 @@ let stats_for t addr =
       Hashtbl.replace t.branch_stats addr s;
       s
 
-let collect ?(predictor = Predictor.perceptron ()) ?(max_insts = max_int)
-    linked ~input =
+let collect_source ?(predictor = Predictor.perceptron ())
+    ?(max_insts = max_int) linked source =
   let block_counts =
     Array.init (Program.num_funcs linked.Linked.program) (fun fi ->
         Array.make
@@ -34,30 +34,41 @@ let collect ?(predictor = Predictor.perceptron ()) ?(max_insts = max_int)
   let t = { linked; branch_stats = Hashtbl.create 256; block_counts;
             retired = 0 }
   in
-  let emu = Emulator.create linked ~input in
   let count_block addr =
     let fi, bi = Linked.block_of_addr linked addr in
     block_counts.(fi).(bi) <- block_counts.(fi).(bi) + 1
   in
   count_block (Linked.entry_addr linked);
-  Emulator.iter ~max_insts emu (fun e ->
-      (match e.Event.kind with
-      | Event.Branch { taken; _ } ->
-          let s = stats_for t e.Event.addr in
-          s.executed <- s.executed + 1;
-          if taken then s.taken <- s.taken + 1;
-          let predicted = predictor.Predictor.predict ~addr:e.Event.addr in
-          if predicted <> taken then s.mispredicted <- s.mispredicted + 1;
-          predictor.Predictor.update ~addr:e.Event.addr ~taken
-      | Event.Mem _ | Event.Call _ | Event.Return _ | Event.Plain -> ());
-      (* Count entry into the next basic block: any control transfer or a
-         fall into a block boundary. *)
-      if e.Event.next <> Event.halted_next then begin
-        let l = Linked.loc linked e.Event.next in
-        if l.Linked.pos = 0 then count_block e.Event.next
-      end);
-  t.retired <- Emulator.retired emu;
+  let retired = ref 0 in
+  while !retired < max_insts && Source.advance source do
+    incr retired;
+    if Source.is_cond_branch source then begin
+      let addr = Source.addr source in
+      let taken = Source.taken source in
+      let s = stats_for t addr in
+      s.executed <- s.executed + 1;
+      if taken then s.taken <- s.taken + 1;
+      let predicted = predictor.Predictor.predict ~addr in
+      if predicted <> taken then s.mispredicted <- s.mispredicted + 1;
+      predictor.Predictor.update ~addr ~taken
+    end;
+    (* Count entry into the next basic block: any control transfer or a
+       fall into a block boundary. *)
+    let next = Source.next_addr source in
+    if next <> Event.halted_next then begin
+      let l = Linked.loc linked next in
+      if l.Linked.pos = 0 then count_block next
+    end
+  done;
+  t.retired <- !retired;
   t
+
+let collect ?predictor ?max_insts linked ~input =
+  collect_source ?predictor ?max_insts linked
+    (Source.live (Emulator.create linked ~input))
+
+let collect_trace ?predictor ?max_insts linked trace =
+  collect_source ?predictor ?max_insts linked (Source.replay trace)
 
 let retired t = t.retired
 let branch t ~addr = Hashtbl.find_opt t.branch_stats addr

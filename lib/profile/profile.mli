@@ -1,12 +1,14 @@
 (** Edge/branch profiler.
 
-    Runs the architectural emulator over a profiling input set and
-    records, per static conditional branch: execution count, taken
-    count, and mispredictions under a software profiling predictor.
-    Block execution counts give the edge profile the paper's Alg-freq
+    Consumes the architectural event stream of a profiling input set —
+    from a live emulator or a replayed packed trace — and records, per
+    static conditional branch: execution count, taken count, and
+    mispredictions under a software profiling predictor. Block
+    execution counts give the edge profile the paper's Alg-freq
     consumes. *)
 
 open Dmp_ir
+open Dmp_exec
 open Dmp_predictor
 
 type branch = {
@@ -19,6 +21,18 @@ type t
 
 val collect :
   ?predictor:Predictor.t -> ?max_insts:int -> Linked.t -> input:int array -> t
+(** Profile by emulating [input] live. *)
+
+val collect_trace :
+  ?predictor:Predictor.t -> ?max_insts:int -> Linked.t -> Trace.t -> t
+(** Profile by replaying a packed trace of the same linked program;
+    yields a profile identical to {!collect} over the input the trace
+    was captured from (same cap caveat as {!Dmp_uarch.Sim.create_replay}). *)
+
+val collect_source :
+  ?predictor:Predictor.t -> ?max_insts:int -> Linked.t -> Source.t -> t
+(** Profile an arbitrary trace source (the general form of the two
+    above). *)
 
 val retired : t -> int
 val branch : t -> addr:int -> branch option

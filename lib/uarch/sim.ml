@@ -70,7 +70,7 @@ type t = {
   linked : Linked.t;
   sinfo : Static_info.t;
   annotation : Annotation.t;
-  emu : Emulator.t;
+  source : Source.t;
   predictor : Predictor.t;
   conf : Conf.t;
   hier : Cache.hierarchy;
@@ -83,7 +83,8 @@ type t = {
   mutable cycle : int;
   mutable fetch_resume : int;
   mutable select_pending : int;
-  mutable pending : Event.t option;
+  (* The supply's current event has been loaded but not yet fetched. *)
+  mutable pending : bool;
   mutable trace_done : bool;
   mutable mode : mode;
   mutable recovery : recovery option;
@@ -91,8 +92,8 @@ type t = {
   mutable consumed : int;
 }
 
-let create ?(config = Config.baseline) ?annotation ?(max_insts = max_int)
-    linked ~input =
+let create_source ?(config = Config.baseline) ?annotation
+    ?(max_insts = max_int) linked source =
   let annotation =
     match annotation with Some a -> a | None -> Annotation.empty ()
   in
@@ -101,7 +102,7 @@ let create ?(config = Config.baseline) ?annotation ?(max_insts = max_int)
     linked;
     sinfo = Static_info.of_linked linked;
     annotation;
-    emu = Emulator.create linked ~input;
+    source;
     predictor = Predictor.of_name config.Config.predictor;
     conf =
       Conf.create ~log2_entries:config.Config.conf_log2_entries
@@ -116,7 +117,7 @@ let create ?(config = Config.baseline) ?annotation ?(max_insts = max_int)
     cycle = 0;
     fetch_resume = 0;
     select_pending = 0;
-    pending = None;
+    pending = false;
     trace_done = false;
     mode = M_normal;
     recovery = None;
@@ -124,30 +125,44 @@ let create ?(config = Config.baseline) ?annotation ?(max_insts = max_int)
     consumed = 0;
   }
 
-(* ---------- trace supply ---------- *)
+let create ?config ?annotation ?max_insts linked ~input =
+  create_source ?config ?annotation ?max_insts linked
+    (Source.live (Emulator.create linked ~input))
+
+let create_replay ?config ?annotation ?max_insts linked trace =
+  create_source ?config ?annotation ?max_insts linked (Source.replay trace)
+
+(* ---------- trace supply ----------
+
+   [peek]/[consume] load the supply's next event; the event itself is
+   read through the [Source] current-event accessors, which stay valid
+   from the [peek] that loaded it until the next [peek] after its
+   [consume]. *)
 
 let peek t =
-  match t.pending with
-  | Some _ as e -> e
-  | None ->
-      if t.consumed >= t.max_insts then begin
-        t.trace_done <- true;
-        None
-      end
-      else begin
-        (match Emulator.step t.emu with
-        | Some e -> t.pending <- Some e
-        | None -> t.trace_done <- true);
-        t.pending
-      end
+  t.pending
+  ||
+  if t.trace_done then false
+  else if t.consumed >= t.max_insts then begin
+    t.trace_done <- true;
+    false
+  end
+  else if Source.advance t.source then begin
+    t.pending <- true;
+    true
+  end
+  else begin
+    t.trace_done <- true;
+    false
+  end
 
 let consume t =
-  match peek t with
-  | None -> None
-  | Some e ->
-      t.pending <- None;
-      t.consumed <- t.consumed + 1;
-      Some e
+  peek t
+  && begin
+       t.pending <- false;
+       t.consumed <- t.consumed + 1;
+       true
+     end
 
 (* ---------- reorder buffer ---------- *)
 
@@ -172,7 +187,10 @@ let retire t =
 
 (* ---------- dataflow timing ---------- *)
 
-let complete t ~(info : Static_info.info) ~mem_location =
+(* [loc] is the memory location of the correct-path event and is only
+   read when [info] classifies a load or store — the trace guarantees
+   those events carry their location. *)
+let complete t ~(info : Static_info.info) ~loc =
   let disp = t.cycle + t.config.Config.front_depth in
   let ready =
     Array.fold_left
@@ -181,14 +199,9 @@ let complete t ~(info : Static_info.info) ~mem_location =
   in
   let latency =
     match info.Static_info.klass with
-    | Static_info.K_load -> (
-        match mem_location with
-        | Some a -> Cache.load_latency t.hier a
-        | None -> t.config.Config.l1_hit_latency)
+    | Static_info.K_load -> Cache.load_latency t.hier loc
     | Static_info.K_store ->
-        (match mem_location with
-        | Some a -> Cache.store t.hier a
-        | None -> ());
+        Cache.store t.hier loc;
         t.config.Config.store_latency
     | k -> Static_info.latency t.config k
   in
@@ -256,12 +269,7 @@ type branch_outcome = {
   b_pre_history : int;
 }
 
-let process_cond_branch t e ~(info : Static_info.info) =
-  let addr = e.Event.addr in
-  let taken = match e.Event.kind with
-    | Event.Branch { taken; _ } -> taken
-    | _ -> assert false
-  in
+let process_cond_branch t ~addr ~taken ~(info : Static_info.info) =
   let pre_history = t.predictor.Predictor.history () in
   let predicted = t.predictor.Predictor.predict ~addr in
   let est = Conf.estimate t.conf ~addr in
@@ -278,7 +286,7 @@ let process_cond_branch t e ~(info : Static_info.info) =
       t.stats.Stats.low_confidence_mispredicted <-
         t.stats.Stats.low_confidence_mispredicted + 1
   end;
-  let b_done = complete t ~info ~mem_location:None in
+  let b_done = complete t ~info ~loc:0 in
   rob_push t b_done;
   { b_mispredicted = mispredicted; b_low_confidence = low; b_done;
     b_pre_history = pre_history }
@@ -299,12 +307,9 @@ let normal_flush ?wrong_path t ~done_cycle =
 
 (* ---------- dpred entry ---------- *)
 
-let enter_hammock_dpred t e (d : Annotation.diverge) (o : branch_outcome) =
-  let taken = match e.Event.kind with
-    | Event.Branch { taken; _ } -> taken
-    | _ -> assert false
-  in
-  let info = Static_info.get t.sinfo e.Event.addr in
+let enter_hammock_dpred t ~addr ~taken (d : Annotation.diverge)
+    (o : branch_outcome) =
+  let info = Static_info.get t.sinfo addr in
   let wrong_start =
     if taken then info.Static_info.fall_addr else info.Static_info.taken_addr
   in
@@ -329,7 +334,7 @@ let enter_hammock_dpred t e (d : Annotation.diverge) (o : branch_outcome) =
   t.mode <-
     M_dpred
       {
-        d_branch_addr = e.Event.addr;
+        d_branch_addr = addr;
         d_done = o.b_done;
         d_mispredicted = o.b_mispredicted;
         d_cfms = cfms;
@@ -365,11 +370,7 @@ let phantom_extra_iterations t ~addr ~pre_history ~exit_taken ~cap =
 
 (* Handle one execution of a diverge loop branch while in (or entering)
    loop dpred-mode. Returns [`Stay] to remain in loop mode. *)
-let loop_branch_event t (l : loop_dpred) e (o : branch_outcome) =
-  let taken = match e.Event.kind with
-    | Event.Branch { taken; _ } -> taken
-    | _ -> assert false
-  in
+let loop_branch_event t (l : loop_dpred) ~addr ~taken (o : branch_outcome) =
   let actual_exits = taken = l.l_exit_taken in
   let predicted_taken = taken <> o.b_mispredicted in
   let predicted_exits = predicted_taken = l.l_exit_taken in
@@ -393,8 +394,8 @@ let loop_branch_event t (l : loop_dpred) e (o : branch_outcome) =
          the exit within the resolution window, no-exit otherwise. *)
       let cap = t.config.Config.max_loop_extra_iterations in
       let extra =
-        phantom_extra_iterations t ~addr:e.Event.addr
-          ~pre_history:o.b_pre_history ~exit_taken:l.l_exit_taken ~cap
+        phantom_extra_iterations t ~addr ~pre_history:o.b_pre_history
+          ~exit_taken:l.l_exit_taken ~cap
       in
       let per_iter_cycles =
         (l.l_body_insts + l.l_selects + t.config.Config.fetch_width - 1)
@@ -415,17 +416,18 @@ let loop_branch_event t (l : loop_dpred) e (o : branch_outcome) =
       end;
       `Exit
 
-let enter_loop_dpred t e (d : Annotation.diverge) (o : branch_outcome) =
+let enter_loop_dpred t ~addr ~taken (d : Annotation.diverge)
+    (o : branch_outcome) =
   match d.Annotation.loop with
   | None -> false
   | Some li ->
-      let info = Static_info.get t.sinfo e.Event.addr in
+      let info = Static_info.get t.sinfo addr in
       let exit_taken =
         info.Static_info.taken_addr = li.Annotation.exit_target_addr
       in
       let l =
         {
-          l_branch_addr = e.Event.addr;
+          l_branch_addr = addr;
           l_exit_target = li.Annotation.exit_target_addr;
           l_selects = li.Annotation.loop_select_uops;
           l_body_insts = li.Annotation.body_insts;
@@ -436,7 +438,7 @@ let enter_loop_dpred t e (d : Annotation.diverge) (o : branch_outcome) =
       t.stats.Stats.dpred_entries <- t.stats.Stats.dpred_entries + 1;
       t.stats.Stats.dpred_loop_entries <-
         t.stats.Stats.dpred_loop_entries + 1;
-      (match loop_branch_event t l e o with
+      (match loop_branch_event t l ~addr ~taken o with
       | `Stay -> t.mode <- M_loop l
       | `Exit -> ());
       true
@@ -463,116 +465,108 @@ let fetch_trace_cycle t ~(in_dpred : dpred option) =
        end
        else if rob_full t then raise Stop_fetch
        else begin
-         (match (in_dpred, peek t) with
-         | Some d, Some e ->
+         (match in_dpred with
+         | Some d when peek t ->
              (* Stop the correct side at a CFM point before fetching it. *)
-             if List.exists (fun (a, _) -> a = e.Event.addr) d.d_cfms
+             let next_fetch = Source.addr t.source in
+             if List.exists (fun (a, _) -> a = next_fetch) d.d_cfms
              then begin
-               d.d_correct_stop <- e.Event.addr;
+               d.d_correct_stop <- next_fetch;
                raise Stop_fetch
              end
-         | _, _ -> ());
-         match consume t with
-         | None -> raise Stop_fetch
-         | Some e ->
-             (* Loop dpred-mode ends when the trace reaches the loop's
-                exit target through any path. *)
-             (match t.mode with
-             | M_loop l when e.Event.addr = l.l_exit_target ->
-                 t.mode <- M_normal
-             | M_loop _ | M_normal | M_dpred _ -> ());
-             let info = Static_info.get t.sinfo e.Event.addr in
-             (match info.Static_info.klass with
-             | Static_info.K_branch ->
-                 incr branches;
-                 let o = process_cond_branch t e ~info in
-                 decr slots;
-                 (* Diverge-branch decisions only apply outside
-                    dpred-mode (DMP predicates one branch at a time). *)
-                 let handled =
-                   match (in_dpred, t.mode) with
-                   | None, M_normal
-                     when t.config.Config.dmp_enabled -> (
-                       match Annotation.find t.annotation e.Event.addr with
-                       | Some d -> (
-                           match d.Annotation.kind with
-                           | Annotation.Loop_branch ->
-                               if o.b_low_confidence then
-                                 enter_loop_dpred t e d o
-                               else false
-                           | Annotation.Simple_hammock
-                           | Annotation.Nested_hammock
-                           | Annotation.Frequently_hammock ->
-                               if o.b_low_confidence
-                                  || d.Annotation.always_predicate
-                               then begin
-                                 enter_hammock_dpred t e d o;
-                                 true
-                               end
-                               else false)
-                       | None -> false)
-                   | None, M_loop l -> (
-                       if e.Event.addr = l.l_branch_addr then begin
-                         match loop_branch_event t l e o with
-                         | `Stay -> true
-                         | `Exit ->
-                             t.mode <- M_normal;
-                             true
-                       end
-                       else false)
-                   | _, _ -> false
+         | Some _ | None -> ());
+         if not (consume t) then raise Stop_fetch
+         else begin
+           let addr = Source.addr t.source in
+           let next = Source.next_addr t.source in
+           (* Loop dpred-mode ends when the trace reaches the loop's
+              exit target through any path. *)
+           (match t.mode with
+           | M_loop l when addr = l.l_exit_target -> t.mode <- M_normal
+           | M_loop _ | M_normal | M_dpred _ -> ());
+           let info = Static_info.get t.sinfo addr in
+           match info.Static_info.klass with
+           | Static_info.K_branch ->
+               incr branches;
+               let taken = Source.taken t.source in
+               let target = Source.p1 t.source in
+               let fall = Source.p2 t.source in
+               let o = process_cond_branch t ~addr ~taken ~info in
+               decr slots;
+               (* Diverge-branch decisions only apply outside
+                  dpred-mode (DMP predicates one branch at a time). *)
+               let handled =
+                 match (in_dpred, t.mode) with
+                 | None, M_normal
+                   when t.config.Config.dmp_enabled -> (
+                     match Annotation.find t.annotation addr with
+                     | Some d -> (
+                         match d.Annotation.kind with
+                         | Annotation.Loop_branch ->
+                             if o.b_low_confidence then
+                               enter_loop_dpred t ~addr ~taken d o
+                             else false
+                         | Annotation.Simple_hammock
+                         | Annotation.Nested_hammock
+                         | Annotation.Frequently_hammock ->
+                             if o.b_low_confidence
+                                || d.Annotation.always_predicate
+                             then begin
+                               enter_hammock_dpred t ~addr ~taken d o;
+                               true
+                             end
+                             else false)
+                     | None -> false)
+                 | None, M_loop l -> (
+                     if addr = l.l_branch_addr then begin
+                       match loop_branch_event t l ~addr ~taken o with
+                       | `Stay -> true
+                       | `Exit ->
+                           t.mode <- M_normal;
+                           true
+                     end
+                     else false)
+                 | _, _ -> false
+               in
+               if handled then raise Stop_fetch;
+               if o.b_mispredicted then begin
+                 (* Inside dpred-mode an inner misprediction also
+                    flushes and aborts predication. *)
+                 (match (in_dpred, t.mode) with
+                 | Some _, _ -> t.mode <- M_normal
+                 | None, M_loop _ -> t.mode <- M_normal
+                 | None, (M_normal | M_dpred _) -> ());
+                 let start = if taken then fall else target in
+                 let hist =
+                   t.predictor.Predictor.shift_history
+                     ~history:o.b_pre_history ~taken:(not taken)
                  in
-                 if handled then raise Stop_fetch;
-                 if o.b_mispredicted then begin
-                   (* Inside dpred-mode an inner misprediction also
-                      flushes and aborts predication. *)
-                   (match (in_dpred, t.mode) with
-                   | Some _, _ -> t.mode <- M_normal
-                   | None, M_loop _ -> t.mode <- M_normal
-                   | None, (M_normal | M_dpred _) -> ());
-                   let wrong_path =
-                     match e.Event.kind with
-                     | Event.Branch { taken; target; fall } ->
-                         let start = if taken then fall else target in
-                         let hist =
-                           t.predictor.Predictor.shift_history
-                             ~history:o.b_pre_history ~taken:(not taken)
-                         in
-                         Some (start, hist)
-                     | _ -> None
-                   in
-                   normal_flush ?wrong_path t ~done_cycle:o.b_done;
+                 normal_flush ~wrong_path:(start, hist) t
+                   ~done_cycle:o.b_done;
+                 raise Stop_fetch
+               end;
+               if !branches >= t.config.Config.max_branches_per_cycle
+               then raise Stop_fetch;
+               if taken then raise Stop_fetch
+           | Static_info.K_ret ->
+               let d = complete t ~info ~loc:0 in
+               rob_push t d;
+               decr slots;
+               (match in_dpred with
+               | Some dp when dp.d_return_cfm ->
+                   dp.d_correct_stop <- -2;
                    raise Stop_fetch
-                 end;
-                 if !branches >= t.config.Config.max_branches_per_cycle
-                 then raise Stop_fetch;
-                 (match e.Event.kind with
-                 | Event.Branch { taken = true; _ } -> raise Stop_fetch
-                 | _ -> ())
-             | Static_info.K_ret ->
-                 let d = complete t ~info ~mem_location:None in
-                 rob_push t d;
-                 decr slots;
-                 (match in_dpred with
-                 | Some dp when dp.d_return_cfm ->
-                     dp.d_correct_stop <- -2;
-                     raise Stop_fetch
-                 | _ -> ());
-                 if e.Event.next <> e.Event.addr + 1 then raise Stop_fetch
-             | _ ->
-                 let mem_location =
-                   match e.Event.kind with
-                   | Event.Mem { location; _ } -> Some location
-                   | _ -> None
-                 in
-                 let d = complete t ~info ~mem_location in
-                 rob_push t d;
-                 decr slots;
-                 (* Taken control transfers end the fetch cycle, except
-                    fall-through jumps to the next address. *)
-                 if e.Event.next <> e.Event.addr + 1
-                    && e.Event.next <> Event.halted_next
-                 then raise Stop_fetch)
+               | _ -> ());
+               if next <> addr + 1 then raise Stop_fetch
+           | _ ->
+               let d = complete t ~info ~loc:(Source.p1 t.source) in
+               rob_push t d;
+               decr slots;
+               (* Taken control transfers end the fetch cycle, except
+                  fall-through jumps to the next address. *)
+               if next <> addr + 1 && next <> Event.halted_next then
+                 raise Stop_fetch
+         end
        end
      done
    with Stop_fetch -> ())
@@ -651,7 +645,7 @@ let dpred_cycle t (d : dpred) =
 
 (* ---------- main loop ---------- *)
 
-let finished t = t.trace_done && t.rob_count = 0 && t.pending = None
+let finished t = t.trace_done && t.rob_count = 0 && not t.pending
 
 (* Wrong-path fetch between a misprediction and its resolution: pollute
    the ROB with entries that never complete; squash them from the tail
@@ -704,6 +698,10 @@ let run_to_completion t =
 
 let run ?config ?annotation ?max_insts linked ~input =
   let t = create ?config ?annotation ?max_insts linked ~input in
+  run_to_completion t
+
+let run_replay ?config ?annotation ?max_insts linked trace =
+  let t = create_replay ?config ?annotation ?max_insts linked trace in
   run_to_completion t
 
 let stats t = t.stats

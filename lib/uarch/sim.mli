@@ -18,6 +18,7 @@
     correct / early-exit / late-exit / no-exit cases. *)
 
 open Dmp_ir
+open Dmp_exec
 open Dmp_core
 
 type t
@@ -25,6 +26,18 @@ type t
 val create :
   ?config:Config.t -> ?annotation:Annotation.t -> ?max_insts:int ->
   Linked.t -> input:int array -> t
+(** Execution-driven: the correct path is supplied by a live emulator
+    over [input]. *)
+
+val create_replay :
+  ?config:Config.t -> ?annotation:Annotation.t -> ?max_insts:int ->
+  Linked.t -> Trace.t -> t
+(** Trace-driven: the correct path is replayed from a packed trace of
+    the same linked program, producing statistics identical to
+    {!create} over the input the trace was captured from. The trace
+    must cover [max_insts] instructions (i.e. be captured with the same
+    or a larger cap, or be {!Trace.complete}); the replay hot path does
+    not allocate per event. *)
 
 val run_to_completion : t -> Stats.t
 
@@ -32,5 +45,10 @@ val run :
   ?config:Config.t -> ?annotation:Annotation.t -> ?max_insts:int ->
   Linked.t -> input:int array -> Stats.t
 (** Convenience: [create] + [run_to_completion]. *)
+
+val run_replay :
+  ?config:Config.t -> ?annotation:Annotation.t -> ?max_insts:int ->
+  Linked.t -> Trace.t -> Stats.t
+(** Convenience: [create_replay] + [run_to_completion]. *)
 
 val stats : t -> Stats.t

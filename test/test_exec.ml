@@ -139,6 +139,102 @@ let test_determinism () =
   check Alcotest.bool "same trace" true (t1 = t2);
   check Alcotest.bool "same output" true (o1 = o2)
 
+let test_memory_sparse_and_default_zero () =
+  (* The paged store must behave exactly like an infinite zero-filled
+     array: far beyond the direct-mapped window and at negative
+     locations (both served by the fallback table) as well as for
+     never-written direct pages. *)
+  let f = B.func "main" in
+  let a = reg 4 and v = reg 5 and w = reg 6 in
+  B.li f v 77;
+  B.li f a 5_000_000;
+  B.store f v a 0;
+  B.load f w a 0;
+  B.write f w;
+  B.li f a 123_456;
+  B.load f w a 0;
+  B.write f w;
+  B.li f a (-8);
+  B.store f v a 0;
+  B.load f w a 0;
+  B.write f w;
+  B.halt f;
+  let emu = run_program (Program.of_funcs_exn ~main:"main" [ B.finish f ]) in
+  check
+    Alcotest.(list int)
+    "sparse stores round-trip, absent locations read 0" [ 77; 0; 77 ]
+    (Emulator.output emu)
+
+(* ---------- packed traces ---------- *)
+
+let live_events linked ~input =
+  let emu = Emulator.create linked ~input in
+  let evs = ref [] in
+  Emulator.iter emu (fun e -> evs := e :: !evs);
+  List.rev !evs
+
+let replay_events tr =
+  let evs = ref [] in
+  Trace.iter tr (fun e -> evs := e :: !evs);
+  List.rev !evs
+
+let test_trace_matches_emulator () =
+  let linked = Linked.link (Helpers.ret_cfm_program ~iters:30 ()) in
+  let input = Helpers.uniform_input 100 in
+  let live = live_events linked ~input in
+  let tr = Trace.capture linked ~input in
+  check Alcotest.int "length = retired" (List.length live) (Trace.length tr);
+  check Alcotest.bool "complete" true (Trace.complete tr);
+  check Alcotest.bool "identical event stream" true
+    (replay_events tr = live)
+
+let test_trace_cursor_fields () =
+  let linked = Linked.link (Helpers.freq_hammock_program ~iters:100 ()) in
+  let input = Helpers.uniform_input 200 in
+  let tr = Trace.capture linked ~input in
+  let emu = Emulator.create linked ~input in
+  let c = Trace.cursor tr in
+  Emulator.iter emu (fun e ->
+      check Alcotest.bool "advance" true (Trace.advance c);
+      check Alcotest.int "addr" e.Event.addr (Trace.addr c);
+      check Alcotest.int "next" e.Event.next (Trace.next_addr c);
+      match e.Event.kind with
+      | Event.Branch { taken; target; fall } ->
+          check Alcotest.bool "is_cond_branch" true (Trace.is_cond_branch c);
+          check Alcotest.bool "taken" taken (Trace.taken c);
+          check Alcotest.int "target" target (Trace.p1 c);
+          check Alcotest.int "fall" fall (Trace.p2 c)
+      | Event.Mem { location; _ } ->
+          check Alcotest.bool "not a branch" false (Trace.is_cond_branch c);
+          check Alcotest.int "location" location (Trace.p1 c)
+      | Event.Call _ | Event.Return _ | Event.Plain ->
+          check Alcotest.bool "not a branch" false (Trace.is_cond_branch c));
+  check Alcotest.bool "cursor exhausted with the emulator" false
+    (Trace.advance c)
+
+let test_trace_capped_incomplete () =
+  let f = B.func "main" in
+  B.label f "spin";
+  B.nop f;
+  B.jump f "spin";
+  let linked =
+    Linked.link (Program.of_funcs_exn ~main:"main" [ B.finish f ])
+  in
+  let tr = Trace.capture ~max_insts:50 linked ~input:[||] in
+  check Alcotest.int "capped length" 50 (Trace.length tr);
+  check Alcotest.bool "incomplete" false (Trace.complete tr)
+
+let qcheck_trace_replay_equals_live =
+  QCheck.Test.make ~name:"packed trace replays the live event stream"
+    ~count:40
+    QCheck.(int_range 2 20)
+    (fun n ->
+      let st = Random.State.make [| n; 53 |] in
+      let linked = Linked.link (Helpers.random_program st ~nblocks:n) in
+      let input = Helpers.uniform_input 64 in
+      let tr = Trace.capture linked ~input in
+      Trace.complete tr && replay_events tr = live_events linked ~input)
+
 let qcheck_random_programs_terminate =
   QCheck.Test.make ~name:"random programs halt within fuel" ~count:60
     QCheck.(int_range 2 20)
@@ -212,12 +308,23 @@ let () =
           Alcotest.test_case "main return halts" `Quick
             test_main_return_halts;
           Alcotest.test_case "input exhaustion" `Quick test_input_exhaustion;
+          Alcotest.test_case "sparse memory" `Quick
+            test_memory_sparse_and_default_zero;
         ] );
       ( "trace",
         [
           Alcotest.test_case "max_insts" `Quick test_max_insts;
           Alcotest.test_case "branch events" `Quick test_branch_event_fields;
           Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "packed trace",
+        [
+          Alcotest.test_case "matches emulator" `Quick
+            test_trace_matches_emulator;
+          Alcotest.test_case "cursor fields" `Quick test_trace_cursor_fields;
+          Alcotest.test_case "capped capture" `Quick
+            test_trace_capped_incomplete;
+          QCheck_alcotest.to_alcotest qcheck_trace_replay_equals_live;
         ] );
       ( "pool",
         [

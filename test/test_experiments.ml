@@ -175,8 +175,30 @@ let test_disk_cache_round_trip () =
         (stage_calls r2 "profile (collect)");
       check Alcotest.int "warm run does not simulate" 0
         (stage_calls r2 "baseline (simulate)");
+      check Alcotest.int "warm run does not capture a trace" 0
+        (stage_calls r2 "trace (capture)");
       check Alcotest.int "warm run hits the disk cache" 1
         (stage_calls r2 "profile (disk cache)"))
+
+let test_disk_cache_trace_round_trip () =
+  with_temp_cache_dir (fun dir ->
+      let ann r =
+        Dmp_core.Select.run (Runner.linked r "li")
+          (Runner.profile r "li" Input_gen.Reduced)
+      in
+      let r1 = cached_runner dir in
+      let d1 = stats_bytes (Runner.dmp r1 "li" (ann r1)) in
+      check Alcotest.int "cold run captures once" 1
+        (stage_calls r1 "trace (capture)");
+      (* a fresh runner loads the persisted trace and replays it to the
+         same statistics *)
+      let r2 = cached_runner dir in
+      let d2 = stats_bytes (Runner.dmp r2 "li" (ann r2)) in
+      check Alcotest.bool "dmp stats round-trip" true (d1 = d2);
+      check Alcotest.int "warm run does not capture" 0
+        (stage_calls r2 "trace (capture)");
+      check Alcotest.int "warm run loads the trace" 1
+        (stage_calls r2 "trace (disk cache)"))
 
 let test_disk_cache_corrupt_fallback () =
   with_temp_cache_dir (fun dir ->
@@ -200,6 +222,8 @@ let test_disk_cache_corrupt_fallback () =
         (p1 = p2);
       check Alcotest.int "recompute happened" 1
         (stage_calls r2 "profile (collect)");
+      check Alcotest.int "corrupt trace entry is recaptured" 1
+        (stage_calls r2 "trace (capture)");
       (* the recompute re-stored a good entry *)
       let r3 = cached_runner dir in
       let p3 = profile_bytes (Runner.profile r3 "li" Input_gen.Reduced) in
@@ -241,6 +265,8 @@ let () =
       ( "disk cache",
         [
           Alcotest.test_case "round trip" `Slow test_disk_cache_round_trip;
+          Alcotest.test_case "trace round trip" `Slow
+            test_disk_cache_trace_round_trip;
           Alcotest.test_case "corrupt fallback" `Slow
             test_disk_cache_corrupt_fallback;
         ] );

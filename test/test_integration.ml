@@ -91,6 +91,39 @@ let test_profile_input_set_robustness () =
   check Alcotest.bool "diff-profile within 10% of same-profile" true
     (diff > same *. 0.9)
 
+let test_replay_equals_live_across_suite () =
+  (* Every real benchmark: profiling and both simulator configurations
+     must be bit-identical whether the correct path comes from a live
+     emulator or a replayed packed trace. *)
+  let pbytes p = Marshal.to_string (Dmp_profile.Profile.to_raw p) [] in
+  let sbytes (s : Stats.t) = Marshal.to_string s [] in
+  List.iter
+    (fun spec ->
+      let name = spec.Spec.name in
+      let linked = Spec.linked spec in
+      let input = spec.Spec.input Input_gen.Reduced in
+      let tr = Dmp_exec.Trace.capture ~max_insts:cap linked ~input in
+      let profile =
+        Dmp_profile.Profile.collect ~max_insts:cap linked ~input
+      in
+      check Alcotest.bool (name ^ ": profile identical") true
+        (pbytes profile
+        = pbytes (Dmp_profile.Profile.collect_trace ~max_insts:cap linked tr));
+      check Alcotest.bool (name ^ ": baseline identical") true
+        (sbytes
+           (Sim.run ~config:Config.baseline ~max_insts:cap linked ~input)
+        = sbytes
+            (Sim.run_replay ~config:Config.baseline ~max_insts:cap linked tr));
+      let ann = Select.run linked profile in
+      check Alcotest.bool (name ^ ": dmp identical") true
+        (sbytes
+           (Sim.run ~config:Config.dmp ~annotation:ann ~max_insts:cap linked
+              ~input)
+        = sbytes
+            (Sim.run_replay ~config:Config.dmp ~annotation:ann ~max_insts:cap
+               linked tr)))
+    Registry.all
+
 let test_selection_deterministic () =
   let linked, _, profile = pipeline "gcc" Input_gen.Reduced in
   let a = Select.run linked profile in
@@ -133,6 +166,8 @@ let () =
             test_cost_model_close_to_heuristics;
           Alcotest.test_case "input-set robustness" `Slow
             test_profile_input_set_robustness;
+          Alcotest.test_case "replay = live on every benchmark" `Slow
+            test_replay_equals_live_across_suite;
           Alcotest.test_case "deterministic selection" `Quick
             test_selection_deterministic;
           Alcotest.test_case "all CFG kinds selected" `Slow

@@ -159,6 +159,19 @@ let test_two_d_always_easy () =
   in
   check Alcotest.bool "hard branch present" true hard
 
+let qcheck_profile_replay_equals_live =
+  QCheck.Test.make
+    ~name:"trace replay reproduces the live profile bit-for-bit" ~count:40
+    QCheck.(int_range 2 15)
+    (fun n ->
+      let st = Random.State.make [| n; 13 |] in
+      let linked = Linked.link (Helpers.random_program st ~nblocks:n) in
+      let input = Helpers.uniform_input 64 in
+      let tr = Dmp_exec.Trace.capture linked ~input in
+      let bytes p = Marshal.to_string (Profile.to_raw p) [] in
+      bytes (Profile.collect linked ~input)
+      = bytes (Profile.collect_trace linked tr))
+
 let qcheck_profile_total_branches =
   QCheck.Test.make ~name:"branch executions bounded by retired" ~count:40
     QCheck.(int_range 2 15)
@@ -195,6 +208,7 @@ let () =
         [
           Alcotest.test_case "retired" `Quick test_retired_counts;
           QCheck_alcotest.to_alcotest qcheck_profile_total_branches;
+          QCheck_alcotest.to_alcotest qcheck_profile_replay_equals_live;
         ] );
       ( "2d-profiling",
         [

@@ -210,6 +210,29 @@ let qcheck_sim_terminates_and_counts =
       stats.Stats.retired = expected
       && stats.Stats.flushes = stats.Stats.mispredictions)
 
+let qcheck_replay_equals_live =
+  QCheck.Test.make
+    ~name:"trace replay reproduces live simulation bit-for-bit" ~count:25
+    QCheck.(int_range 2 16)
+    (fun n ->
+      let st = Random.State.make [| n; 91 |] in
+      let program = Helpers.random_program st ~nblocks:n in
+      let linked = Linked.link program in
+      let input = Helpers.uniform_input 64 in
+      let tr = Dmp_exec.Trace.capture linked ~input in
+      let bytes (s : Stats.t) = Marshal.to_string s [] in
+      let base_ok =
+        bytes (Sim.run ~config:Config.baseline linked ~input)
+        = bytes (Sim.run_replay ~config:Config.baseline linked tr)
+      in
+      let profile = Dmp_profile.Profile.collect linked ~input in
+      let ann = Dmp_core.Select.run linked profile in
+      let dmp_ok =
+        bytes (Sim.run ~config:Config.dmp ~annotation:ann linked ~input)
+        = bytes (Sim.run_replay ~config:Config.dmp ~annotation:ann linked tr)
+      in
+      base_ok && dmp_ok)
+
 let qcheck_dmp_never_wildly_slower =
   QCheck.Test.make ~name:"DMP within 40% of baseline on random programs"
     ~count:20
@@ -261,6 +284,7 @@ let () =
       ( "properties",
         [
           QCheck_alcotest.to_alcotest qcheck_sim_terminates_and_counts;
+          QCheck_alcotest.to_alcotest qcheck_replay_equals_live;
           QCheck_alcotest.to_alcotest qcheck_dmp_never_wildly_slower;
         ] );
     ]
