@@ -9,8 +9,13 @@
      bench/main.exe micro           Bechamel micro-benchmarks
 
    Options:
-     -j/--jobs N          worker domains for the prefetch (default:
-                          DMP_JOBS or the recommended domain count)
+     -j/--jobs N          worker domains for the prefetch and the DMP
+                          simulation batches (default: DMP_JOBS or the
+                          recommended domain count); the report output
+                          is byte-identical for every value
+     --max-insts N        cap trace capture, profiling and simulation
+                          at N instructions (quick smoke runs; also
+                          fingerprints the _cache/ directory)
      --timings            print a per-stage wall-clock summary to stderr
      --timings-json FILE  write the per-stage timings to FILE as JSON
      --no-cache           do not read or write the persistent _cache/ *)
@@ -32,6 +37,8 @@ let micro () =
   let trace =
     Dmp_exec.Trace.capture ~max_insts:100_000 linked ~input
   in
+  let image = Dmp_exec.Image.of_trace trace in
+  let annotation = Dmp_core.Select.run linked profile in
   let ctx = Dmp_core.Context.create linked profile in
   let tests =
     [
@@ -66,6 +73,19 @@ let micro () =
              ignore
                (Dmp_uarch.Sim.run_replay ~config:Dmp_uarch.Config.baseline
                   ~max_insts:100_000 linked trace)));
+      (* The sweep's hot path, cursor vs pre-decoded image: same trace,
+         same annotation, bit-identical stats — only the per-event
+         supply differs. *)
+      Test.make ~name:"simulate-100k-dmp-cursor"
+        (Staged.stage (fun () ->
+             ignore
+               (Dmp_uarch.Sim.run_replay ~config:Dmp_uarch.Config.dmp
+                  ~annotation ~max_insts:100_000 linked trace)));
+      Test.make ~name:"simulate-100k-dmp-image"
+        (Staged.stage (fun () ->
+             ignore
+               (Dmp_uarch.Sim.run_image ~config:Dmp_uarch.Config.dmp
+                  ~annotation ~max_insts:100_000 linked image)));
     ]
   in
   let ols =
@@ -102,13 +122,14 @@ type opts = {
   mutable timings : bool;
   mutable timings_json : string option;
   mutable jobs : int option;
+  mutable max_insts : int option;
   mutable cache : bool;
 }
 
 let parse_args args =
   let o =
     { targets = []; timings = false; timings_json = None; jobs = None;
-      cache = true }
+      max_insts = None; cache = true }
   in
   let rec go = function
     | [] -> ()
@@ -124,6 +145,16 @@ let parse_args args =
     | "--no-cache" :: rest ->
         o.cache <- false;
         go rest
+    | "--max-insts" :: rest -> (
+        match rest with
+        | n :: rest' -> (
+            match int_of_string_opt n with
+            | Some m when m > 0 ->
+                o.max_insts <- Some m;
+                go rest'
+            | Some _ | None ->
+                usage_error (Printf.sprintf "bad instruction cap %S" n))
+        | [] -> usage_error "--max-insts needs a positive integer")
     | ("-j" | "--jobs") :: rest -> (
         match rest with
         | n :: rest' -> (
@@ -157,11 +188,11 @@ let () =
       if unknown <> [] then prerr_endline (valid_targets_msg ());
       if known = [] then exit 2;
       let runner =
-        Runner.create ?cache_dir:(if o.cache then Some "_cache" else None) ()
+        Runner.create
+          ?cache_dir:(if o.cache then Some "_cache" else None)
+          ?max_insts:o.max_insts ?jobs:o.jobs ()
       in
-      Runner.prefetch
-        ~profile_sets:(Targets.profile_sets known)
-        ?jobs:o.jobs runner;
+      Runner.prefetch ~profile_sets:(Targets.profile_sets known) runner;
       List.iter
         (fun t ->
           match Targets.render runner t with

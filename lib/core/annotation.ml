@@ -66,6 +66,75 @@ let average_cfm_count t =
   in
   if n = 0 then 0. else float_of_int total /. float_of_int n
 
+(* ---------- compiled form ----------
+
+   The simulator consults the annotation once per fetched conditional
+   branch and scans the current diverge branch's CFM list once per
+   fetch slot while in dpred-mode. The compiled form resolves both at
+   load time: a dense per-address table (one slot per instruction of
+   the program, so the lookup is an array read) and, per diverge
+   branch, the hammock CFM points as parallel sorted int arrays plus
+   the resolved return-CFM select count — replacing the [List.exists] /
+   [List.assoc_opt] scans over boxed pairs in the per-slot loop. *)
+
+type compiled = {
+  c_diverge : diverge;
+  c_cfm_addrs : int array;
+  c_cfm_selects : int array;
+  c_ret_selects : int;
+}
+
+let default_ret_selects = 4
+
+let compile_diverge d =
+  (* Entries with a negative address designate the return CFM and carry
+     its select-µop count; the last one in declaration order wins, as
+     does the last entry for a repeated CFM address. *)
+  let tbl = Hashtbl.create 8 in
+  let ret_selects = ref default_ret_selects in
+  List.iter
+    (fun c ->
+      if c.cfm_addr >= 0 then Hashtbl.replace tbl c.cfm_addr c.select_uops
+      else ret_selects := c.select_uops)
+    d.cfms;
+  let addrs =
+    List.sort Int.compare (Hashtbl.fold (fun a _ acc -> a :: acc) tbl [])
+  in
+  {
+    c_diverge = d;
+    c_cfm_addrs = Array.of_list addrs;
+    c_cfm_selects =
+      Array.of_list (List.map (fun a -> Hashtbl.find tbl a) addrs);
+    c_ret_selects = !ret_selects;
+  }
+
+let compile ~size t =
+  let table = Array.make size None in
+  iter
+    (fun d ->
+      if d.branch_addr >= 0 && d.branch_addr < size then
+        table.(d.branch_addr) <- Some (compile_diverge d))
+    t;
+  table
+
+let cfm_index c addr =
+  (* CFM lists are tiny (<= Params.max_cfm); a linear scan of the
+     sorted array beats binary search at this size. *)
+  let n = Array.length c.c_cfm_addrs in
+  let rec go i =
+    if i >= n then -1
+    else
+      let a = Array.unsafe_get c.c_cfm_addrs i in
+      if a = addr then i else if a > addr then -1 else go (i + 1)
+  in
+  go 0
+
+let is_cfm c addr = cfm_index c addr >= 0
+
+let cfm_selects c addr =
+  let i = cfm_index c addr in
+  if i >= 0 then c.c_cfm_selects.(i) else 0
+
 let pp_diverge ppf d =
   Fmt.pf ppf "@[<h>br@%d %s%s%s cfms=[%a]%a@]" d.branch_addr
     (branch_kind_to_string d.kind)

@@ -55,6 +55,42 @@ val average_cfm_count : t -> float
 (** Average number of CFM points per non-loop diverge branch (Table 2's
     "Avg. # CFM"). *)
 
+(** {2 Compiled form}
+
+    The cycle simulator consults the annotation once per fetched
+    conditional branch and tests "is this address a CFM of the current
+    diverge branch" once per fetch slot in dpred-mode. {!compile}
+    resolves both queries at annotation-load time into flat structures
+    so neither appears as a hash lookup or a list scan on the per-slot
+    path. *)
+
+type compiled = {
+  c_diverge : diverge;  (** the source diverge branch *)
+  c_cfm_addrs : int array;
+      (** hammock CFM addresses, sorted ascending, duplicates resolved
+          to the last declaration *)
+  c_cfm_selects : int array;  (** select-µop counts, parallel to
+      [c_cfm_addrs] *)
+  c_ret_selects : int;
+      (** select-µop count of the return CFM (the negative-address
+          [cfm] entry), or a default of 4 when none is declared *)
+}
+
+val compile : size:int -> t -> compiled option array
+(** Dense per-address table with one slot per instruction address in
+    [0, size): slot [a] holds the compiled diverge branch at [a], if
+    any. Diverge branches outside the range are dropped (they can never
+    be fetched). The result is immutable by convention and safe to
+    share across domains. *)
+
+val is_cfm : compiled -> int -> bool
+(** Membership in [c_cfm_addrs] (linear scan of the sorted array; CFM
+    lists have at most [Params.max_cfm] entries). *)
+
+val cfm_selects : compiled -> int -> int
+(** Select-µop count for the given CFM address, 0 when the address is
+    not a CFM of this branch. *)
+
 val to_string : t -> string
 (** One line per diverge branch; the format {!of_string} parses — the
     "list attached to the binary" of Section 6.1. *)

@@ -18,15 +18,20 @@ open Dmp_workload
 type row = { label : string; mean_improvement : float; note : string }
 
 let mean_improvement runner ~annotate ?(config = Config.dmp) () =
+  let tasks =
+    List.map
+      (fun name ->
+        let linked = Runner.linked runner name in
+        let profile = Runner.profile runner name Input_gen.Reduced in
+        (name, annotate name linked profile))
+      (Runner.names runner)
+  in
+  let stats = Runner.dmp_batch ~config runner tasks in
   Runner.amean
-    (List.map
-       (fun name ->
-         let linked = Runner.linked runner name in
-         let profile = Runner.profile runner name Input_gen.Reduced in
-         let ann = annotate name linked profile in
-         let stats = Runner.dmp ~config runner name ann in
-         Runner.speedup_pct ~base:(Runner.baseline runner name) stats)
-       (Runner.names runner))
+    (List.map2
+       (fun (name, _) s ->
+         Runner.speedup_pct ~base:(Runner.baseline runner name) s)
+       tasks stats)
 
 let strip_cfms ann =
   (* Dual-path: keep the diverge branches but remove every CFM point,

@@ -7,7 +7,13 @@
     [max_insts] cap — changing any of these invalidates every entry at
     once by moving the cache to a fresh subdirectory. Entries carry a
     digest of their payload; a truncated, tampered-with or otherwise
-    unreadable entry loads as [None] and the caller recomputes. *)
+    unreadable entry loads as [None] and the caller recomputes.
+
+    Packed traces persist here too; their pre-decoded
+    {!Dmp_exec.Image} form deliberately does not — an image is ~8x the
+    trace's bytes and decoding the cached trace in-memory
+    ({!Runner.image}) is cheaper than reading the flat form back from
+    disk. *)
 
 open Dmp_ir
 open Dmp_exec

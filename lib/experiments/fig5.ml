@@ -3,26 +3,42 @@
    variants (right). *)
 
 let run_variants runner variants =
-  let series =
+  let names = Runner.names runner in
+  (* Annotations are derived sequentially (selection is cheap and the
+     profiles are memoized); the independent DMP simulations — the
+     dominant cost — fan out over one batch. *)
+  let per_variant =
     List.map
       (fun (label, variant) ->
-        let values =
+        ( label,
           List.map
             (fun name ->
               let linked = Runner.linked runner name in
               let profile =
                 Runner.profile runner name Dmp_workload.Input_gen.Reduced
               in
-              let ann = Variants.annotate variant linked profile in
-              let stats = Runner.dmp runner name ann in
-              let base = Runner.baseline runner name in
-              (name, Runner.speedup_pct ~base stats))
-            (Runner.names runner)
-        in
-        { Report.label = Report.abbreviate label; values })
+              (name, Variants.annotate variant linked profile))
+            names ))
       variants
   in
-  series
+  let stats =
+    Array.of_list
+      (Runner.dmp_batch runner
+         (List.concat_map (fun (_, tasks) -> tasks) per_variant))
+  in
+  let k = List.length names in
+  List.mapi
+    (fun vi (label, tasks) ->
+      {
+        Report.label = Report.abbreviate label;
+        values =
+          List.mapi
+            (fun ni (name, _) ->
+              let base = Runner.baseline runner name in
+              (name, Runner.speedup_pct ~base stats.((vi * k) + ni)))
+            tasks;
+      })
+    per_variant
 
 let left runner =
   {

@@ -4,6 +4,7 @@
 open Dmp_uarch
 
 let run runner =
+  let names = Runner.names runner in
   let base_series =
     {
       Report.label = "baseline";
@@ -11,30 +12,45 @@ let run runner =
         List.map
           (fun name ->
             (name, Stats.flushes_per_ki (Runner.baseline runner name)))
-          (Runner.names runner);
+          names;
     }
   in
-  let dmp_series =
+  let per_variant =
     List.map
       (fun (label, variant) ->
-        let values =
+        ( label,
           List.map
             (fun name ->
               let linked = Runner.linked runner name in
               let profile =
                 Runner.profile runner name Dmp_workload.Input_gen.Reduced
               in
-              let ann = Variants.annotate variant linked profile in
-              let stats = Runner.dmp runner name ann in
-              (name, Stats.flushes_per_ki stats))
-            (Runner.names runner)
-        in
-        { Report.label = Report.abbreviate label; values })
+              (name, Variants.annotate variant linked profile))
+            names ))
       Variants.fig5_left
+  in
+  let stats =
+    Array.of_list
+      (Runner.dmp_batch runner
+         (List.concat_map (fun (_, tasks) -> tasks) per_variant))
+  in
+  let k = List.length names in
+  let dmp_series =
+    List.mapi
+      (fun vi (label, tasks) ->
+        {
+          Report.label = Report.abbreviate label;
+          values =
+            List.mapi
+              (fun ni (name, _) ->
+                (name, Stats.flushes_per_ki stats.((vi * k) + ni)))
+              tasks;
+        })
+      per_variant
   in
   {
     Report.title = "Figure 6: pipeline flushes due to branch mispredictions";
     unit_label = "flushes per kilo-instruction";
-    benchmarks = Runner.names runner;
+    benchmarks = names;
     series = base_series :: dmp_series;
   }

@@ -13,26 +13,44 @@ let variants =
   ]
 
 let run runner =
-  let series =
+  let names = Runner.names runner in
+  let per_variant =
     List.map
       (fun (label, variant, profile_set) ->
-        let values =
+        ( label,
           List.map
             (fun name ->
               let linked = Runner.linked runner name in
               let profile = Runner.profile runner name profile_set in
-              let ann = Variants.annotate variant linked profile in
-              let stats = Runner.dmp runner name ann in
-              (name, Runner.speedup_pct ~base:(Runner.baseline runner name)
-                       stats))
-            (Runner.names runner)
-        in
-        { Report.label = label; values })
+              (name, Variants.annotate variant linked profile))
+            names ))
       variants
+  in
+  let stats =
+    Array.of_list
+      (Runner.dmp_batch runner
+         (List.concat_map (fun (_, tasks) -> tasks) per_variant))
+  in
+  let k = List.length names in
+  let series =
+    List.mapi
+      (fun vi (label, tasks) ->
+        {
+          Report.label = label;
+          values =
+            List.mapi
+              (fun ni (name, _) ->
+                ( name,
+                  Runner.speedup_pct
+                    ~base:(Runner.baseline runner name)
+                    stats.((vi * k) + ni) ))
+              tasks;
+        })
+      per_variant
   in
   {
     Report.title = "Figure 9: profiling input-set sensitivity";
     unit_label = "% IPC improvement over baseline (run = reduced input)";
-    benchmarks = Runner.names runner;
+    benchmarks = names;
     series;
   }

@@ -2,8 +2,9 @@
    (linking, trace capture, profiling, baseline simulation) across
    figures. The architectural emulator runs once per (benchmark, input
    set): its event stream is captured into a packed [Trace.t] under the
-   per-benchmark lock and every later profile / baseline / dmp call
-   replays that trace instead of re-emulating.
+   per-benchmark lock; the trace is decoded once into a flat [Image.t]
+   and every later baseline / dmp call replays the image (profiling
+   still walks the packed trace — it runs once per pair anyway).
 
    Concurrency: every entry owns a lock that guards its memo tables and
    its one-shot linking, so a stage is computed exactly once no matter
@@ -22,6 +23,7 @@ type entry = {
   lock : Mutex.t;
   mutable linked_v : Linked.t option;
   traces : (Input_gen.set, Trace.t) Hashtbl.t;
+  images : (Input_gen.set, Image.t) Hashtbl.t;
   profiles : (Input_gen.set, Profile.t) Hashtbl.t;
   baselines : (Input_gen.set, Stats.t) Hashtbl.t;
 }
@@ -33,11 +35,12 @@ type t = {
   order : string list;
   max_insts : int option;
   cache : Disk_cache.t option;
+  jobs : int option;
   timings : (string, timing) Hashtbl.t;
   timings_lock : Mutex.t;
 }
 
-let create ?(benchmarks = Registry.all) ?max_insts ?cache_dir () =
+let create ?(benchmarks = Registry.all) ?max_insts ?cache_dir ?jobs () =
   let entries = Hashtbl.create 32 in
   List.iter
     (fun spec ->
@@ -47,6 +50,7 @@ let create ?(benchmarks = Registry.all) ?max_insts ?cache_dir () =
           lock = Mutex.create ();
           linked_v = None;
           traces = Hashtbl.create 4;
+          images = Hashtbl.create 4;
           profiles = Hashtbl.create 4;
           baselines = Hashtbl.create 4;
         })
@@ -59,6 +63,7 @@ let create ?(benchmarks = Registry.all) ?max_insts ?cache_dir () =
     order = List.map (fun s -> s.Spec.name) benchmarks;
     max_insts;
     cache;
+    jobs;
     timings = Hashtbl.create 8;
     timings_lock = Mutex.create ();
   }
@@ -141,6 +146,25 @@ let trace t name set =
   let e = entry t name in
   with_lock e (fun () -> trace_locked t e set)
 
+(* Caller must hold [e.lock]. The image is decoded in-memory from the
+   (possibly disk-cached) packed trace and never persisted itself: the
+   decode is one sequential pass, cheaper than reading the ~8x larger
+   flat form back from disk. One image per (benchmark, input set) is
+   shared — read-only — by every simulation of that pair, across
+   domains. *)
+let image_locked t e set =
+  match Hashtbl.find_opt e.images set with
+  | Some img -> img
+  | None ->
+      let tr = trace_locked t e set in
+      let img = timed t "image (decode)" (fun () -> Image.of_trace tr) in
+      Hashtbl.replace e.images set img;
+      img
+
+let image t name set =
+  let e = entry t name in
+  with_lock e (fun () -> image_locked t e set)
+
 let profile t name set =
   let e = entry t name in
   with_lock e (fun () ->
@@ -191,11 +215,11 @@ let baseline ?(set = Input_gen.Reduced) t name =
             match cached with
             | Some s -> s
             | None ->
-                let tr = trace_locked t e set in
+                let img = image_locked t e set in
                 let s =
                   timed t "baseline (simulate)" (fun () ->
-                      Sim.run_replay ~config:Config.baseline
-                        ?max_insts:t.max_insts linked tr)
+                      Sim.run_image ~config:Config.baseline
+                        ?max_insts:t.max_insts linked img)
                 in
                 Option.iter
                   (fun c -> Disk_cache.store_baseline c ~bench:name ~set s)
@@ -207,14 +231,27 @@ let baseline ?(set = Input_gen.Reduced) t name =
 
 let dmp ?(set = Input_gen.Reduced) ?(config = Config.dmp) t name annotation =
   let e = entry t name in
-  let linked, tr =
-    with_lock e (fun () -> (linked_locked t e, trace_locked t e set))
+  let linked, img =
+    with_lock e (fun () -> (linked_locked t e, image_locked t e set))
   in
   timed t "dmp (simulate)" (fun () ->
-      Sim.run_replay ~config ~annotation ?max_insts:t.max_insts linked tr)
+      Sim.run_image ~config ~annotation ?max_insts:t.max_insts linked img)
+
+let dmp_batch ?set ?config t tasks =
+  (* Each simulation is independent and deterministic, and [Pool.map]
+     returns results in submission order, so the caller sees the exact
+     list a sequential [List.map] over [dmp] would produce — with any
+     [-j 1] / [-j N] difference invisible in the output. Shared inputs
+     (linked program, trace, image) are memoized under the entry lock,
+     so concurrent tasks of one benchmark derive them exactly once. *)
+  Pool.with_pool ?jobs:t.jobs (fun pool ->
+      Pool.map pool
+        ~f:(fun (name, annotation) -> dmp ?set ?config t name annotation)
+        tasks)
 
 let prefetch ?(profile_sets = [ Input_gen.Reduced ])
     ?(baseline_sets = [ Input_gen.Reduced ]) ?jobs t =
+  let jobs = match jobs with Some _ -> jobs | None -> t.jobs in
   (* One task per benchmark: stages of the same benchmark share its
      lock anyway, so finer tasks would only make workers queue on it. *)
   Pool.with_pool ?jobs (fun pool ->

@@ -22,13 +22,17 @@ type t
 
 val create :
   ?benchmarks:Spec.t list -> ?max_insts:int -> ?cache_dir:string ->
-  unit -> t
+  ?jobs:int -> unit -> t
 (** Defaults to the full 17-benchmark suite with uncapped simulations.
     [max_insts] caps trace capture, profiling and simulation alike (for
     quick runs and tests). When [cache_dir] is given, traces, profiles
     and baseline statistics additionally persist across processes in a
     {!Disk_cache} rooted there; corrupt or stale entries are recomputed
-    transparently. *)
+    transparently. [jobs] sets the worker count of every parallel stage
+    ({!prefetch} without an explicit override, {!dmp_batch}); it
+    defaults to [Dmp_exec.Pool.default_jobs ()] and [jobs = 1] runs
+    every stage inline on the calling domain. The produced statistics
+    and report output are byte-identical for every [jobs] value. *)
 
 val names : t -> string list
 val linked : t -> string -> Linked.t
@@ -38,6 +42,13 @@ val trace : t -> string -> Input_gen.set -> Trace.t
 (** The packed architectural trace, captured (or loaded from the disk
     cache) on first use and then shared by every replaying stage.
     Cached per (benchmark, input set). *)
+
+val image : t -> string -> Input_gen.set -> Image.t
+(** The trace pre-decoded into a flat {!Dmp_exec.Image} on first use;
+    every simulating stage ([baseline], [dmp], [dmp_batch]) replays the
+    image rather than the packed trace. Cached in-memory per
+    (benchmark, input set) — never persisted, since decoding the cached
+    trace is cheaper than reading the flat form back from disk. *)
 
 val profile : t -> string -> Input_gen.set -> Profile.t
 (** Cached per (benchmark, input set). *)
@@ -49,6 +60,17 @@ val dmp :
   ?set:Input_gen.set -> ?config:Config.t -> t -> string ->
   Dmp_core.Annotation.t -> Stats.t
 (** Uncached: one DMP simulation under the given annotation. *)
+
+val dmp_batch :
+  ?set:Input_gen.set -> ?config:Config.t -> t ->
+  (string * Dmp_core.Annotation.t) list -> Stats.t list
+(** [dmp] over every (benchmark, annotation) task, spread across a
+    {!Dmp_exec.Pool} of the runner's [jobs] workers. Results match the
+    order of the tasks, and each simulation is deterministic, so the
+    batch returns exactly what the sequential [List.map] would — the
+    figure harnesses use it for their independent per-variant sims.
+    The first exception raised by any task is re-raised after the
+    batch settles. *)
 
 val prefetch :
   ?profile_sets:Input_gen.set list ->

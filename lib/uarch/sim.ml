@@ -10,6 +10,13 @@
    cache hierarchy). Retirement is in-order through a reorder buffer;
    fetch stalls when the ROB is full.
 
+   The correct path is supplied three ways with bit-identical results:
+   a live emulator or a packed-trace cursor (both behind [Source.t]),
+   or a pre-decoded [Image.t], for which [fetch_image_cycle] mirrors
+   the generic fetch loop with per-event array reads instead of cursor
+   decoding and accessor calls — the experiment sweep replays each
+   image hundreds of times, so this is the simulator's hottest path.
+
    Modelling simplifications (documented in DESIGN.md):
    - ordinary wrong-path fetch after a misprediction is a fetch bubble
      until the branch resolves (wrong-path µops are not executed);
@@ -36,9 +43,8 @@ type dpred = {
   d_branch_addr : int;
   d_done : int;  (* resolution cycle of the diverge branch *)
   d_mispredicted : bool;
-  d_cfms : (int * int) list;  (* (cfm addr, select-µop count) *)
+  d_cfm : Annotation.compiled;  (* CFM points as flat sorted arrays *)
   d_return_cfm : bool;
-  d_ret_selects : int;
   mutable d_correct_stop : int;  (* -1 active; -2 return; else CFM addr *)
   mutable d_wrong_stop : int;
   d_wrong : walker;
@@ -65,12 +71,18 @@ type recovery = {
   mutable r_pushed : int;
 }
 
+(* Correct-path supply: the generic [Source.t] abstraction (live
+   emulator or packed-trace cursor) or a pre-decoded image indexed by
+   [pos]. *)
+type supply = S_source of Source.t | S_image of Image.t
+
 type t = {
   config : Config.t;
   linked : Linked.t;
   sinfo : Static_info.t;
-  annotation : Annotation.t;
-  source : Source.t;
+  (* Dense per-address diverge-branch table (Annotation.compile). *)
+  diverge_at : Annotation.compiled option array;
+  supply : supply;
   predictor : Predictor.t;
   conf : Conf.t;
   hier : Cache.hierarchy;
@@ -86,23 +98,26 @@ type t = {
   (* The supply's current event has been loaded but not yet fetched. *)
   mutable pending : bool;
   mutable trace_done : bool;
+  (* Image supply: index of the current (loaded) event; -1 initially. *)
+  mutable pos : int;
   mutable mode : mode;
   mutable recovery : recovery option;
   max_insts : int;
   mutable consumed : int;
 }
 
-let create_source ?(config = Config.baseline) ?annotation
-    ?(max_insts = max_int) linked source =
+let make ?(config = Config.baseline) ?annotation ?(max_insts = max_int)
+    linked supply =
   let annotation =
     match annotation with Some a -> a | None -> Annotation.empty ()
   in
+  let sinfo = Static_info.of_linked linked in
   {
     config;
     linked;
-    sinfo = Static_info.of_linked linked;
-    annotation;
-    source;
+    sinfo;
+    diverge_at = Annotation.compile ~size:(Static_info.size sinfo) annotation;
+    supply;
     predictor = Predictor.of_name config.Config.predictor;
     conf =
       Conf.create ~log2_entries:config.Config.conf_log2_entries
@@ -119,11 +134,15 @@ let create_source ?(config = Config.baseline) ?annotation
     select_pending = 0;
     pending = false;
     trace_done = false;
+    pos = -1;
     mode = M_normal;
     recovery = None;
     max_insts;
     consumed = 0;
   }
+
+let create_source ?config ?annotation ?max_insts linked source =
+  make ?config ?annotation ?max_insts linked (S_source source)
 
 let create ?config ?annotation ?max_insts linked ~input =
   create_source ?config ?annotation ?max_insts linked
@@ -132,14 +151,22 @@ let create ?config ?annotation ?max_insts linked ~input =
 let create_replay ?config ?annotation ?max_insts linked trace =
   create_source ?config ?annotation ?max_insts linked (Source.replay trace)
 
+let create_image ?config ?annotation ?max_insts linked image =
+  let t = make ?config ?annotation ?max_insts linked (S_image image) in
+  (* One bounds check here licenses the unchecked static-info and
+     diverge-table indexing in [fetch_image_cycle]. *)
+  if Image.max_addr image >= Static_info.size t.sinfo then
+    invalid_arg "Sim.create_image: image addresses exceed the linked program";
+  t
+
 (* ---------- trace supply ----------
 
    [peek]/[consume] load the supply's next event; the event itself is
-   read through the [Source] current-event accessors, which stay valid
-   from the [peek] that loaded it until the next [peek] after its
-   [consume]. *)
+   read through the [Source] current-event accessors (or the image
+   buffers at [t.pos]), which stay valid from the [peek] that loaded it
+   until the next [peek] after its [consume]. *)
 
-let peek t =
+let peek t s =
   t.pending
   ||
   if t.trace_done then false
@@ -147,7 +174,7 @@ let peek t =
     t.trace_done <- true;
     false
   end
-  else if Source.advance t.source then begin
+  else if Source.advance s then begin
     t.pending <- true;
     true
   end
@@ -156,8 +183,37 @@ let peek t =
     false
   end
 
-let consume t =
-  peek t
+let consume t s =
+  peek t s
+  && begin
+       t.pending <- false;
+       t.consumed <- t.consumed + 1;
+       true
+     end
+
+(* Image supply: same protocol with the cursor decode replaced by a
+   position bump. *)
+
+let ipeek t (img : Image.t) =
+  t.pending
+  ||
+  if t.trace_done then false
+  else if t.consumed >= t.max_insts then begin
+    t.trace_done <- true;
+    false
+  end
+  else if t.pos + 1 < img.Image.len then begin
+    t.pos <- t.pos + 1;
+    t.pending <- true;
+    true
+  end
+  else begin
+    t.trace_done <- true;
+    false
+  end
+
+let iconsume t img =
+  ipeek t img
   && begin
        t.pending <- false;
        t.consumed <- t.consumed + 1;
@@ -168,9 +224,13 @@ let consume t =
 
 let rob_full t = t.rob_count >= Array.length t.rob
 
+(* [rob_head + rob_count] never reaches twice the ROB size, so the
+   wrap-around is a compare-and-subtract, not a division. *)
 let rob_push t done_cycle =
-  let i = (t.rob_head + t.rob_count) mod Array.length t.rob in
-  t.rob.(i) <- done_cycle;
+  let len = Array.length t.rob in
+  let i = t.rob_head + t.rob_count in
+  let i = if i >= len then i - len else i in
+  Array.unsafe_set t.rob i done_cycle;
   t.rob_count <- t.rob_count + 1
 
 let retire t =
@@ -178,25 +238,28 @@ let retire t =
   while
     !n < t.config.Config.retire_width
     && t.rob_count > 0
-    && t.rob.(t.rob_head) <= t.cycle
+    && Array.unsafe_get t.rob t.rob_head <= t.cycle
   do
-    t.rob_head <- (t.rob_head + 1) mod Array.length t.rob;
+    let h = t.rob_head + 1 in
+    t.rob_head <- (if h >= Array.length t.rob then 0 else h);
     t.rob_count <- t.rob_count - 1;
     incr n
   done
 
 (* ---------- dataflow timing ---------- *)
 
-(* [loc] is the memory location of the correct-path event and is only
-   read when [info] classifies a load or store — the trace guarantees
-   those events carry their location. *)
+(* [loc] is the memory location of the correct-path event; the fetch
+   loops pass it only for loads and stores (the trace guarantees those
+   events carry their location) and 0 for every other class, and only
+   the load/store arms below read it. *)
 let complete t ~(info : Static_info.info) ~loc =
   let disp = t.cycle + t.config.Config.front_depth in
-  let ready =
-    Array.fold_left
-      (fun acc r -> max acc t.reg_ready.(r))
-      disp info.Static_info.srcs
-  in
+  let srcs = info.Static_info.srcs in
+  let ready = ref disp in
+  for i = 0 to Array.length srcs - 1 do
+    let v = Array.unsafe_get t.reg_ready (Array.unsafe_get srcs i) in
+    if v > !ready then ready := v
+  done;
   let latency =
     match info.Static_info.klass with
     | Static_info.K_load -> Cache.load_latency t.hier loc
@@ -205,17 +268,16 @@ let complete t ~(info : Static_info.info) ~loc =
         t.config.Config.store_latency
     | k -> Static_info.latency t.config k
   in
-  let done_cycle = max ready disp + latency in
+  let done_cycle = !ready + latency in
   if info.Static_info.dst >= 0 then
-    t.reg_ready.(info.Static_info.dst) <- done_cycle;
+    Array.unsafe_set t.reg_ready info.Static_info.dst done_cycle;
   done_cycle
 
 let predicated_done t = t.cycle + t.config.Config.front_depth + 1
 
 (* ---------- wrong-side walker ---------- *)
 
-let make_walker t ~start ~hist =
-  ignore t;
+let make_walker ~start ~hist =
   { w_pc = start; w_hist = hist; w_stack = []; w_count = 0; w_dead = false }
 
 (* Advance the walker by one instruction; returns true when an
@@ -300,14 +362,14 @@ let normal_flush ?wrong_path t ~done_cycle =
         Some
           {
             r_done = done_cycle;
-            r_walker = make_walker t ~start ~hist;
+            r_walker = make_walker ~start ~hist;
             r_pushed = 0;
           }
   | Some _ | None -> ()
 
 (* ---------- dpred entry ---------- *)
 
-let enter_hammock_dpred t ~addr ~taken (d : Annotation.diverge)
+let enter_hammock_dpred t ~addr ~taken (c : Annotation.compiled)
     (o : branch_outcome) =
   let info = Static_info.get t.sinfo addr in
   let wrong_start =
@@ -316,14 +378,6 @@ let enter_hammock_dpred t ~addr ~taken (d : Annotation.diverge)
   let wrong_hist =
     t.predictor.Predictor.shift_history ~history:o.b_pre_history
       ~taken:(not taken)
-  in
-  let cfms, ret_selects =
-    List.fold_left
-      (fun (cfms, rs) (c : Annotation.cfm) ->
-        if c.Annotation.cfm_addr >= 0 then
-          ((c.Annotation.cfm_addr, c.Annotation.select_uops) :: cfms, rs)
-        else (cfms, c.Annotation.select_uops))
-      ([], 4) d.Annotation.cfms
   in
   t.stats.Stats.dpred_entries <- t.stats.Stats.dpred_entries + 1;
   t.stats.Stats.dpred_hammock_entries <-
@@ -337,12 +391,11 @@ let enter_hammock_dpred t ~addr ~taken (d : Annotation.diverge)
         d_branch_addr = addr;
         d_done = o.b_done;
         d_mispredicted = o.b_mispredicted;
-        d_cfms = cfms;
-        d_return_cfm = d.Annotation.return_cfm;
-        d_ret_selects = ret_selects;
+        d_cfm = c;
+        d_return_cfm = c.Annotation.c_diverge.Annotation.return_cfm;
         d_correct_stop = -1;
         d_wrong_stop = -1;
-        d_wrong = make_walker t ~start:wrong_start ~hist:wrong_hist;
+        d_wrong = make_walker ~start:wrong_start ~hist:wrong_hist;
         d_turn = true;
       }
 
@@ -416,9 +469,9 @@ let loop_branch_event t (l : loop_dpred) ~addr ~taken (o : branch_outcome) =
       end;
       `Exit
 
-let enter_loop_dpred t ~addr ~taken (d : Annotation.diverge)
+let enter_loop_dpred t ~addr ~taken (c : Annotation.compiled)
     (o : branch_outcome) =
-  match d.Annotation.loop with
+  match c.Annotation.c_diverge.Annotation.loop with
   | None -> false
   | Some li ->
       let info = Static_info.get t.sinfo addr in
@@ -447,10 +500,69 @@ let enter_loop_dpred t ~addr ~taken (d : Annotation.diverge)
 
 exception Stop_fetch
 
-(* Fetch correct-path (trace) instructions for one cycle. [in_dpred]
-   carries the dpred state when the correct side is one of the two
-   predicated paths. Returns unit; updates all machine state. *)
-let fetch_trace_cycle t ~(in_dpred : dpred option) =
+(* Handle a just-fetched conditional branch shared by both fetch loops:
+   diverge-branch decisions, inner-misprediction aborts, and the
+   ordinary misprediction flush. Raises [Stop_fetch] when the fetch
+   cycle must end. [target]/[fall] are the branch's architectural
+   operands. *)
+let[@inline] branch_event t ~(in_dpred : dpred option) ~addr ~taken ~target
+    ~fall ~branches (o : branch_outcome) =
+  (* Diverge-branch decisions only apply outside dpred-mode (DMP
+     predicates one branch at a time). *)
+  let handled =
+    match (in_dpred, t.mode) with
+    | None, M_normal when t.config.Config.dmp_enabled -> (
+        match Array.unsafe_get t.diverge_at addr with
+        | Some c -> (
+            match c.Annotation.c_diverge.Annotation.kind with
+            | Annotation.Loop_branch ->
+                if o.b_low_confidence then enter_loop_dpred t ~addr ~taken c o
+                else false
+            | Annotation.Simple_hammock | Annotation.Nested_hammock
+            | Annotation.Frequently_hammock ->
+                if o.b_low_confidence
+                   || c.Annotation.c_diverge.Annotation.always_predicate
+                then begin
+                  enter_hammock_dpred t ~addr ~taken c o;
+                  true
+                end
+                else false)
+        | None -> false)
+    | None, M_loop l -> (
+        if addr = l.l_branch_addr then begin
+          match loop_branch_event t l ~addr ~taken o with
+          | `Stay -> true
+          | `Exit ->
+              t.mode <- M_normal;
+              true
+        end
+        else false)
+    | _, _ -> false
+  in
+  if handled then raise Stop_fetch;
+  if o.b_mispredicted then begin
+    (* Inside dpred-mode an inner misprediction also flushes and aborts
+       predication. *)
+    (match (in_dpred, t.mode) with
+    | Some _, _ -> t.mode <- M_normal
+    | None, M_loop _ -> t.mode <- M_normal
+    | None, (M_normal | M_dpred _) -> ());
+    let start = if taken then fall else target in
+    let hist =
+      t.predictor.Predictor.shift_history ~history:o.b_pre_history
+        ~taken:(not taken)
+    in
+    normal_flush ~wrong_path:(start, hist) t ~done_cycle:o.b_done;
+    raise Stop_fetch
+  end;
+  if branches >= t.config.Config.max_branches_per_cycle then raise Stop_fetch;
+  if taken then raise Stop_fetch
+
+(* Fetch correct-path (trace) instructions for one cycle from the
+   generic supply. [in_dpred] carries the dpred state when the correct
+   side is one of the two predicated paths. Returns unit; updates all
+   machine state. *)
+let fetch_trace_cycle t (s : Source.t) ~(in_dpred : dpred option) =
   let slots = ref t.config.Config.fetch_width in
   let branches = ref 0 in
   (try
@@ -466,19 +578,18 @@ let fetch_trace_cycle t ~(in_dpred : dpred option) =
        else if rob_full t then raise Stop_fetch
        else begin
          (match in_dpred with
-         | Some d when peek t ->
+         | Some d when peek t s ->
              (* Stop the correct side at a CFM point before fetching it. *)
-             let next_fetch = Source.addr t.source in
-             if List.exists (fun (a, _) -> a = next_fetch) d.d_cfms
-             then begin
+             let next_fetch = Source.addr s in
+             if Annotation.is_cfm d.d_cfm next_fetch then begin
                d.d_correct_stop <- next_fetch;
                raise Stop_fetch
              end
          | Some _ | None -> ());
-         if not (consume t) then raise Stop_fetch
+         if not (consume t s) then raise Stop_fetch
          else begin
-           let addr = Source.addr t.source in
-           let next = Source.next_addr t.source in
+           let addr = Source.addr s in
+           let next = Source.next_addr s in
            (* Loop dpred-mode ends when the trace reaches the loop's
               exit target through any path. *)
            (match t.mode with
@@ -488,66 +599,13 @@ let fetch_trace_cycle t ~(in_dpred : dpred option) =
            match info.Static_info.klass with
            | Static_info.K_branch ->
                incr branches;
-               let taken = Source.taken t.source in
-               let target = Source.p1 t.source in
-               let fall = Source.p2 t.source in
+               let taken = Source.taken s in
+               let target = Source.p1 s in
+               let fall = Source.p2 s in
                let o = process_cond_branch t ~addr ~taken ~info in
                decr slots;
-               (* Diverge-branch decisions only apply outside
-                  dpred-mode (DMP predicates one branch at a time). *)
-               let handled =
-                 match (in_dpred, t.mode) with
-                 | None, M_normal
-                   when t.config.Config.dmp_enabled -> (
-                     match Annotation.find t.annotation addr with
-                     | Some d -> (
-                         match d.Annotation.kind with
-                         | Annotation.Loop_branch ->
-                             if o.b_low_confidence then
-                               enter_loop_dpred t ~addr ~taken d o
-                             else false
-                         | Annotation.Simple_hammock
-                         | Annotation.Nested_hammock
-                         | Annotation.Frequently_hammock ->
-                             if o.b_low_confidence
-                                || d.Annotation.always_predicate
-                             then begin
-                               enter_hammock_dpred t ~addr ~taken d o;
-                               true
-                             end
-                             else false)
-                     | None -> false)
-                 | None, M_loop l -> (
-                     if addr = l.l_branch_addr then begin
-                       match loop_branch_event t l ~addr ~taken o with
-                       | `Stay -> true
-                       | `Exit ->
-                           t.mode <- M_normal;
-                           true
-                     end
-                     else false)
-                 | _, _ -> false
-               in
-               if handled then raise Stop_fetch;
-               if o.b_mispredicted then begin
-                 (* Inside dpred-mode an inner misprediction also
-                    flushes and aborts predication. *)
-                 (match (in_dpred, t.mode) with
-                 | Some _, _ -> t.mode <- M_normal
-                 | None, M_loop _ -> t.mode <- M_normal
-                 | None, (M_normal | M_dpred _) -> ());
-                 let start = if taken then fall else target in
-                 let hist =
-                   t.predictor.Predictor.shift_history
-                     ~history:o.b_pre_history ~taken:(not taken)
-                 in
-                 normal_flush ~wrong_path:(start, hist) t
-                   ~done_cycle:o.b_done;
-                 raise Stop_fetch
-               end;
-               if !branches >= t.config.Config.max_branches_per_cycle
-               then raise Stop_fetch;
-               if taken then raise Stop_fetch
+               branch_event t ~in_dpred ~addr ~taken ~target ~fall
+                 ~branches:!branches o
            | Static_info.K_ret ->
                let d = complete t ~info ~loc:0 in
                rob_push t d;
@@ -558,8 +616,15 @@ let fetch_trace_cycle t ~(in_dpred : dpred option) =
                    raise Stop_fetch
                | _ -> ());
                if next <> addr + 1 then raise Stop_fetch
+           | Static_info.K_load | Static_info.K_store ->
+               (* Memory events always carry their location. *)
+               let d = complete t ~info ~loc:(Source.p1 s) in
+               rob_push t d;
+               decr slots;
+               if next <> addr + 1 && next <> Event.halted_next then
+                 raise Stop_fetch
            | _ ->
-               let d = complete t ~info ~loc:(Source.p1 t.source) in
+               let d = complete t ~info ~loc:0 in
                rob_push t d;
                decr slots;
                (* Taken control transfers end the fetch cycle, except
@@ -571,6 +636,96 @@ let fetch_trace_cycle t ~(in_dpred : dpred option) =
      done
    with Stop_fetch -> ())
 
+(* The same fetch cycle specialised on a pre-decoded image: per-event
+   fields are single array reads at [t.pos] (no cursor decode, no
+   accessor calls) and the static-info lookup indexes the dense table
+   unchecked — [create_image] validated every image address against the
+   table size. Must stay a line-for-line mirror of [fetch_trace_cycle]
+   (the equivalence is enforced by qcheck and integration tests). *)
+let fetch_image_cycle t (img : Image.t) ~(in_dpred : dpred option) =
+  let addrs = img.Image.addr
+  and nexts = img.Image.next
+  and tags = img.Image.tag
+  and p1s = img.Image.p1
+  and p2s = img.Image.p2
+  and infos = Static_info.table t.sinfo in
+  let slots = ref t.config.Config.fetch_width in
+  let branches = ref 0 in
+  (try
+     while !slots > 0 do
+       if t.select_pending > 0 then begin
+         if rob_full t then raise Stop_fetch;
+         rob_push t (t.cycle + t.config.Config.front_depth
+                     + t.config.Config.select_uop_latency);
+         t.select_pending <- t.select_pending - 1;
+         t.stats.Stats.select_uops <- t.stats.Stats.select_uops + 1;
+         decr slots
+       end
+       else if rob_full t then raise Stop_fetch
+       else begin
+         (match in_dpred with
+         | Some d when ipeek t img ->
+             let next_fetch = Bigarray.Array1.unsafe_get addrs t.pos in
+             if Annotation.is_cfm d.d_cfm next_fetch then begin
+               d.d_correct_stop <- next_fetch;
+               raise Stop_fetch
+             end
+         | Some _ | None -> ());
+         if not (iconsume t img) then raise Stop_fetch
+         else begin
+           let pos = t.pos in
+           let addr = Bigarray.Array1.unsafe_get addrs pos in
+           let next = Bigarray.Array1.unsafe_get nexts pos in
+           (match t.mode with
+           | M_loop l when addr = l.l_exit_target -> t.mode <- M_normal
+           | M_loop _ | M_normal | M_dpred _ -> ());
+           let info = Array.unsafe_get infos addr in
+           match info.Static_info.klass with
+           | Static_info.K_branch ->
+               incr branches;
+               let taken =
+                 Bigarray.Array1.unsafe_get tags pos = Trace.tag_branch_taken
+               in
+               let target = Bigarray.Array1.unsafe_get p1s pos in
+               let fall = Bigarray.Array1.unsafe_get p2s pos in
+               let o = process_cond_branch t ~addr ~taken ~info in
+               decr slots;
+               branch_event t ~in_dpred ~addr ~taken ~target ~fall
+                 ~branches:!branches o
+           | Static_info.K_ret ->
+               let d = complete t ~info ~loc:0 in
+               rob_push t d;
+               decr slots;
+               (match in_dpred with
+               | Some dp when dp.d_return_cfm ->
+                   dp.d_correct_stop <- -2;
+                   raise Stop_fetch
+               | _ -> ());
+               if next <> addr + 1 then raise Stop_fetch
+           | Static_info.K_load | Static_info.K_store ->
+               let d =
+                 complete t ~info ~loc:(Bigarray.Array1.unsafe_get p1s pos)
+               in
+               rob_push t d;
+               decr slots;
+               if next <> addr + 1 && next <> Event.halted_next then
+                 raise Stop_fetch
+           | _ ->
+               let d = complete t ~info ~loc:0 in
+               rob_push t d;
+               decr slots;
+               if next <> addr + 1 && next <> Event.halted_next then
+                 raise Stop_fetch
+         end
+       end
+     done
+   with Stop_fetch -> ())
+
+let fetch_correct t ~in_dpred =
+  match t.supply with
+  | S_source s -> fetch_trace_cycle t s ~in_dpred
+  | S_image img -> fetch_image_cycle t img ~in_dpred
+
 (* Fetch wrong-side (walker) instructions for one cycle during
    dpred-mode. *)
 let fetch_walker_cycle t (d : dpred) =
@@ -580,7 +735,7 @@ let fetch_walker_cycle t (d : dpred) =
      while !slots > 0 do
        if w.w_dead then raise Stop_fetch;
        if rob_full t then raise Stop_fetch;
-       if List.exists (fun (a, _) -> a = w.w_pc) d.d_cfms then begin
+       if Annotation.is_cfm d.d_cfm w.w_pc then begin
          d.d_wrong_stop <- w.w_pc;
          raise Stop_fetch
        end;
@@ -602,11 +757,8 @@ let exit_dpred t (d : dpred) ~merged =
   if merged then begin
     t.stats.Stats.dpred_merges <- t.stats.Stats.dpred_merges + 1;
     let selects =
-      if d.d_correct_stop = -2 then d.d_ret_selects
-      else
-        match List.assoc_opt d.d_correct_stop d.d_cfms with
-        | Some n -> n
-        | None -> 0
+      if d.d_correct_stop = -2 then d.d_cfm.Annotation.c_ret_selects
+      else Annotation.cfm_selects d.d_cfm d.d_correct_stop
     in
     t.select_pending <- t.select_pending + selects
   end
@@ -639,7 +791,7 @@ let dpred_cycle t (d : dpred) =
     d.d_turn <- not d.d_turn;
     if correct_active || wrong_active then
       if pick_correct && correct_active then
-        fetch_trace_cycle t ~in_dpred:(Some d)
+        fetch_correct t ~in_dpred:(Some d)
       else if wrong_active then fetch_walker_cycle t d
   end
 
@@ -688,7 +840,7 @@ let run_to_completion t =
         if t.cycle >= t.fetch_resume then begin
           match t.mode with
           | M_normal | M_loop _ ->
-              if not t.trace_done then fetch_trace_cycle t ~in_dpred:None
+              if not t.trace_done then fetch_correct t ~in_dpred:None
           | M_dpred d -> dpred_cycle t d
         end
   done;
@@ -702,6 +854,10 @@ let run ?config ?annotation ?max_insts linked ~input =
 
 let run_replay ?config ?annotation ?max_insts linked trace =
   let t = create_replay ?config ?annotation ?max_insts linked trace in
+  run_to_completion t
+
+let run_image ?config ?annotation ?max_insts linked image =
+  let t = create_image ?config ?annotation ?max_insts linked image in
   run_to_completion t
 
 let stats t = t.stats

@@ -15,7 +15,14 @@
     reach the same CFM point (select-µops are then inserted) or the
     branch resolves — either way without a pipeline flush. Loop diverge
     branches use the iteration-oriented mechanism with the paper's
-    correct / early-exit / late-exit / no-exit cases. *)
+    correct / early-exit / late-exit / no-exit cases.
+
+    The correct path is supplied three ways with bit-identical
+    statistics: a live emulator ({!create}), a packed-trace cursor
+    ({!create_replay}), or a pre-decoded {!Dmp_exec.Image.t}
+    ({!create_image}). The image path runs a specialised fetch loop
+    over the image's flat buffers — the fastest of the three; the
+    experiment sweep uses it for every simulation of a cached trace. *)
 
 open Dmp_ir
 open Dmp_exec
@@ -39,6 +46,18 @@ val create_replay :
     or a larger cap, or be {!Trace.complete}); the replay hot path does
     not allocate per event. *)
 
+val create_image :
+  ?config:Config.t -> ?annotation:Annotation.t -> ?max_insts:int ->
+  Linked.t -> Image.t -> t
+(** Trace-driven from a pre-decoded image of a trace of the same linked
+    program; statistics are identical to {!create_replay} over the
+    trace the image was decoded from. The per-event cost is plain array
+    indexing: decode the trace once with {!Image.of_trace}, then share
+    the image across every simulation of that (benchmark, input) pair.
+    @raise Invalid_argument if the image contains an address outside
+    the linked program (it was decoded from some other program's
+    trace). *)
+
 val run_to_completion : t -> Stats.t
 
 val run :
@@ -50,5 +69,10 @@ val run_replay :
   ?config:Config.t -> ?annotation:Annotation.t -> ?max_insts:int ->
   Linked.t -> Trace.t -> Stats.t
 (** Convenience: [create_replay] + [run_to_completion]. *)
+
+val run_image :
+  ?config:Config.t -> ?annotation:Annotation.t -> ?max_insts:int ->
+  Linked.t -> Image.t -> Stats.t
+(** Convenience: [create_image] + [run_to_completion]. *)
 
 val stats : t -> Stats.t

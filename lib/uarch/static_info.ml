@@ -85,6 +85,12 @@ let of_linked linked =
 let get t addr = t.infos.(addr)
 let size t = Array.length t.infos
 
+(* The dense table itself, for consumers that validate their address
+   range against [size] once and then index with [Array.unsafe_get]
+   (the simulator's pre-decoded image path). The array is owned by [t];
+   callers must not mutate it. *)
+let table t = t.infos
+
 let latency (cfg : Config.t) = function
   | K_int | K_other | K_jump | K_call | K_ret | K_halt ->
       cfg.Config.int_latency

@@ -235,6 +235,57 @@ let qcheck_trace_replay_equals_live =
       let tr = Trace.capture linked ~input in
       Trace.complete tr && replay_events tr = live_events linked ~input)
 
+(* ---------- pre-decoded images ---------- *)
+
+let image_events img =
+  List.init (Image.length img) (fun i -> Image.event img i)
+
+let test_image_matches_trace () =
+  let linked = Linked.link (Helpers.freq_hammock_program ~iters:100 ()) in
+  let input = Helpers.uniform_input 200 in
+  let tr = Trace.capture linked ~input in
+  let img = Image.of_trace tr in
+  check Alcotest.int "length" (Trace.length tr) (Image.length img);
+  check Alcotest.bool "complete" (Trace.complete tr) (Image.complete img);
+  check Alcotest.bool "identical event stream" true
+    (image_events img = replay_events tr);
+  let max_a =
+    List.fold_left
+      (fun m (e : Event.t) -> max m e.Event.addr)
+      (-1) (replay_events tr)
+  in
+  check Alcotest.int "max_addr" max_a (Image.max_addr img)
+
+let test_image_capped_and_empty () =
+  let f = B.func "main" in
+  B.label f "spin";
+  B.nop f;
+  B.jump f "spin";
+  let linked =
+    Linked.link (Program.of_funcs_exn ~main:"main" [ B.finish f ])
+  in
+  let tr = Trace.capture ~max_insts:50 linked ~input:[||] in
+  let img = Image.of_trace tr in
+  check Alcotest.int "capped length" 50 (Image.length img);
+  check Alcotest.bool "incomplete" false (Image.complete img);
+  let empty = Image.of_trace (Trace.capture ~max_insts:0 linked ~input:[||]) in
+  check Alcotest.int "empty" 0 (Image.length empty);
+  check Alcotest.int "empty max_addr" (-1) (Image.max_addr empty);
+  Alcotest.check_raises "event out of bounds"
+    (Invalid_argument "Image.event: index out of bounds") (fun () ->
+      ignore (Image.event img 50))
+
+let qcheck_image_decodes_trace =
+  QCheck.Test.make ~name:"image decodes the packed trace event-for-event"
+    ~count:40
+    QCheck.(int_range 2 20)
+    (fun n ->
+      let st = Random.State.make [| n; 53 |] in
+      let linked = Linked.link (Helpers.random_program st ~nblocks:n) in
+      let input = Helpers.uniform_input 64 in
+      let tr = Trace.capture linked ~input in
+      image_events (Image.of_trace tr) = replay_events tr)
+
 let qcheck_random_programs_terminate =
   QCheck.Test.make ~name:"random programs halt within fuel" ~count:60
     QCheck.(int_range 2 20)
@@ -325,6 +376,13 @@ let () =
           Alcotest.test_case "capped capture" `Quick
             test_trace_capped_incomplete;
           QCheck_alcotest.to_alcotest qcheck_trace_replay_equals_live;
+        ] );
+      ( "image",
+        [
+          Alcotest.test_case "matches trace" `Quick test_image_matches_trace;
+          Alcotest.test_case "capped and empty" `Quick
+            test_image_capped_and_empty;
+          QCheck_alcotest.to_alcotest qcheck_image_decodes_trace;
         ] );
       ( "pool",
         [

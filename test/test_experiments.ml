@@ -130,6 +130,43 @@ let test_parallel_prefetch_equivalence () =
         = stats_bytes (Runner.baseline par name)))
     (Runner.names seq)
 
+(* The DMP sweep itself must be jobs-invariant: a 4-worker dmp_batch
+   returns the same statistics in the same order as the inline [-j 1]
+   runner, and both match sequential per-task [dmp] calls. *)
+let test_parallel_dmp_batch_equivalence () =
+  let mk jobs =
+    Runner.create ~benchmarks:(quad_benchmarks ()) ~max_insts:80_000 ~jobs ()
+  in
+  let r1 = mk 1 and r4 = mk 4 in
+  let tasks r =
+    List.concat_map
+      (fun name ->
+        let linked = Runner.linked r name in
+        let profile = Runner.profile r name Input_gen.Reduced in
+        [
+          (name, Dmp_core.Select.run linked profile);
+          (name, Dmp_core.Select.run ~config:Dmp_core.Select.all_cost linked
+                   profile);
+        ])
+      (Runner.names r)
+  in
+  let seq = List.map (fun (n, a) -> Runner.dmp r1 n a) (tasks r1) in
+  let batch1 = Runner.dmp_batch r1 (tasks r1) in
+  let batch4 = Runner.dmp_batch r4 (tasks r4) in
+  check Alcotest.int "batch covers every task" (List.length seq)
+    (List.length batch4);
+  List.iteri
+    (fun i s ->
+      check Alcotest.bool
+        (Printf.sprintf "task %d: -j 1 batch = sequential" i)
+        true
+        (stats_bytes s = stats_bytes (List.nth batch1 i));
+      check Alcotest.bool
+        (Printf.sprintf "task %d: -j 4 batch = sequential" i)
+        true
+        (stats_bytes s = stats_bytes (List.nth batch4 i)))
+    seq
+
 let rec remove_tree path =
   if Sys.is_directory path then begin
     Array.iter
@@ -261,6 +298,8 @@ let () =
         [
           Alcotest.test_case "prefetch = sequential" `Slow
             test_parallel_prefetch_equivalence;
+          Alcotest.test_case "dmp_batch = sequential" `Slow
+            test_parallel_dmp_batch_equivalence;
         ] );
       ( "disk cache",
         [

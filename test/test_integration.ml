@@ -94,7 +94,8 @@ let test_profile_input_set_robustness () =
 let test_replay_equals_live_across_suite () =
   (* Every real benchmark: profiling and both simulator configurations
      must be bit-identical whether the correct path comes from a live
-     emulator or a replayed packed trace. *)
+     emulator, a replayed packed trace, or a pre-decoded image of that
+     trace. *)
   let pbytes p = Marshal.to_string (Dmp_profile.Profile.to_raw p) [] in
   let sbytes (s : Stats.t) = Marshal.to_string s [] in
   List.iter
@@ -103,25 +104,40 @@ let test_replay_equals_live_across_suite () =
       let linked = Spec.linked spec in
       let input = spec.Spec.input Input_gen.Reduced in
       let tr = Dmp_exec.Trace.capture ~max_insts:cap linked ~input in
+      let img = Dmp_exec.Image.of_trace tr in
       let profile =
         Dmp_profile.Profile.collect ~max_insts:cap linked ~input
       in
       check Alcotest.bool (name ^ ": profile identical") true
         (pbytes profile
         = pbytes (Dmp_profile.Profile.collect_trace ~max_insts:cap linked tr));
+      let base_live =
+        sbytes (Sim.run ~config:Config.baseline ~max_insts:cap linked ~input)
+      in
       check Alcotest.bool (name ^ ": baseline identical") true
-        (sbytes
-           (Sim.run ~config:Config.baseline ~max_insts:cap linked ~input)
+        (base_live
         = sbytes
             (Sim.run_replay ~config:Config.baseline ~max_insts:cap linked tr));
+      check Alcotest.bool (name ^ ": baseline image identical") true
+        (base_live
+        = sbytes
+            (Sim.run_image ~config:Config.baseline ~max_insts:cap linked img));
       let ann = Select.run linked profile in
+      let dmp_live =
+        sbytes
+          (Sim.run ~config:Config.dmp ~annotation:ann ~max_insts:cap linked
+             ~input)
+      in
       check Alcotest.bool (name ^ ": dmp identical") true
-        (sbytes
-           (Sim.run ~config:Config.dmp ~annotation:ann ~max_insts:cap linked
-              ~input)
+        (dmp_live
         = sbytes
             (Sim.run_replay ~config:Config.dmp ~annotation:ann ~max_insts:cap
-               linked tr)))
+               linked tr));
+      check Alcotest.bool (name ^ ": dmp image identical") true
+        (dmp_live
+        = sbytes
+            (Sim.run_image ~config:Config.dmp ~annotation:ann ~max_insts:cap
+               linked img)))
     Registry.all
 
 let test_selection_deterministic () =

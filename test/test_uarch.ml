@@ -233,6 +233,54 @@ let qcheck_replay_equals_live =
       in
       base_ok && dmp_ok)
 
+let qcheck_image_equals_replay =
+  QCheck.Test.make
+    ~name:"pre-decoded image reproduces trace replay bit-for-bit" ~count:25
+    QCheck.(int_range 2 16)
+    (fun n ->
+      let st = Random.State.make [| n; 137 |] in
+      let program = Helpers.random_program st ~nblocks:n in
+      let linked = Linked.link program in
+      let input = Helpers.uniform_input 64 in
+      let tr = Dmp_exec.Trace.capture linked ~input in
+      let img = Dmp_exec.Image.of_trace tr in
+      let bytes (s : Stats.t) = Marshal.to_string s [] in
+      (* Vary the config so the equivalence also covers narrow fetch,
+         small ROBs and permissive confidence thresholds. *)
+      let config =
+        match n mod 3 with
+        | 0 -> Config.dmp
+        | 1 -> { Config.dmp with Config.conf_threshold = 8 }
+        | _ -> { Config.dmp with Config.fetch_width = 4; rob_size = 128 }
+      in
+      let profile = Dmp_profile.Profile.collect linked ~input in
+      let ann = Dmp_core.Select.run linked profile in
+      let base_ok =
+        bytes (Sim.run_replay ~config:Config.baseline linked tr)
+        = bytes (Sim.run_image ~config:Config.baseline linked img)
+      in
+      let dmp_ok =
+        bytes (Sim.run_replay ~config ~annotation:ann linked tr)
+        = bytes (Sim.run_image ~config ~annotation:ann linked img)
+      in
+      base_ok && dmp_ok)
+
+let test_image_foreign_program_rejected () =
+  (* An image decoded from one program must not drive a simulation of a
+     smaller one: create_image validates the address range up front. *)
+  let big = Linked.link (Helpers.freq_hammock_program ~iters:10 ()) in
+  let small_f = B.func "main" in
+  B.halt small_f;
+  let small =
+    Linked.link (Program.of_funcs_exn ~main:"main" [ B.finish small_f ])
+  in
+  let tr = Dmp_exec.Trace.capture big ~input:(Helpers.uniform_input 50) in
+  let img = Dmp_exec.Image.of_trace tr in
+  Alcotest.check_raises "foreign image rejected"
+    (Invalid_argument
+       "Sim.create_image: image addresses exceed the linked program")
+    (fun () -> ignore (Sim.run_image small img))
+
 let qcheck_dmp_never_wildly_slower =
   QCheck.Test.make ~name:"DMP within 40% of baseline on random programs"
     ~count:20
@@ -285,6 +333,9 @@ let () =
         [
           QCheck_alcotest.to_alcotest qcheck_sim_terminates_and_counts;
           QCheck_alcotest.to_alcotest qcheck_replay_equals_live;
+          QCheck_alcotest.to_alcotest qcheck_image_equals_replay;
+          Alcotest.test_case "foreign image rejected" `Quick
+            test_image_foreign_program_rejected;
           QCheck_alcotest.to_alcotest qcheck_dmp_never_wildly_slower;
         ] );
     ]
