@@ -16,6 +16,8 @@
      --max-insts N        cap trace capture, profiling and simulation
                           at N instructions (quick smoke runs; also
                           fingerprints the _cache/ directory)
+     --benchmarks A,B,…   restrict the suite to the named benchmarks
+                          (smoke runs of a target on one workload)
      --timings            print a per-stage wall-clock summary to stderr
      --timings-json FILE  write the per-stage timings to FILE as JSON
      --no-cache           do not read or write the persistent _cache/ *)
@@ -40,6 +42,14 @@ let micro () =
   let image = Dmp_exec.Image.of_trace trace in
   let annotation = Dmp_core.Select.run linked profile in
   let ctx = Dmp_core.Context.create linked profile in
+  let sampling =
+    { Dmp_sampling.Sampler.mode = Dmp_sampling.Sampler.Lbr 16;
+      period = 1000; seed = 42 }
+  in
+  let sampler =
+    Dmp_sampling.Sampler.collect_trace ~max_insts:100_000 ~config:sampling
+      linked trace
+  in
   let tests =
     [
       Test.make ~name:"context-build"
@@ -59,6 +69,17 @@ let micro () =
              ignore
                (Dmp_profile.Profile.collect ~max_insts:100_000 linked
                   ~input)));
+      (* Sampled-profile pipeline, split into its two stages: walking
+         the trace with the LBR sampler, and reconstructing a dense
+         profile from the sparse samples by flow conservation. *)
+      Test.make ~name:"sample-100k"
+        (Staged.stage (fun () ->
+             ignore
+               (Dmp_sampling.Sampler.collect_trace ~max_insts:100_000
+                  ~config:sampling linked trace)));
+      Test.make ~name:"reconstruct-100k"
+        (Staged.stage (fun () ->
+             ignore (Dmp_sampling.Reconstruct.profile linked sampler)));
       Test.make ~name:"trace-capture-100k"
         (Staged.stage (fun () ->
              ignore
@@ -124,12 +145,13 @@ type opts = {
   mutable jobs : int option;
   mutable max_insts : int option;
   mutable cache : bool;
+  mutable benchmarks : string list option;
 }
 
 let parse_args args =
   let o =
     { targets = []; timings = false; timings_json = None; jobs = None;
-      max_insts = None; cache = true }
+      max_insts = None; cache = true; benchmarks = None }
   in
   let rec go = function
     | [] -> ()
@@ -145,6 +167,19 @@ let parse_args args =
     | "--no-cache" :: rest ->
         o.cache <- false;
         go rest
+    | "--benchmarks" :: rest -> (
+        match rest with
+        | names :: rest' ->
+            let names = String.split_on_char ',' names in
+            List.iter
+              (fun n ->
+                if Dmp_workload.Registry.find_opt n = None then
+                  usage_error (Printf.sprintf "unknown benchmark %S" n))
+              names;
+            if names = [] then usage_error "--benchmarks needs at least one";
+            o.benchmarks <- Some names;
+            go rest'
+        | [] -> usage_error "--benchmarks needs a comma-separated list")
     | "--max-insts" :: rest -> (
         match rest with
         | n :: rest' -> (
@@ -189,6 +224,10 @@ let () =
       if known = [] then exit 2;
       let runner =
         Runner.create
+          ?benchmarks:
+            (Option.map
+               (List.map Dmp_workload.Registry.find)
+               o.benchmarks)
           ?cache_dir:(if o.cache then Some "_cache" else None)
           ?max_insts:o.max_insts ?jobs:o.jobs ()
       in

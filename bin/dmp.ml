@@ -59,14 +59,52 @@ let pipeline bench set =
 (* ---- list ---- *)
 
 let list_cmd =
-  let run () =
-    List.iter
-      (fun spec ->
-        Printf.printf "%-10s %s\n" spec.Spec.name spec.Spec.description)
-      Registry.all
+  let flag names doc = Arg.(value & flag & info names ~doc) in
+  let benchmarks_arg = flag [ "benchmarks" ] "List only the benchmarks." in
+  let targets_arg = flag [ "targets" ] "List only the experiment targets." in
+  let sets_arg = flag [ "input-sets" ] "List only the input sets." in
+  let algos_arg =
+    flag [ "algorithms" ] "List only the selection algorithms."
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the available benchmarks")
-    Term.(const run $ const ())
+  let run benchmarks targets sets algos =
+    let all = not (benchmarks || targets || sets || algos) in
+    let wanted =
+      [ all || benchmarks; all || targets; all || sets; all || algos ]
+    in
+    (* Headers only when more than one section prints, so a single
+       --targets / --algorithms listing stays script-friendly. *)
+    let headers =
+      List.length (List.filter Fun.id wanted) > 1
+    in
+    let printed = ref 0 in
+    let section want title body =
+      if want then begin
+        if headers then begin
+          if !printed > 0 then print_newline ();
+          Printf.printf "== %s ==\n" title
+        end;
+        incr printed;
+        body ()
+      end
+    in
+    section (all || benchmarks) "benchmarks (-b NAME)" (fun () ->
+        List.iter
+          (fun spec ->
+            Printf.printf "%-10s %s\n" spec.Spec.name spec.Spec.description)
+          Registry.all);
+    section (all || targets) "experiment targets (dmp experiment TARGET)"
+      (fun () -> List.iter print_endline Targets.all);
+    section (all || sets) "input sets (-s SET)" (fun () ->
+        List.iter print_endline [ "reduced"; "train"; "ref" ]);
+    section (all || algos) "selection algorithms (-a ALGO)" (fun () ->
+        List.iter print_endline Variants.names)
+  in
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:
+         "List the valid benchmarks, experiment targets, input sets and \
+          selection algorithms")
+    Term.(const run $ benchmarks_arg $ targets_arg $ sets_arg $ algos_arg)
 
 (* ---- run ---- *)
 
@@ -145,8 +183,54 @@ let annotate_cmd =
 (* ---- profile ---- *)
 
 let profile_cmd =
-  let run bench set =
-    let _, linked, _, profile = pipeline bench set in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sampling-mode" ]
+          ~doc:
+            "Collect by hardware-style sampling instead of exact \
+             instrumentation: periodic, lbr, lbr<K> or mispredict. The \
+             sparse samples are reconstructed to a dense profile before \
+             printing.")
+  in
+  let period_arg =
+    Arg.(value & opt int 1000
+           & info [ "sampling-period" ] ~doc:"Sampling period (triggers).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+           & info [ "sampling-seed" ] ~doc:"Sampling jitter seed.")
+  in
+  let run bench set mode period seed =
+    let spec = lookup_bench bench in
+    let linked = Spec.linked spec in
+    let input = spec.Spec.input (lookup_set set) in
+    let profile =
+      match mode with
+      | None -> Dmp_profile.Profile.collect linked ~input
+      | Some m ->
+          let mode =
+            match Dmp_sampling.Sampler.mode_of_string m with
+            | Some mode -> mode
+            | None ->
+                Printf.eprintf
+                  "unknown sampling mode %s; known: periodic, lbr, lbr<K>, \
+                   mispredict\n"
+                  m;
+                exit 2
+          in
+          let config = { Dmp_sampling.Sampler.mode; period; seed } in
+          let s =
+            Dmp_sampling.Sampler.collect_source ~config linked
+              (Dmp_exec.Source.live (Dmp_exec.Emulator.create linked ~input))
+          in
+          Printf.printf "sampled %s: samples=%d lbr-records=%d\n"
+            (Dmp_sampling.Sampler.config_to_string config)
+            (Dmp_sampling.Sampler.samples s)
+            (Dmp_sampling.Sampler.lbr_captured s);
+          Dmp_sampling.Reconstruct.profile linked s
+    in
     Printf.printf "retired=%d branch-execs=%d mispredictions=%d mpki=%.2f\n"
       (Dmp_profile.Profile.retired profile)
       (Dmp_profile.Profile.total_branch_executions profile)
@@ -171,8 +255,10 @@ let profile_cmd =
       (Dmp_profile.Profile.branch_addrs profile)
   in
   Cmd.v
-    (Cmd.info "profile" ~doc:"Show the per-branch edge/misprediction profile")
-    Term.(const run $ bench_arg $ set_arg)
+    (Cmd.info "profile"
+       ~doc:
+         "Show the per-branch edge/misprediction profile (exact or sampled)")
+    Term.(const run $ bench_arg $ set_arg $ mode_arg $ period_arg $ seed_arg)
 
 (* ---- cfg ---- *)
 

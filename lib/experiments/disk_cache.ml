@@ -104,6 +104,21 @@ let load_profile t linked ~bench ~set =
 let store_profile t ~bench ~set profile =
   store t ~bench ~set ~kind:"profile" (Profile.to_raw profile)
 
+(* Sampled/reconstructed profiles: mode, period, seed and the sampler
+   format version are folded into the entry kind (and so the filename),
+   so entries for different sampling parameters can never shadow each
+   other or the exact profile. *)
+let sampled_kind sampling =
+  Printf.sprintf "sprofile%d-%s" Dmp_sampling.Sampler.format_version
+    (Dmp_sampling.Sampler.config_to_string sampling)
+
+let load_sampled_profile t linked ~bench ~set ~sampling =
+  Option.map (Profile.of_raw linked)
+    (load t ~bench ~set ~kind:(sampled_kind sampling))
+
+let store_sampled_profile t ~bench ~set ~sampling profile =
+  store t ~bench ~set ~kind:(sampled_kind sampling) (Profile.to_raw profile)
+
 let load_baseline t ~bench ~set : Stats.t option =
   load t ~bench ~set ~kind:"baseline"
 

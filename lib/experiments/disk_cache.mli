@@ -36,6 +36,26 @@ val load_profile :
 val store_profile :
   t -> bench:string -> set:Input_gen.set -> Profile.t -> unit
 
+val load_sampled_profile :
+  t ->
+  Linked.t ->
+  bench:string ->
+  set:Input_gen.set ->
+  sampling:Dmp_sampling.Sampler.config ->
+  Profile.t option
+(** Profiles reconstructed from sparse hardware samples. The sampling
+    mode, period, seed and the sampler format version are part of the
+    entry kind, so every distinct sampling configuration gets its own
+    entry and can never serve a stale value for another. *)
+
+val store_sampled_profile :
+  t ->
+  bench:string ->
+  set:Input_gen.set ->
+  sampling:Dmp_sampling.Sampler.config ->
+  Profile.t ->
+  unit
+
 val load_baseline :
   t -> bench:string -> set:Input_gen.set -> Stats.t option
 

@@ -1,0 +1,183 @@
+(* Profile-fidelity sweep: how much annotation quality and DMP
+   performance survive when the selection pipeline runs on profiles
+   reconstructed from sparse hardware samples instead of the exact
+   instrumentation profile.
+
+   For every (sampling mode, period) combination the sweep collects a
+   sampled profile per benchmark (Sampler over the shared packed trace,
+   Reconstruct back to a dense profile), runs the reference selector
+   (all-best-heur) on it, and compares against the exact-profile
+   annotation by
+
+   - Jaccard similarity of the diverge-branch address sets,
+   - Jaccard similarity of the (diverge branch, CFM address) pair sets,
+   - mean DMP IPC delta (sampled annotation vs exact annotation, both
+     simulated), and
+   - whether the rendered annotations are byte-for-byte identical
+     across the whole suite — which period-1 periodic sampling must
+     achieve by construction.
+
+   All simulations (exact and every combination) go through one
+   Runner.dmp_batch, so the domain pool sees every independent task at
+   once and the output stays byte-identical for any -j value. *)
+
+open Dmp_core
+open Dmp_workload
+module Sampler = Dmp_sampling.Sampler
+
+type row = {
+  mode : Sampler.mode;
+  period : int;
+  jaccard_diverge : float;
+  jaccard_cfm : float;
+  ipc_delta_pct : float;
+  exact_bytes : bool;
+}
+
+let seed = 42
+let default_periods = [ 1; 100; 1_000; 10_000; 100_000 ]
+let default_modes = [ Sampler.Periodic; Sampler.Lbr 16; Sampler.Mispredict ]
+
+(* DMP_FIDELITY_PERIODS="1,1000" overrides the period axis — CI uses it
+   to keep the smoke run to two points. Malformed values fail loudly
+   rather than silently sweeping the wrong grid. *)
+let periods_from_env () =
+  match Sys.getenv_opt "DMP_FIDELITY_PERIODS" with
+  | None | Some "" -> None
+  | Some s ->
+      let parse p =
+        match int_of_string_opt (String.trim p) with
+        | Some v when v >= 1 -> v
+        | Some _ | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "DMP_FIDELITY_PERIODS: %S is not a period >= 1 (in %S)" p s)
+      in
+      Some (List.map parse (String.split_on_char ',' s))
+
+let jaccard compare a b =
+  let a = List.sort_uniq compare a and b = List.sort_uniq compare b in
+  match (a, b) with
+  | [], [] -> 1.
+  | _ ->
+      let rec go i u a b =
+        match (a, b) with
+        | [], rest | rest, [] -> (i, u + List.length rest)
+        | x :: xs, y :: ys ->
+            let c = compare x y in
+            if c = 0 then go (i + 1) (u + 1) xs ys
+            else if c < 0 then go i (u + 1) xs (y :: ys)
+            else go i (u + 1) (x :: xs) ys
+      in
+      let i, u = go 0 0 a b in
+      float_of_int i /. float_of_int u
+
+let cfm_pairs ann =
+  Annotation.fold
+    (fun d acc ->
+      List.fold_left
+        (fun acc c -> (d.Annotation.branch_addr, c.Annotation.cfm_addr) :: acc)
+        acc d.Annotation.cfms)
+    ann []
+
+let rec split_at n xs =
+  if n = 0 then ([], xs)
+  else
+    match xs with
+    | [] -> ([], [])
+    | x :: tl ->
+        let a, b = split_at (n - 1) tl in
+        (x :: a, b)
+
+let run ?periods ?modes runner =
+  let periods =
+    match periods with
+    | Some ps -> ps
+    | None -> (
+        match periods_from_env () with
+        | Some ps -> ps
+        | None -> default_periods)
+  in
+  let modes = Option.value ~default:default_modes modes in
+  let names = Runner.names runner in
+  let set = Input_gen.Reduced in
+  let annotate linked profile =
+    Variants.annotate Variants.all_best_heur linked profile
+  in
+  let exact =
+    List.map
+      (fun name ->
+        let linked = Runner.linked runner name in
+        (name, annotate linked (Runner.profile runner name set)))
+      names
+  in
+  let combos =
+    List.concat_map
+      (fun mode -> List.map (fun period -> (mode, period)) periods)
+      modes
+  in
+  let combo_anns =
+    List.map
+      (fun (mode, period) ->
+        let sampling = { Sampler.mode; period; seed } in
+        List.map
+          (fun name ->
+            let linked = Runner.linked runner name in
+            ( name,
+              annotate linked (Runner.sampled_profile runner name set sampling)
+            ))
+          names)
+      combos
+  in
+  let all_stats = Runner.dmp_batch runner (exact @ List.concat combo_anns) in
+  let nb = List.length names in
+  let exact_stats, rest = split_at nb all_stats in
+  let _, rows =
+    List.fold_left2
+      (fun (rest, rows) (mode, period) anns ->
+        let stats, rest = split_at nb rest in
+        let per_bench f = Runner.amean (List.map2 f exact anns) in
+        let jaccard_diverge =
+          per_bench (fun (_, e) (_, s) ->
+              jaccard Int.compare
+                (Annotation.diverge_addrs e)
+                (Annotation.diverge_addrs s))
+        in
+        let jaccard_cfm =
+          per_bench (fun (_, e) (_, s) ->
+              jaccard compare (cfm_pairs e) (cfm_pairs s))
+        in
+        let ipc_delta_pct =
+          Runner.amean
+            (List.map2
+               (fun base s -> Runner.speedup_pct ~base s)
+               exact_stats stats)
+        in
+        let exact_bytes =
+          List.for_all2
+            (fun (_, e) (_, s) ->
+              String.equal (Annotation.to_string e) (Annotation.to_string s))
+            exact anns
+        in
+        ( rest,
+          { mode; period; jaccard_diverge; jaccard_cfm; ipc_delta_pct;
+            exact_bytes }
+          :: rows ))
+      (rest, []) combos combo_anns
+  in
+  List.rev rows
+
+let render rows =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "== Profile fidelity: sampled vs exact profiles (all-best-heur) ==\n";
+  add "%-10s %8s %8s %8s %8s  %s\n" "mode" "period" "jac-div" "jac-cfm"
+    "dIPC%" "ann=exact";
+  List.iter
+    (fun r ->
+      add "%-10s %8d %8.3f %8.3f %8.2f  %s\n"
+        (Sampler.mode_to_string r.mode)
+        r.period r.jaccard_diverge r.jaccard_cfm r.ipc_delta_pct
+        (if r.exact_bytes then "yes" else "no"))
+    rows;
+  Buffer.contents buf

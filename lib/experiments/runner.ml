@@ -25,6 +25,7 @@ type entry = {
   traces : (Input_gen.set, Trace.t) Hashtbl.t;
   images : (Input_gen.set, Image.t) Hashtbl.t;
   profiles : (Input_gen.set, Profile.t) Hashtbl.t;
+  sampled : (Input_gen.set * Dmp_sampling.Sampler.config, Profile.t) Hashtbl.t;
   baselines : (Input_gen.set, Stats.t) Hashtbl.t;
 }
 
@@ -52,6 +53,7 @@ let create ?(benchmarks = Registry.all) ?max_insts ?cache_dir ?jobs () =
           traces = Hashtbl.create 4;
           images = Hashtbl.create 4;
           profiles = Hashtbl.create 4;
+          sampled = Hashtbl.create 4;
           baselines = Hashtbl.create 4;
         })
     benchmarks;
@@ -195,6 +197,49 @@ let profile t name set =
                 p
           in
           Hashtbl.replace e.profiles set p;
+          p)
+
+(* Sampled profiles walk the same packed trace as the exact profiler,
+   then reconstruct; the collect+reconstruct pair is memoized (and
+   disk-cached) per (input set, sampling config), so sweeping many
+   configurations reuses one trace per pair. *)
+let sampled_profile t name set sampling =
+  let e = entry t name in
+  with_lock e (fun () ->
+      let key = (set, sampling) in
+      match Hashtbl.find_opt e.sampled key with
+      | Some p -> p
+      | None ->
+          let linked = linked_locked t e in
+          let cached =
+            match t.cache with
+            | None -> None
+            | Some c ->
+                timed t "sprofile (disk cache)" (fun () ->
+                    Disk_cache.load_sampled_profile c linked ~bench:name ~set
+                      ~sampling)
+          in
+          let p =
+            match cached with
+            | Some p -> p
+            | None ->
+                let tr = trace_locked t e set in
+                let p =
+                  timed t "sprofile (collect)" (fun () ->
+                      let s =
+                        Dmp_sampling.Sampler.collect_trace
+                          ?max_insts:t.max_insts ~config:sampling linked tr
+                      in
+                      Dmp_sampling.Reconstruct.profile linked s)
+                in
+                Option.iter
+                  (fun c ->
+                    Disk_cache.store_sampled_profile c ~bench:name ~set
+                      ~sampling p)
+                  t.cache;
+                p
+          in
+          Hashtbl.replace e.sampled key p;
           p)
 
 let baseline ?(set = Input_gen.Reduced) t name =

@@ -53,6 +53,16 @@ val image : t -> string -> Input_gen.set -> Image.t
 val profile : t -> string -> Input_gen.set -> Profile.t
 (** Cached per (benchmark, input set). *)
 
+val sampled_profile :
+  t -> string -> Input_gen.set -> Dmp_sampling.Sampler.config -> Profile.t
+(** A profile collected by sparse hardware-style sampling
+    ({!Dmp_sampling.Sampler}) over the benchmark's packed trace and
+    reconstructed to a dense profile ({!Dmp_sampling.Reconstruct}).
+    Cached in-memory per (benchmark, input set, sampling config) and,
+    when the runner has a disk cache, persisted with the sampling
+    parameters folded into the entry kind. Stage labels:
+    ["sprofile (collect)"] / ["sprofile (disk cache)"]. *)
+
 val baseline : ?set:Input_gen.set -> t -> string -> Stats.t
 (** Cached per (benchmark, input set). *)
 
@@ -90,6 +100,7 @@ val amean : float list -> float
     Every stage records its wall-clock time under a stage label:
     ["link"], ["trace (capture)"] / ["trace (disk cache)"],
     ["profile (collect)"] / ["profile (disk cache)"],
+    ["sprofile (collect)"] / ["sprofile (disk cache)"],
     ["baseline (simulate)"] / ["baseline (disk cache)"] and
     ["dmp (simulate)"]. A warm persistent cache is visible as the
     capture/collect/simulate rows dropping to zero calls. *)

@@ -2,7 +2,7 @@ open Dmp_workload
 
 let all =
   [ "table1"; "table2"; "fig5l"; "fig5r"; "fig6"; "fig7"; "fig8"; "fig9";
-    "fig10"; "ablations" ]
+    "fig10"; "ablations"; "profile-fidelity" ]
 
 let is_valid t = List.mem t all
 
@@ -17,6 +17,8 @@ let render runner = function
   | "fig9" -> Ok (Report.render (Fig9.run runner))
   | "fig10" -> Ok (Fig10.render (Fig10.run runner))
   | "ablations" -> Ok (Ablations.render (Ablations.run runner))
+  | "profile-fidelity" ->
+      Ok (Profile_fidelity.render (Profile_fidelity.run runner))
   | t ->
       Error
         (Printf.sprintf "unknown target %s; valid targets: %s" t

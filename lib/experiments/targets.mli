@@ -3,7 +3,8 @@
     the valid target names. *)
 
 val all : string list
-(** In presentation order: tables first, then figures, then ablations. *)
+(** In presentation order: tables first, then figures, then the
+    ablations and the sampled-profile fidelity sweep. *)
 
 val is_valid : string -> bool
 

@@ -141,6 +141,20 @@ let to_raw t =
     raw_retired = t.retired;
   }
 
+let make_raw ~branches ~block_counts ~retired =
+  {
+    raw_branches =
+      List.map
+        (fun (addr, s) ->
+          ( addr,
+            { executed = s.executed; taken = s.taken;
+              mispredicted = s.mispredicted } ))
+        branches
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+    raw_block_counts = Array.map Array.copy block_counts;
+    raw_retired = retired;
+  }
+
 let of_raw linked raw =
   let branch_stats = Hashtbl.create 256 in
   List.iter

@@ -65,3 +65,15 @@ type raw
 
 val to_raw : t -> raw
 val of_raw : Linked.t -> raw -> t
+
+val make_raw :
+  branches:(int * branch) list -> block_counts:int array array ->
+  retired:int -> raw
+(** Build a raw image from explicit counters — the construction path
+    for profiles that were not collected from an event stream (e.g.
+    reconstructed from sparse hardware samples by
+    [Dmp_sampling.Reconstruct]). Branches are copied and sorted by
+    address; [block_counts] must be shaped like the linked program the
+    raw will be materialised against ([of_raw] does not check). A raw
+    built from the counters of an existing profile serialises
+    byte-identically to that profile's {!to_raw}. *)

@@ -1,0 +1,436 @@
+(* Full-profile reconstruction from sparse samples.
+
+   Stage 1 scales the sampled counters by measured sampling rates
+   (exact free-running totals / observed sample counts). Stage 2 infers
+   the blocks no sample hit by flow conservation over each function's
+   CFG: degree-1 propagation, then a short Gauss-Seidel pass filling
+   the rest from probability-weighted inflow. Stage 3 converts block
+   counts to integer per-edge counts and repairs them so every
+   constrained block satisfies inflow = outflow exactly: processing
+   blocks in index order, a surplus is pushed along a BFS path of out-
+   edges to the nearest unconstrained block (entry or exit) and a
+   deficit is fed along a BFS path of in-edges from one; a push changes
+   the in- and out-flow of every intermediate block equally, so fixing
+   one block never unbalances another and a single pass suffices.
+   Branch counters are finally re-derived from the conserved edges so
+   edge probabilities and block counts agree.
+
+   Everything here is deterministic: tables are walked through sorted
+   accessors, BFS visits successors in CFG order, and rounding is plain
+   Float.round — the same sampler always reconstructs byte-identical
+   counters. *)
+
+open Dmp_ir
+open Dmp_profile
+module Cfg = Dmp_cfg.Cfg
+
+let round_nonneg x = if x <= 0. then 0 else int_of_float (Float.round x)
+
+(* ---- complete coverage: period-1 periodic sampling saw every event,
+   the sampled counters ARE the exact profile ---- *)
+
+let exact_profile linked s =
+  let program = linked.Linked.program in
+  let nf = Program.num_funcs program in
+  let block_counts =
+    Array.init nf (fun fi ->
+        Array.make (Func.num_blocks (Program.func program fi)) 0)
+  in
+  List.iter
+    (fun (addr, hits) ->
+      let fi, bi = Linked.block_of_addr linked addr in
+      block_counts.(fi).(bi) <- block_counts.(fi).(bi) + hits)
+    (Sampler.block_hits s);
+  (* The exact profiler pre-counts the program entry block before the
+     first event; samples only see block entries crossed by a
+     retirement. *)
+  let mf, mb = Linked.block_of_addr linked (Linked.entry_addr linked) in
+  block_counts.(mf).(mb) <- block_counts.(mf).(mb) + 1;
+  let branches =
+    List.map
+      (fun addr ->
+        let c = Option.get (Sampler.ip_branch s ~addr) in
+        ( addr,
+          { Profile.executed = c.Sampler.s_executed;
+            taken = c.Sampler.s_taken;
+            mispredicted = c.Sampler.s_mispredicted } ))
+      (Sampler.ip_branch_addrs s)
+  in
+  Profile.of_raw linked
+    (Profile.make_raw ~branches ~block_counts ~retired:(Sampler.retired s))
+
+(* ---- stage 1: scaled per-branch estimates, (executed, taken,
+   mispredicted) floats keyed by branch address ---- *)
+
+let lbr_scale s =
+  if Sampler.lbr_captured s = 0 then 0.
+  else
+    float_of_int (Sampler.total_branches s)
+    /. float_of_int (Sampler.lbr_captured s)
+
+let branch_estimates s =
+  let tbl = Hashtbl.create 128 in
+  let fl = float_of_int in
+  (match (Sampler.config s).Sampler.mode with
+  | Sampler.Periodic ->
+      (* An IP sample represents [retired / samples] instructions. *)
+      let scale =
+        if Sampler.samples s = 0 then 0.
+        else fl (Sampler.retired s) /. fl (Sampler.samples s)
+      in
+      List.iter
+        (fun addr ->
+          let c = Option.get (Sampler.ip_branch s ~addr) in
+          Hashtbl.replace tbl addr
+            ( fl c.Sampler.s_executed *. scale,
+              fl c.Sampler.s_taken *. scale,
+              fl c.Sampler.s_mispredicted *. scale ))
+        (Sampler.ip_branch_addrs s)
+  | Sampler.Lbr _ ->
+      (* An LBR record represents [total branches / records captured]
+         branch retirements. *)
+      let scale = lbr_scale s in
+      List.iter
+        (fun addr ->
+          let c = Option.get (Sampler.lbr_branch s ~addr) in
+          Hashtbl.replace tbl addr
+            ( fl c.Sampler.s_executed *. scale,
+              fl c.Sampler.s_taken *. scale,
+              fl c.Sampler.s_mispredicted *. scale ))
+        (Sampler.lbr_branch_addrs s)
+  | Sampler.Mispredict ->
+      (* Execution/direction counts from the LBR windows around the
+         sampled mispredictions; misprediction counts from the trigger
+         events themselves (each represents [total mispredictions /
+         samples] — the windows oversample mispredicting
+         neighbourhoods, the triggers do not). *)
+      let bscale = lbr_scale s in
+      List.iter
+        (fun addr ->
+          let c = Option.get (Sampler.lbr_branch s ~addr) in
+          Hashtbl.replace tbl addr
+            ( fl c.Sampler.s_executed *. bscale,
+              fl c.Sampler.s_taken *. bscale,
+              0. ))
+        (Sampler.lbr_branch_addrs s);
+      let mscale =
+        if Sampler.samples s = 0 then 0.
+        else fl (Sampler.total_mispredicted s) /. fl (Sampler.samples s)
+      in
+      List.iter
+        (fun addr ->
+          let c = Option.get (Sampler.ip_branch s ~addr) in
+          let m = fl c.Sampler.s_executed *. mscale in
+          match Hashtbl.find_opt tbl addr with
+          | Some (e, t, _) -> Hashtbl.replace tbl addr (Float.max e m, t, m)
+          | None ->
+              let tk =
+                fl c.Sampler.s_taken /. fl (max 1 c.Sampler.s_executed)
+              in
+              Hashtbl.replace tbl addr (m, m *. tk, m))
+        (Sampler.ip_branch_addrs s));
+  tbl
+
+(* ---- stages 2+3: per-function flow solve ---- *)
+
+type fsolve = {
+  g : Cfg.t;
+  edges : int array array;  (** parallel to [Cfg.successors] *)
+  counts : int array;
+  branches : (int * Profile.branch) list;  (** keyed by branch address *)
+}
+
+let gauss_seidel_passes = 10
+
+let solve linked s ests ~main_func ~main_entry fi =
+  let f = Program.func linked.Linked.program fi in
+  let g = Cfg.of_func f in
+  let n = Cfg.num_nodes g in
+  let mode = (Sampler.config s).Sampler.mode in
+  let block_scale =
+    if Sampler.samples s = 0 then 0.
+    else
+      float_of_int (Sampler.retired s) /. float_of_int (Sampler.samples s)
+  in
+  let branch_addr b =
+    Linked.block_addr linked ~func:fi ~block:b
+    + Array.length (Cfg.block g b).Block.body
+  in
+  let est b =
+    match (Cfg.block g b).Block.term with
+    | Term.Branch _ -> Hashtbl.find_opt ests (branch_addr b)
+    | Term.Jump _ | Term.Ret | Term.Halt -> None
+  in
+  let taken_prob b =
+    match est b with Some (e, t, _) when e > 0. -> t /. e | _ -> 0.5
+  in
+  let c = Array.make n 0. and known = Array.make n false in
+  (* Direct estimates. IP block hits are retired-instruction-triggered
+     in Periodic/Lbr mode; Mispredict-mode triggers are biased towards
+     mispredicting regions, so there only branch-record evidence is
+     trusted. *)
+  if mode <> Sampler.Mispredict then
+    for b = 0 to n - 1 do
+      let hits =
+        Sampler.block_hit s ~addr:(Linked.block_addr linked ~func:fi ~block:b)
+      in
+      if hits > 0 then begin
+        c.(b) <- float_of_int hits *. block_scale;
+        known.(b) <- true
+      end
+    done;
+  if mode <> Sampler.Periodic then begin
+    let inflow_est = Array.make n 0. in
+    for p = 0 to n - 1 do
+      match (est p, Cfg.branch_successors g p) with
+      | Some (e, tk, _), Some (t, fall) when e > 0. ->
+          c.(p) <- Float.max c.(p) e;
+          known.(p) <- true;
+          inflow_est.(t) <- inflow_est.(t) +. tk;
+          inflow_est.(fall) <- inflow_est.(fall) +. (e -. tk)
+      | _ -> ()
+    done;
+    for b = 0 to n - 1 do
+      if inflow_est.(b) > 0. then begin
+        c.(b) <- Float.max c.(b) inflow_est.(b);
+        known.(b) <- true
+      end
+    done
+  end;
+  if fi = main_func then begin
+    (* The exact profiler pre-counts the program entry once. *)
+    c.(main_entry) <- c.(main_entry) +. 1.;
+    known.(main_entry) <- true
+  end;
+  (* Degree-1 propagation: an unknown block pinched between known flow
+     on a single-successor/single-predecessor edge carries it exactly. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to n - 1 do
+      if not known.(b) then begin
+        (match Cfg.predecessors g b with
+        | [ p ] when known.(p) && List.length (Cfg.successors g p) = 1 ->
+            c.(b) <- c.(p);
+            known.(b) <- true;
+            changed := true
+        | _ -> ());
+        if not known.(b) then
+          match Cfg.successors g b with
+          | [ (sb, _) ] when known.(sb) && Cfg.predecessors g sb = [ b ] ->
+              c.(b) <- c.(sb);
+              known.(b) <- true;
+              changed := true
+          | _ -> ()
+      end
+    done
+  done;
+  (* Gauss-Seidel smoothing for the rest: probability-weighted inflow,
+     a few reverse-postorder passes so loop-carried flow converges. *)
+  let edge_prob_into p b =
+    List.fold_left
+      (fun acc (sb, dir) ->
+        if sb <> b then acc
+        else
+          acc
+          +.
+          match dir with
+          | Cfg.Always -> 1.
+          | Cfg.Taken -> taken_prob p
+          | Cfg.Fallthrough -> 1. -. taken_prob p)
+      0. (Cfg.successors g p)
+  in
+  let rpo = Cfg.reverse_postorder g in
+  for _pass = 1 to gauss_seidel_passes do
+    List.iter
+      (fun b ->
+        if not known.(b) then
+          c.(b) <-
+            List.fold_left
+              (fun acc p -> acc +. (c.(p) *. edge_prob_into p b))
+              0. (Cfg.predecessors g b))
+      rpo
+  done;
+  (* Integer edge counts: distribute each block's count over its out-
+     edges (largest share to the profiled direction), summing exactly
+     to the block count. *)
+  let cN = Array.map round_nonneg c in
+  let edges =
+    Array.init n (fun p ->
+        match (Cfg.block g p).Block.term with
+        | Term.Branch _ ->
+            let e_t =
+              min cN.(p) (round_nonneg (float_of_int cN.(p) *. taken_prob p))
+            in
+            [| e_t; cN.(p) - e_t |]
+        | Term.Jump _ -> [| cN.(p) |]
+        | Term.Ret | Term.Halt -> [||])
+  in
+  let outflow b = Array.fold_left ( + ) 0 edges.(b) in
+  let inflow b =
+    List.fold_left
+      (fun acc p ->
+        let acc = ref acc in
+        List.iteri
+          (fun j (sb, _) -> if sb = b then acc := !acc + edges.(p).(j))
+          (Cfg.successors g p);
+        !acc)
+      0 (Cfg.predecessors g b)
+  in
+  let unconstrained b = b = Cfg.entry || Cfg.successors g b = [] in
+  (* Push [delta] units from [b] along a BFS path of out-edges to the
+     nearest unconstrained block. *)
+  let push_forward b delta =
+    let link = Array.make n (-1, -1) in
+    let visited = Array.make n false in
+    visited.(b) <- true;
+    let q = Queue.create () in
+    Queue.add b q;
+    let found = ref (-1) in
+    while !found < 0 && not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iteri
+        (fun j (sb, _) ->
+          if !found < 0 && not visited.(sb) then begin
+            visited.(sb) <- true;
+            link.(sb) <- (v, j);
+            if unconstrained sb then found := sb else Queue.add sb q
+          end)
+        (Cfg.successors g v)
+    done;
+    if !found >= 0 then begin
+      let cur = ref !found in
+      while !cur <> b do
+        let parent, j = link.(!cur) in
+        edges.(parent).(j) <- edges.(parent).(j) + delta;
+        cur := parent
+      done
+    end
+  in
+  (* Feed [delta] units into [b] along a BFS path of in-edges from the
+     nearest unconstrained block (the function entry, whose external
+     call flow is unconstrained). *)
+  let push_backward b delta =
+    let link = Array.make n (-1, -1) in
+    let visited = Array.make n false in
+    visited.(b) <- true;
+    let q = Queue.create () in
+    Queue.add b q;
+    let found = ref (-1) in
+    while !found < 0 && not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun p ->
+          if !found < 0 && not visited.(p) then begin
+            visited.(p) <- true;
+            let j = ref (-1) in
+            List.iteri
+              (fun k (sb, _) -> if !j < 0 && sb = v then j := k)
+              (Cfg.successors g p);
+            link.(p) <- (v, !j);
+            if unconstrained p then found := p else Queue.add p q
+          end)
+        (Cfg.predecessors g v)
+    done;
+    if !found >= 0 then begin
+      let cur = ref !found in
+      while !cur <> b do
+        let child, j = link.(!cur) in
+        edges.(!cur).(j) <- edges.(!cur).(j) + delta;
+        cur := child
+      done
+    end
+  in
+  for b = 0 to n - 1 do
+    if not (unconstrained b) then begin
+      let inf = inflow b and out = outflow b in
+      if inf > out then push_forward b (inf - out)
+      else if out > inf then push_backward b (out - inf)
+    end
+  done;
+  let counts =
+    Array.init n (fun b ->
+        if Cfg.successors g b = [] then inflow b else outflow b)
+  in
+  (* Branch counters from the conserved edges, so Profile.edge_prob and
+     the block counts agree; unobserved branches keep the profiler's
+     cold defaults by omission. *)
+  let branches = ref [] in
+  for p = n - 1 downto 0 do
+    match (Cfg.block g p).Block.term with
+    | Term.Branch _ ->
+        let executed = edges.(p).(0) + edges.(p).(1) in
+        if executed > 0 then begin
+          let rate =
+            match est p with
+            | Some (e, _, m) when e > 0. -> Float.min 1. (m /. e)
+            | _ -> 0.
+          in
+          let misp =
+            min executed (round_nonneg (float_of_int executed *. rate))
+          in
+          branches :=
+            ( branch_addr p,
+              { Profile.executed; taken = edges.(p).(0);
+                mispredicted = misp } )
+            :: !branches
+        end
+    | Term.Jump _ | Term.Ret | Term.Halt -> ()
+  done;
+  { g; edges; counts; branches = !branches }
+
+let infer_profile linked s =
+  let ests = branch_estimates s in
+  let program = linked.Linked.program in
+  let nf = Program.num_funcs program in
+  let main_func, main_entry =
+    Linked.block_of_addr linked (Linked.entry_addr linked)
+  in
+  let branches = ref [] in
+  let block_counts =
+    Array.init nf (fun fi ->
+        let fs = solve linked s ests ~main_func ~main_entry fi in
+        branches := !branches @ fs.branches;
+        fs.counts)
+  in
+  Profile.of_raw linked
+    (Profile.make_raw ~branches:!branches ~block_counts
+       ~retired:(Sampler.retired s))
+
+let profile linked s =
+  if Sampler.complete_coverage s then exact_profile linked s
+  else infer_profile linked s
+
+let flow_violations linked s =
+  let ests = branch_estimates s in
+  let program = linked.Linked.program in
+  let nf = Program.num_funcs program in
+  let main_func, main_entry =
+    Linked.block_of_addr linked (Linked.entry_addr linked)
+  in
+  let violations = ref [] in
+  for fi = nf - 1 downto 0 do
+    let fs = solve linked s ests ~main_func ~main_entry fi in
+    let g = fs.g in
+    let inflow b =
+      List.fold_left
+        (fun acc p ->
+          let acc = ref acc in
+          List.iteri
+            (fun j (sb, _) -> if sb = b then acc := !acc + fs.edges.(p).(j))
+            (Cfg.successors g p);
+          !acc)
+        0 (Cfg.predecessors g b)
+    in
+    for b = Cfg.num_nodes g - 1 downto 0 do
+      if
+        b <> Cfg.entry
+        && Cfg.predecessors g b <> []
+        && Cfg.successors g b <> []
+      then begin
+        let inf = inflow b and out = Array.fold_left ( + ) 0 fs.edges.(b) in
+        if inf <> out then violations := (fi, b, inf, out) :: !violations
+      end
+    done
+  done;
+  !violations

@@ -1,0 +1,43 @@
+(** Full-profile reconstruction from sparse hardware samples.
+
+    Turns a {!Sampler.t} back into a dense {!Dmp_profile.Profile.t} so
+    the selection pipeline ([Alg_exact] / [Alg_freq] / [Cost_model] /
+    [Select]) runs unchanged on sampled profiles:
+
+    + sampled branch and block counters are scaled by the measured
+      sampling rate (exact free-running totals over observed sample
+      counts — more faithful than the nominal period under jitter);
+    + blocks no sample hit are inferred by flow conservation over the
+      per-function {!Dmp_cfg.Cfg}: counts propagate along
+      single-successor/single-predecessor edges, then a short
+      Gauss-Seidel smoothing pass fills the rest from probability-
+      weighted inflow;
+    + block counts are converted to integer per-edge counts and
+      repaired — imbalances pushed along CFG paths towards
+      unconstrained blocks (function entries and exits) — so every
+      interior block of the result satisfies inflow = outflow exactly;
+    + branch counters are re-derived from the conserved edge counts
+      (so [Profile.edge_prob] and block counts agree), and branches no
+      sample observed fall back to the profiler's cold-branch
+      contracts ([taken_prob] 0.5, [misp_rate] 0).
+
+    A {!Sampler.complete_coverage} sampler (periodic, period 1)
+    observed every event: reconstruction is then the identity and the
+    result's counters are byte-identical to
+    {!Dmp_profile.Profile.collect_trace} over the same stream.
+
+    Reconstruction is deterministic: the same sampler always yields a
+    profile with byte-identical serialised counters, on any domain. *)
+
+open Dmp_ir
+open Dmp_profile
+
+val profile : Linked.t -> Sampler.t -> Profile.t
+
+val flow_violations : Linked.t -> Sampler.t -> (int * int * int * int) list
+(** Re-run the inference and report every interior block — one with
+    both predecessors and successors, other than the function entry —
+    whose reconstructed integer edge counts break flow conservation,
+    as [(func, block, inflow, outflow)]. Empty for every reachable CFG
+    whose blocks can reach an exit (the repair pass above); the
+    invariant the test suite pins. *)

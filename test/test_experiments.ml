@@ -237,6 +237,83 @@ let test_disk_cache_trace_round_trip () =
       check Alcotest.int "warm run loads the trace" 1
         (stage_calls r2 "trace (disk cache)"))
 
+let test_disk_cache_sampled_round_trip () =
+  let module Sampler = Dmp_sampling.Sampler in
+  let sampling = { Sampler.mode = Sampler.Lbr 8; period = 500; seed = 7 } in
+  with_temp_cache_dir (fun dir ->
+      let r1 = cached_runner dir in
+      let p1 =
+        profile_bytes
+          (Runner.sampled_profile r1 "li" Input_gen.Reduced sampling)
+      in
+      check Alcotest.int "cold run collects" 1
+        (stage_calls r1 "sprofile (collect)");
+      (* a fresh runner over the same directory loads instead of
+         recomputing *)
+      let r2 = cached_runner dir in
+      let p2 =
+        profile_bytes
+          (Runner.sampled_profile r2 "li" Input_gen.Reduced sampling)
+      in
+      check Alcotest.bool "sampled profile round-trips" true (p1 = p2);
+      check Alcotest.int "warm run does not collect" 0
+        (stage_calls r2 "sprofile (collect)");
+      check Alcotest.int "warm run hits the disk cache" 1
+        (stage_calls r2 "sprofile (disk cache)");
+      (* any change to the sampling parameters keys a different entry:
+         a warm cache for one configuration is cold for its neighbours,
+         never stale *)
+      List.iter
+        (fun other ->
+          let r3 = cached_runner dir in
+          let p3 =
+            profile_bytes
+              (Runner.sampled_profile r3 "li" Input_gen.Reduced other)
+          in
+          check Alcotest.int
+            (Sampler.config_to_string other ^ ": recollected") 1
+            (stage_calls r3 "sprofile (collect)");
+          check Alcotest.bool
+            (Sampler.config_to_string other ^ ": different counters") true
+            (p3 <> p1))
+        [
+          { sampling with Sampler.period = 200 };
+          { sampling with Sampler.seed = 8 };
+          { sampling with Sampler.mode = Sampler.Mispredict };
+        ])
+
+(* The fidelity sweep's anchor row: period-1 periodic sampling must
+   agree with the exact pipeline perfectly — Jaccard 1 on both sets,
+   zero IPC delta, byte-identical annotations. *)
+let test_profile_fidelity_anchor () =
+  let module Sampler = Dmp_sampling.Sampler in
+  let r = small_runner () in
+  let rows =
+    Profile_fidelity.run ~periods:[ 1; 1000 ]
+      ~modes:[ Sampler.Periodic; Sampler.Lbr 4 ]
+      r
+  in
+  check Alcotest.int "one row per combination" 4 (List.length rows);
+  let anchor =
+    List.find
+      (fun row ->
+        row.Profile_fidelity.mode = Sampler.Periodic
+        && row.Profile_fidelity.period = 1)
+      rows
+  in
+  check (Alcotest.float 1e-12) "diverge Jaccard 1" 1.
+    anchor.Profile_fidelity.jaccard_diverge;
+  check (Alcotest.float 1e-12) "CFM Jaccard 1" 1.
+    anchor.Profile_fidelity.jaccard_cfm;
+  check (Alcotest.float 1e-12) "zero IPC delta" 0.
+    anchor.Profile_fidelity.ipc_delta_pct;
+  check Alcotest.bool "annotations byte-identical" true
+    anchor.Profile_fidelity.exact_bytes;
+  let rendered = Profile_fidelity.render rows in
+  check Alcotest.bool "render mentions the modes" true
+    (Astring_contains.contains rendered "periodic"
+    && Astring_contains.contains rendered "lbr4")
+
 let test_disk_cache_corrupt_fallback () =
   with_temp_cache_dir (fun dir ->
       let r1 = cached_runner dir in
@@ -306,6 +383,8 @@ let () =
           Alcotest.test_case "round trip" `Slow test_disk_cache_round_trip;
           Alcotest.test_case "trace round trip" `Slow
             test_disk_cache_trace_round_trip;
+          Alcotest.test_case "sampled round trip" `Slow
+            test_disk_cache_sampled_round_trip;
           Alcotest.test_case "corrupt fallback" `Slow
             test_disk_cache_corrupt_fallback;
         ] );
@@ -315,6 +394,8 @@ let () =
           Alcotest.test_case "fig5 left" `Slow test_fig5_left;
           Alcotest.test_case "fig10 sums" `Slow test_fig10_percentages;
           Alcotest.test_case "fig7 grid" `Slow test_fig7_grid;
+          Alcotest.test_case "profile-fidelity anchor" `Slow
+            test_profile_fidelity_anchor;
           Alcotest.test_case "report render" `Quick test_report_render;
         ] );
     ]

@@ -81,6 +81,59 @@ let test_unexecuted_branch_defaults () =
   check Alcotest.bool "default misp" true
     (Profile.misp_rate profile ~addr:9999 = 0.)
 
+(* Cold-branch contracts on a block the program can never enter: the
+   selection pipeline leans on these defaults when it meets unprofiled
+   code, and Reconstruct relies on them for branches no sample saw. *)
+let test_cold_branch_contracts () =
+  let r = Reg.of_int in
+  let f = B.func "main" in
+  B.li f (r 4) 1;
+  B.branch f Term.Ne (r 4) (B.imm 0) ~target:"hot" ();
+  B.label f "cold";
+  B.add f (r 7) (r 7) (B.imm 1);
+  B.branch f Term.Gt (r 7) (B.imm 0) ~target:"hot" ();
+  B.label f "hot";
+  B.write f (r 7);
+  B.halt f;
+  let program = Program.of_funcs_exn ~main:"main" [ B.finish f ] in
+  let linked = Linked.link program in
+  let profile = Profile.collect linked ~input:[||] in
+  let func = 0 in
+  let fn = Program.func linked.Linked.program func in
+  let cold =
+    let rec find i =
+      if (Func.block fn i).Block.label = "cold" then i else find (i + 1)
+    in
+    find 0
+  in
+  check Alcotest.int "cold block never entered" 0
+    (Profile.block_count profile ~func ~block:cold);
+  let addr =
+    Linked.block_addr linked ~func ~block:cold
+    + Array.length (Func.block fn cold).Block.body
+  in
+  check Alcotest.bool "no branch record" true
+    (Profile.branch profile ~addr = None);
+  check (Alcotest.float 1e-9) "taken_prob defaults to 0.5" 0.5
+    (Profile.taken_prob profile ~addr);
+  check (Alcotest.float 1e-9) "misp_rate defaults to 0" 0.
+    (Profile.misp_rate profile ~addr);
+  check Alcotest.int "no mispredictions" 0
+    (Profile.mispredictions profile ~addr);
+  check Alcotest.int "never executed" 0 (Profile.executed profile ~addr);
+  check (Alcotest.float 1e-9) "taken edge prob 0.5" 0.5
+    (Profile.edge_prob profile ~func ~block:cold ~dir:Dmp_cfg.Cfg.Taken);
+  check (Alcotest.float 1e-9) "fallthrough edge prob 0.5" 0.5
+    (Profile.edge_prob profile ~func ~block:cold ~dir:Dmp_cfg.Cfg.Fallthrough)
+
+(* mpki must not divide by zero when nothing retired (max_insts = 0). *)
+let test_mpki_zero_retired () =
+  let program = Helpers.simple_hammock_program ~iters:5 () in
+  let linked = Linked.link program in
+  let profile = Profile.collect ~max_insts:0 linked ~input:(Array.make 10 1) in
+  check Alcotest.int "nothing retired" 0 (Profile.retired profile);
+  check (Alcotest.float 1e-9) "mpki is 0" 0. (Profile.mpki profile)
+
 let test_mispredictions_random_vs_constant () =
   (* A hammock driven by random parity mispredicts a lot; driven by a
      constant it barely mispredicts. *)
@@ -194,6 +247,10 @@ let () =
           Alcotest.test_case "taken prob" `Quick test_taken_prob_exact;
           Alcotest.test_case "unexecuted defaults" `Quick
             test_unexecuted_branch_defaults;
+          Alcotest.test_case "cold-branch contracts" `Quick
+            test_cold_branch_contracts;
+          Alcotest.test_case "mpki with zero retired" `Quick
+            test_mpki_zero_retired;
           Alcotest.test_case "mispredictions" `Quick
             test_mispredictions_random_vs_constant;
           Alcotest.test_case "loop averages" `Quick

@@ -1,0 +1,193 @@
+open Dmp_ir
+open Dmp_profile
+open Dmp_sampling
+open Dmp_workload
+
+let check = Alcotest.check
+let profile_bytes p = Marshal.to_string (Profile.to_raw p) []
+
+let sampled_profile ?max_insts linked trace config =
+  Reconstruct.profile linked
+    (Sampler.collect_trace ?max_insts ~config linked trace)
+
+(* Period-1 periodic sampling observes every retired event, so
+   reconstruction must return the exact profile — same branch counters,
+   same block counts, byte-for-byte. *)
+let qcheck_period1_identity =
+  QCheck.Test.make
+    ~name:"period-1 periodic sampling reconstructs the exact profile"
+    ~count:40
+    QCheck.(int_range 2 15)
+    (fun n ->
+      let st = Random.State.make [| n; 31 |] in
+      let linked = Linked.link (Helpers.random_program st ~nblocks:n) in
+      let input = Helpers.uniform_input 64 in
+      let tr = Dmp_exec.Trace.capture linked ~input in
+      let config =
+        { Sampler.mode = Sampler.Periodic; period = 1; seed = n }
+      in
+      profile_bytes (sampled_profile linked tr config)
+      = profile_bytes (Profile.collect_trace linked tr))
+
+let cap = 40_000
+
+let each_benchmark f =
+  List.iter
+    (fun spec ->
+      let linked = Spec.linked spec in
+      let tr =
+        Dmp_exec.Trace.capture ~max_insts:cap linked
+          ~input:(spec.Spec.input Input_gen.Reduced)
+      in
+      f spec.Spec.name linked tr)
+    Registry.all
+
+let test_period1_identity_suite () =
+  each_benchmark (fun name linked tr ->
+      let config =
+        { Sampler.mode = Sampler.Periodic; period = 1; seed = 42 }
+      in
+      check Alcotest.bool (name ^ ": bytes identical") true
+        (profile_bytes (sampled_profile ~max_insts:cap linked tr config)
+        = profile_bytes (Profile.collect_trace ~max_insts:cap linked tr)))
+
+(* The reconstruction's central invariant: every interior block of every
+   benchmark satisfies inflow = outflow exactly, in every sampling
+   mode. *)
+let test_flow_conservation () =
+  each_benchmark (fun name linked tr ->
+      List.iter
+        (fun mode ->
+          let config = { Sampler.mode; period = 1000; seed = 42 } in
+          let s = Sampler.collect_trace ~max_insts:cap ~config linked tr in
+          check Alcotest.int
+            (Printf.sprintf "%s/%s: flow violations" name
+               (Sampler.mode_to_string mode))
+            0
+            (List.length (Reconstruct.flow_violations linked s)))
+        [ Sampler.Periodic; Sampler.Lbr 16; Sampler.Mispredict ])
+
+let test_determinism () =
+  let spec = Registry.find "li" in
+  let linked = Spec.linked spec in
+  let tr =
+    Dmp_exec.Trace.capture ~max_insts:cap linked
+      ~input:(spec.Spec.input Input_gen.Reduced)
+  in
+  List.iter
+    (fun mode ->
+      let config = { Sampler.mode; period = 500; seed = 7 } in
+      check Alcotest.bool
+        (Sampler.mode_to_string mode ^ ": same config, same bytes") true
+        (profile_bytes (sampled_profile ~max_insts:cap linked tr config)
+        = profile_bytes (sampled_profile ~max_insts:cap linked tr config)))
+    [ Sampler.Periodic; Sampler.Lbr 16; Sampler.Mispredict ]
+
+(* Reconstructed counters must be well-formed whatever the mode: taken
+   and mispredictions bounded by executions, non-negative block counts,
+   and the exact retired total carried through unscaled. *)
+let test_reconstructed_sanity () =
+  let spec = Registry.find "vpr" in
+  let linked = Spec.linked spec in
+  let input = spec.Spec.input Input_gen.Reduced in
+  let tr = Dmp_exec.Trace.capture ~max_insts:cap linked ~input in
+  let exact = Profile.collect_trace ~max_insts:cap linked tr in
+  List.iter
+    (fun mode ->
+      let config = { Sampler.mode; period = 500; seed = 7 } in
+      let p = sampled_profile ~max_insts:cap linked tr config in
+      let m = Sampler.mode_to_string mode in
+      check Alcotest.int (m ^ ": retired is exact") (Profile.retired exact)
+        (Profile.retired p);
+      List.iter
+        (fun addr ->
+          let s = Option.get (Profile.branch p ~addr) in
+          check Alcotest.bool (m ^ ": taken <= executed") true
+            (0 <= s.Profile.taken && s.Profile.taken <= s.Profile.executed);
+          check Alcotest.bool (m ^ ": misp <= executed") true
+            (0 <= s.Profile.mispredicted
+            && s.Profile.mispredicted <= s.Profile.executed))
+        (Profile.branch_addrs p);
+      let program = linked.Linked.program in
+      for func = 0 to Program.num_funcs program - 1 do
+        for block = 0
+             to Func.num_blocks (Program.func program func) - 1 do
+          check Alcotest.bool (m ^ ": block count non-negative") true
+            (Profile.block_count p ~func ~block >= 0)
+        done
+      done)
+    [ Sampler.Periodic; Sampler.Lbr 16; Sampler.Mispredict ]
+
+(* Distinct sampling parameters must map to distinct config strings —
+   the disk cache folds the string into the entry filename. *)
+let test_config_strings () =
+  let grid =
+    List.concat_map
+      (fun mode ->
+        List.concat_map
+          (fun period ->
+            List.map
+              (fun seed -> { Sampler.mode; period; seed })
+              [ 1; 2 ])
+          [ 1; 100 ])
+      [ Sampler.Periodic; Sampler.Lbr 4; Sampler.Lbr 16; Sampler.Mispredict ]
+  in
+  let strings = List.map Sampler.config_to_string grid in
+  check Alcotest.int "injective over the grid" (List.length grid)
+    (List.length (List.sort_uniq String.compare strings));
+  List.iter
+    (fun mode ->
+      check Alcotest.bool
+        (Sampler.mode_to_string mode ^ ": round-trips") true
+        (Sampler.mode_of_string (Sampler.mode_to_string mode) = Some mode))
+    [ Sampler.Periodic; Sampler.Lbr 1; Sampler.Lbr 16; Sampler.Mispredict ];
+  check Alcotest.bool "lbr defaults to depth 16" true
+    (Sampler.mode_of_string "lbr" = Some (Sampler.Lbr Sampler.default_lbr_depth));
+  check Alcotest.bool "mispredict alias" true
+    (Sampler.mode_of_string "mispredict" = Some Sampler.Mispredict);
+  check Alcotest.bool "junk rejected" true
+    (Sampler.mode_of_string "lbr0" = None
+    && Sampler.mode_of_string "lbrx" = None
+    && Sampler.mode_of_string "" = None)
+
+let test_invalid_config () =
+  let linked = Linked.link (Helpers.simple_hammock_program ~iters:5 ()) in
+  let tr = Dmp_exec.Trace.capture linked ~input:(Array.make 20 1) in
+  Alcotest.check_raises "period 0 rejected"
+    (Invalid_argument "Sampler.collect_source: period must be >= 1")
+    (fun () ->
+      ignore
+        (Sampler.collect_trace
+           ~config:{ Sampler.mode = Sampler.Periodic; period = 0; seed = 1 }
+           linked tr));
+  Alcotest.check_raises "LBR depth 0 rejected"
+    (Invalid_argument "Sampler.collect_source: LBR depth must be >= 1")
+    (fun () ->
+      ignore
+        (Sampler.collect_trace
+           ~config:{ Sampler.mode = Sampler.Lbr 0; period = 10; seed = 1 }
+           linked tr))
+
+let () =
+  Alcotest.run "dmp_sampling"
+    [
+      ( "identity",
+        [
+          QCheck_alcotest.to_alcotest qcheck_period1_identity;
+          Alcotest.test_case "period-1 over the suite" `Slow
+            test_period1_identity_suite;
+        ] );
+      ( "flow conservation",
+        [ Alcotest.test_case "all benchmarks, all modes" `Slow
+            test_flow_conservation ] );
+      ( "determinism",
+        [ Alcotest.test_case "repeat collection" `Slow test_determinism ] );
+      ( "reconstruction",
+        [ Alcotest.test_case "counter sanity" `Slow
+            test_reconstructed_sanity ] );
+      ( "config",
+        [
+          Alcotest.test_case "strings" `Quick test_config_strings;
+          Alcotest.test_case "invalid" `Quick test_invalid_config;
+        ] );
+    ]
