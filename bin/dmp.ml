@@ -317,6 +317,101 @@ let disasm_cmd =
        ~doc:"Encode a benchmark to binary and disassemble the image")
     Term.(const run $ bench_arg)
 
+(* ---- check ---- *)
+
+let check_cmd =
+  let module Check = Dmp_check in
+  let benchmarks_arg =
+    Arg.(value & opt string "all"
+           & info [ "benchmarks" ]
+               ~doc:
+                 "Comma-separated benchmarks to check, $(b,all) for the \
+                  whole registry, or $(b,none) to skip benchmarks (random \
+                  programs only).")
+  in
+  let random_arg =
+    Arg.(value & opt int 0
+           & info [ "random" ]
+               ~doc:"Also check N coverage-guided random programs.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+           & info [ "seed" ] ~doc:"Seed of the random-program generator.")
+  in
+  let mutate_arg =
+    Arg.(value & flag
+           & info [ "mutate-smoke" ]
+               ~doc:
+                 "Deliberately corrupt one annotation CFM per benchmark \
+                  before validating; the checker must then fail (exit 2). \
+                  For testing the checker itself.")
+  in
+  let run benchmarks set max_insts random seed mutate =
+    let set = lookup_set set in
+    let specs =
+      match benchmarks with
+      | "all" -> Registry.all
+      | "none" | "" -> []
+      | names ->
+          List.map lookup_bench (String.split_on_char ',' names)
+    in
+    let errors = ref 0 and warnings = ref 0 in
+    let report (o : Check.Suite.outcome) =
+      let errs = Check.Diagnostic.errors o.Check.Suite.diagnostics in
+      let warns =
+        List.length o.Check.Suite.diagnostics - List.length errs
+      in
+      errors := !errors + List.length errs;
+      warnings := !warnings + warns;
+      if errs = [] then
+        Printf.printf "check %-12s OK (%d warning%s)\n%!" o.Check.Suite.name
+          warns
+          (if warns = 1 then "" else "s")
+      else begin
+        Printf.printf "check %-12s FAIL (%d violation%s)\n%!"
+          o.Check.Suite.name (List.length errs)
+          (if List.length errs = 1 then "" else "s");
+        List.iter
+          (fun d -> Fmt.pr "  %a@." Check.Diagnostic.pp d)
+          errs
+      end
+    in
+    List.iter
+      (fun spec ->
+        report (Check.Suite.check_benchmark ?max_insts ~mutate ~set spec))
+      specs;
+    if random > 0 then begin
+      let outcomes, gen =
+        Check.Suite.check_random ?max_insts ~n:random ~seed ()
+      in
+      List.iter report outcomes;
+      print_endline (Check.Generator.coverage_report gen);
+      if random >= 12 && not (Check.Generator.all_covered gen) then begin
+        incr errors;
+        print_endline
+          "check random       FAIL (structural coverage incomplete)"
+      end
+      else if Check.Generator.all_covered gen then
+        Printf.printf "coverage OK (%d/%d shapes)\n"
+          (List.length Check.Generator.all_shapes)
+          (List.length Check.Generator.all_shapes)
+    end;
+    Printf.printf "check: %d violation%s, %d warning%s\n" !errors
+      (if !errors = 1 then "" else "s")
+      !warnings
+      (if !warnings = 1 then "" else "s");
+    if !errors > 0 then exit 2
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate CFG/annotation invariants and run the differential \
+          oracle (live vs replay vs image simulation, exact vs sampled \
+          profiles) over benchmarks and random programs")
+    Term.(
+      const run $ benchmarks_arg $ set_arg $ max_insts_arg $ random_arg
+      $ seed_arg $ mutate_arg)
+
 (* ---- experiment ---- *)
 
 let experiment_cmd =
@@ -355,4 +450,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; annotate_cmd; profile_cmd; cfg_cmd;
-            asm_cmd; disasm_cmd; experiment_cmd ]))
+            asm_cmd; disasm_cmd; check_cmd; experiment_cmd ]))

@@ -43,7 +43,7 @@ let block_size t i = Block.size (block t i)
 let is_conditional t i = Block.is_conditional (block t i)
 let exits t = t.exits
 
-let reachable t =
+let reachable_from t start =
   let n = num_nodes t in
   let seen = Array.make n false in
   let rec go i =
@@ -52,8 +52,10 @@ let reachable t =
       List.iter go (successor_blocks t i)
     end
   in
-  go entry;
+  go start;
   seen
+
+let reachable t = reachable_from t entry
 
 let postorder t =
   let n = num_nodes t in

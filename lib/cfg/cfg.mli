@@ -26,6 +26,12 @@ val exits : t -> int list
 (** Blocks ending in [Ret] or [Halt]. *)
 
 val reachable : t -> bool array
+
+val reachable_from : t -> int -> bool array
+(** Blocks reachable from an arbitrary start block (start included);
+    the annotation validator uses it to check that a CFM point can be
+    reached from both sides of its diverge branch. *)
+
 val postorder : t -> int list
 val reverse_postorder : t -> int list
 

@@ -1,0 +1,38 @@
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  rule : string;
+  func : int option;
+  block : int option;
+  addr : int option;
+  message : string;
+}
+
+let make severity ?func ?block ?addr ~rule message =
+  { severity; rule; func; block; addr; message }
+
+let error ?func ?block ?addr ~rule message =
+  make Error ?func ?block ?addr ~rule message
+
+let warning ?func ?block ?addr ~rule message =
+  make Warning ?func ?block ?addr ~rule message
+
+let errorf ?func ?block ?addr ~rule fmt =
+  Format.kasprintf (fun m -> error ?func ?block ?addr ~rule m) fmt
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+let has_errors ds = List.exists is_error ds
+
+let pp ppf d =
+  let sev = match d.severity with Error -> "error" | Warning -> "warning" in
+  let opt name = function
+    | None -> ()
+    | Some v -> Fmt.pf ppf " %s=%d" name v
+  in
+  Fmt.pf ppf "%s[%s]" sev d.rule;
+  opt "func" d.func;
+  opt "block" d.block;
+  opt "addr" d.addr;
+  Fmt.pf ppf ": %s" d.message

@@ -1,0 +1,30 @@
+(** Structured diagnostics of the checking layer. Every violation the
+    invariant validator or the differential oracle finds is reported as
+    one diagnostic with a stable rule slug and the most precise
+    location available (function / block / instruction address). *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  rule : string;  (** stable kebab-case slug, e.g. ["cfm-unreachable"] *)
+  func : int option;
+  block : int option;
+  addr : int option;  (** instruction address the violation anchors to *)
+  message : string;
+}
+
+val error :
+  ?func:int -> ?block:int -> ?addr:int -> rule:string -> string -> t
+
+val warning :
+  ?func:int -> ?block:int -> ?addr:int -> rule:string -> string -> t
+
+val errorf :
+  ?func:int -> ?block:int -> ?addr:int -> rule:string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+val is_error : t -> bool
+val errors : t list -> t list
+val has_errors : t list -> bool
+val pp : t Fmt.t

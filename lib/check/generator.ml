@@ -1,0 +1,329 @@
+open Dmp_ir
+module B = Build
+
+type shape = Simple | Nested | Freq | Short | Ret | Loop
+
+let all_shapes = [ Simple; Nested; Freq; Short; Ret; Loop ]
+
+let shape_to_string = function
+  | Simple -> "simple"
+  | Nested -> "nested"
+  | Freq -> "freq"
+  | Short -> "short"
+  | Ret -> "ret"
+  | Loop -> "loop"
+
+let shape_index = function
+  | Simple -> 0
+  | Nested -> 1
+  | Freq -> 2
+  | Short -> 3
+  | Ret -> 4
+  | Loop -> 5
+
+type t = {
+  st : Random.State.t;
+  counts : int array;
+  mutable generated : int;
+  mutable cold_programs : int;
+  mutable irregular_programs : int;
+}
+
+let create ~seed =
+  {
+    st = Random.State.make [| seed; 0x05eed |];
+    counts = Array.make (List.length all_shapes) 0;
+    generated = 0;
+    cold_programs = 0;
+    irregular_programs = 0;
+  }
+
+let reg = Reg.of_int
+let ri st lo hi = lo + Random.State.int st (hi - lo + 1)
+
+(* Arm filler: accumulator-mutating ALU ops, so every arm defines a
+   register that is live at the join (select-µops are counted). *)
+let arm f st acc n =
+  for _ = 1 to n do
+    match Random.State.int st 3 with
+    | 0 -> B.add f acc acc (B.imm (1 + Random.State.int st 7))
+    | 1 -> B.sub f acc acc (B.imm (1 + Random.State.int st 7))
+    | _ -> B.xor f acc acc (B.imm (1 + Random.State.int st 255))
+  done
+
+(* Shared driver skeleton: read one value per iteration, run the motif
+   body, consume the accumulator, loop [iters] times. The outer back
+   branch iterates far beyond LOOP_ITER, so it is never itself selected
+   as a diverge loop branch. *)
+let driver st ~emit_body =
+  let f = B.func "main" in
+  let v = reg 4 and n = reg 6 and acc = reg 7 in
+  let iters = ri st 400 1200 in
+  B.li f n iters;
+  B.label f "loop";
+  B.read f v;
+  emit_body f ~v ~acc;
+  B.label f "latch";
+  B.add f acc acc (B.reg v);
+  B.write f acc;
+  B.sub f n n (B.imm 1);
+  B.branch f Term.Gt n (B.imm 0) ~target:"loop" ();
+  B.label f "end";
+  B.halt f;
+  (f, iters)
+
+(* Unpredictable two-arm hammock; arm sizes pick between the short
+   regime (< SHORT_MAX_INSTS on every path) and the plain-simple regime
+   (past it, still under MAX_INSTR). *)
+let hammock_body st ~lo ~hi f ~v ~acc =
+  let c = reg 5 in
+  let modulus = ri st 2 3 in
+  B.rem f c v (B.imm modulus);
+  B.branch f Term.Ne c (B.imm 0) ~target:"then" ();
+  B.label f "else";
+  arm f st acc (ri st lo hi);
+  B.jump f "join";
+  B.label f "then";
+  arm f st acc (ri st lo hi);
+  B.label f "join";
+  B.nop f
+
+let simple_program st =
+  let f, iters = driver st ~emit_body:(hammock_body st ~lo:12 ~hi:20) in
+  (Program.of_funcs_exn ~main:"main" [ B.finish f ], iters)
+
+let short_program st =
+  let f, iters = driver st ~emit_body:(hammock_body st ~lo:1 ~hi:3) in
+  (Program.of_funcs_exn ~main:"main" [ B.finish f ], iters)
+
+(* Outer hammock whose then-side contains an inner hammock: the outer
+   branch classifies as a nested hammock (conditional branch inside the
+   region), with each side past the short-hammock bound. *)
+let nested_body st f ~v ~acc =
+  let c = reg 5 and c2 = reg 8 in
+  B.rem f c v (B.imm 2);
+  B.rem f c2 v (B.imm 5);
+  B.branch f Term.Ne c (B.imm 0) ~target:"then" ();
+  B.label f "else";
+  arm f st acc 9;
+  B.jump f "join";
+  B.label f "then";
+  B.branch f Term.Lt c2 (B.imm 2) ~target:"then_a" ~fall:"then_b" ();
+  B.label f "then_b";
+  arm f st acc 9;
+  B.jump f "join";
+  B.label f "then_a";
+  arm f st acc 9;
+  B.label f "join";
+  B.nop f
+
+let nested_program st =
+  let f, iters = driver st ~emit_body:(nested_body st) in
+  (Program.of_funcs_exn ~main:"main" [ B.finish f ], iters)
+
+(* Taken side rarely escapes to a cold path longer than MAX_INSTR that
+   bypasses the join: the exact algorithm rejects the branch, Alg-freq
+   finds the join as an approximate CFM point. The escape rate keeps
+   the merge probability under the short-hammock threshold. *)
+let freq_body st f ~v ~acc =
+  let c = reg 5 and rare = reg 8 in
+  let rare_pct = ri st 8 15 in
+  let cold_len = ri st 55 110 in
+  B.rem f c v (B.imm 2);
+  B.rem f rare v (B.imm 100);
+  B.alu f Instr.Slt rare rare (B.imm rare_pct);
+  B.branch f Term.Ne c (B.imm 0) ~target:"hot_t" ();
+  B.label f "hot_nt";
+  arm f st acc (ri st 1 4);
+  B.jump f "join";
+  B.label f "hot_t";
+  arm f st acc (ri st 1 4);
+  B.branch f Term.Ne rare (B.imm 0) ~target:"cold" ();
+  B.label f "hot_t2";
+  B.add f acc acc (B.imm 2);
+  B.jump f "join";
+  B.label f "cold";
+  arm f st acc cold_len;
+  B.jump f "after_join";
+  B.label f "join";
+  B.add f acc acc (B.reg v);
+  B.label f "after_join";
+  B.nop f
+
+let freq_program st =
+  let f, iters = driver st ~emit_body:(freq_body st) in
+  (Program.of_funcs_exn ~main:"main" [ B.finish f ], iters)
+
+(* Caller + callee whose arms return separately: no intra-function
+   post-dominator, both sides reach returns — the return-CFM shape. *)
+let ret_program st =
+  let callee = B.func "decide" in
+  B.branch callee Term.Ne (reg 4) (B.imm 0) ~target:"a" ();
+  B.label callee "b";
+  arm callee st (reg 7) (ri st 1 6);
+  B.ret callee;
+  B.label callee "a";
+  arm callee st (reg 7) (ri st 1 6);
+  B.ret callee;
+  let callee = B.finish callee in
+  let f, iters =
+    driver st ~emit_body:(fun f ~v ~acc:_ ->
+        B.rem f (reg 4) v (B.imm (ri st 2 3));
+        B.call f "decide")
+  in
+  (Program.of_funcs_exn ~main:"main" [ B.finish f; callee ], iters)
+
+(* Data-dependent inner loop with a small body and few iterations:
+   passes all three Section 5.2 loop heuristics. *)
+let loop_body st f ~v ~acc =
+  let trip = reg 5 in
+  let modulus = ri st 3 6 in
+  let body = ri st 1 3 in
+  B.rem f trip v (B.imm modulus);
+  B.add f trip trip (B.imm 1);
+  B.label f "inner";
+  arm f st acc body;
+  B.sub f trip trip (B.imm 1);
+  B.branch f Term.Gt trip (B.imm 0) ~target:"inner" ();
+  B.label f "after_inner";
+  B.nop f
+
+let loop_program st =
+  let f, iters = driver st ~emit_body:(loop_body st) in
+  (Program.of_funcs_exn ~main:"main" [ B.finish f ], iters)
+
+(* Never-called function: whole-function cold code, exercising the
+   analyses and the validator on zero-weight regions. *)
+let cold_func st =
+  let f = B.func "never_called" in
+  B.branch f Term.Gt (reg 20) (B.imm (ri st 0 7)) ~target:"a" ();
+  B.label f "b";
+  arm f st (reg 21) (ri st 1 5);
+  B.ret f;
+  B.label f "a";
+  arm f st (reg 21) (ri st 1 5);
+  B.ret f;
+  B.finish f
+
+(* Irregular random CFG (fuel-guarded against non-termination), for
+   shapes no motif anticipates. *)
+let irregular_program st =
+  let nblocks = ri st 3 10 in
+  let f = B.func "main" in
+  let lbl i = Printf.sprintf "b%d" i in
+  let fuel = reg 15 in
+  B.li f fuel 3000;
+  B.jump f (lbl 0);
+  for i = 0 to nblocks - 1 do
+    B.label f (lbl i);
+    B.sub f fuel fuel (B.imm 1);
+    B.branch f Term.Le fuel (B.imm 0) ~target:"end" ~fall:(lbl i ^ "_body")
+      ();
+    B.label f (lbl i ^ "_body");
+    for _ = 1 to 1 + Random.State.int st 3 do
+      let d = reg (4 + Random.State.int st 8) in
+      let s = reg (4 + Random.State.int st 8) in
+      B.alu f
+        (match Random.State.int st 4 with
+        | 0 -> Instr.Add
+        | 1 -> Instr.Sub
+        | 2 -> Instr.Xor
+        | _ -> Instr.And)
+        d s
+        (B.imm (Random.State.int st 16))
+    done;
+    let target () = lbl (Random.State.int st nblocks) in
+    match Random.State.int st 4 with
+    | 0 -> B.jump f (target ())
+    | 1 | 2 ->
+        let c = reg (4 + Random.State.int st 8) in
+        B.branch f Term.Gt c (B.imm (Random.State.int st 8))
+          ~target:(target ()) ~fall:(target ()) ()
+    | _ -> B.jump f "end"
+  done;
+  B.label f "end";
+  B.halt f;
+  Program.of_funcs_exn ~main:"main" [ B.finish f ]
+
+let motif = function
+  | Simple -> simple_program
+  | Nested -> nested_program
+  | Freq -> freq_program
+  | Short -> short_program
+  | Ret -> ret_program
+  | Loop -> loop_program
+
+let uncovered t =
+  List.filter (fun s -> t.counts.(shape_index s) = 0) all_shapes
+
+let next t =
+  let st = t.st in
+  t.generated <- t.generated + 1;
+  let pick_shape shapes =
+    List.nth shapes (Random.State.int st (List.length shapes))
+  in
+  let choice =
+    match uncovered t with
+    | [] ->
+        if Random.State.float st 1.0 < 0.25 then `Irregular
+        else `Shape (pick_shape all_shapes)
+    | us -> `Shape (pick_shape us)
+  in
+  match choice with
+  | `Irregular ->
+      t.irregular_programs <- t.irregular_programs + 1;
+      (irregular_program st, [||])
+  | `Shape s ->
+      let program, iters = (motif s) st in
+      let program =
+        (* Cold decoration: occasionally append a never-called
+           function. *)
+        if Random.State.float st 1.0 < 0.35 then begin
+          t.cold_programs <- t.cold_programs + 1;
+          let funcs =
+            Array.to_list program.Program.funcs @ [ cold_func st ]
+          in
+          Program.of_funcs_exn ~main:"main" funcs
+        end
+        else program
+      in
+      let input =
+        Array.init (iters + 16) (fun _ -> Random.State.int st 1_000_000)
+      in
+      (program, input)
+
+let classify (d : Dmp_core.Annotation.diverge) =
+  match d.Dmp_core.Annotation.kind with
+  | Dmp_core.Annotation.Loop_branch -> Loop
+  | _ when d.Dmp_core.Annotation.always_predicate -> Short
+  | _ when d.Dmp_core.Annotation.return_cfm -> Ret
+  | Dmp_core.Annotation.Simple_hammock -> Simple
+  | Dmp_core.Annotation.Nested_hammock -> Nested
+  | Dmp_core.Annotation.Frequently_hammock -> Freq
+
+let note t ann =
+  Dmp_core.Annotation.iter
+    (fun d ->
+      let i = shape_index (classify d) in
+      t.counts.(i) <- t.counts.(i) + 1)
+    ann
+
+let generated t = t.generated
+let covered t s = t.counts.(shape_index s)
+let all_covered t = uncovered t = []
+
+let coverage_report t =
+  let per =
+    String.concat " "
+      (List.map
+         (fun s ->
+           Printf.sprintf "%s=%d" (shape_to_string s) (covered t s))
+         all_shapes)
+  in
+  Printf.sprintf
+    "coverage: %s (%d/%d shapes) over %d programs (%d with cold code, %d \
+     irregular)"
+    per
+    (List.length all_shapes - List.length (uncovered t))
+    (List.length all_shapes) t.generated t.cold_programs
+    t.irregular_programs

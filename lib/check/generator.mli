@@ -1,0 +1,38 @@
+(** Coverage-guided random program generator.
+
+    Produces small well-formed programs (with matching inputs) built
+    around the paper's structural motifs — simple / nested / frequently
+    / short hammocks, return-CFM call shapes, data-dependent diverge
+    loops — plus cold decorations (never-called functions) and fully
+    irregular random CFGs. Coverage is {e observed}, not assumed: after
+    selecting on each generated program the caller reports the
+    resulting annotation with {!note}, and {!next} biases generation
+    toward the structural shapes no selected diverge branch has
+    exhibited yet. Deterministic for a given seed. *)
+
+type shape = Simple | Nested | Freq | Short | Ret | Loop
+
+type t
+
+val all_shapes : shape list
+val shape_to_string : shape -> string
+val create : seed:int -> t
+
+val next : t -> Dmp_ir.Program.t * int array
+(** Generate the next program and an input stream that covers its
+    reads. While any shape is uncovered, generation targets an
+    uncovered shape; afterwards it mixes all motifs with irregular
+    random CFGs. *)
+
+val note : t -> Dmp_core.Annotation.t -> unit
+(** Record the shapes actually exhibited by a selected annotation:
+    loop branches, always-predicate (short) branches, return-CFM
+    branches, and the three hammock kinds. *)
+
+val generated : t -> int
+val covered : t -> shape -> int
+
+val all_covered : t -> bool
+(** Every one of the six shapes has been observed at least once. *)
+
+val coverage_report : t -> string

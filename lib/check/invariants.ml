@@ -1,0 +1,479 @@
+open Dmp_ir
+open Dmp_cfg
+open Dmp_core
+module D = Diagnostic
+
+let feq a b =
+  Float.abs (a -. b)
+  <= 1e-9 *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let check_linked linked =
+  match Program.validate linked.Linked.program with
+  | Ok () -> []
+  | Error m -> [ D.error ~rule:"program-invalid" m ]
+
+(* ---- CFG / dominator / post-dominator / loop well-formedness ---- *)
+
+let strict_dominators dom v =
+  let rec go acc v =
+    match Dom.idom dom v with None -> acc | Some d -> go (d :: acc) d
+  in
+  go [] v
+
+let strict_postdominators pd v =
+  let rec go acc v =
+    match Postdom.ipostdom pd v with None -> acc | Some d -> go (d :: acc) d
+  in
+  go [] v
+
+let check_fn ctx func =
+  let fn = Context.fn ctx func in
+  let cfg = fn.Context.cfg in
+  let dom = fn.Context.dom in
+  let pd = fn.Context.postdom in
+  let n = Cfg.num_nodes cfg in
+  let reach = Cfg.reachable cfg in
+  let out = ref [] in
+  let err ?block ?addr rule msg = out := D.error ~func ?block ?addr ~rule msg :: !out in
+  for b = 0 to n - 1 do
+    (* Terminator targets in range (re-asserted independently of the
+       builder, so hand-constructed or mutated IR is caught too). *)
+    List.iter
+      (fun s ->
+        if s < 0 || s >= n then
+          err ~block:b "target-range"
+            (Printf.sprintf "successor %d out of range [0,%d)" s n))
+      (Cfg.successor_blocks cfg b);
+    if Dom.reachable dom b <> reach.(b) then
+      err ~block:b "dom-reachable"
+        "dominator-tree reachability disagrees with CFG reachability";
+    if reach.(b) then begin
+      (match Dom.idom dom b with
+      | None ->
+          if b <> Cfg.entry then
+            err ~block:b "idom-missing" "reachable non-entry block has no idom"
+      | Some d ->
+          if b = Cfg.entry then
+            err ~block:b "idom-entry" "entry block has an immediate dominator"
+          else if not (Dom.strictly_dominates dom d b) then
+            err ~block:b "idom-not-strict"
+              (Printf.sprintf "idom %d does not strictly dominate %d" d b));
+      (* Per-edge closure: every strict dominator of [s] dominates each
+         of its predecessors [b]. *)
+      List.iter
+        (fun s ->
+          List.iter
+            (fun w ->
+              if not (Dom.dominates dom w b) then
+                err ~block:s "dom-edge"
+                  (Printf.sprintf
+                     "strict dominator %d of %d does not dominate \
+                      predecessor %d"
+                     w s b))
+            (strict_dominators dom s))
+        (Cfg.successor_blocks cfg b);
+      (* Dual closure on the post-dominator tree: every strict
+         post-dominator of [b] post-dominates each successor. *)
+      if Postdom.reaches_exit pd b then
+        List.iter
+          (fun s ->
+            List.iter
+              (fun w ->
+                if not (w = s || Postdom.postdominates pd w s) then
+                  err ~block:b "postdom-edge"
+                    (Printf.sprintf
+                       "strict post-dominator %d of %d does not \
+                        post-dominate successor %d"
+                       w b s))
+              (strict_postdominators pd b))
+          (Cfg.successor_blocks cfg b)
+    end
+  done;
+  let unreachable = ref 0 in
+  Array.iteri (fun _ r -> if not r then incr unreachable) reach;
+  if !unreachable > 0 then
+    out :=
+      D.warning ~func ~rule:"unreachable-block"
+        (Printf.sprintf "%d block(s) unreachable from the entry" !unreachable)
+      :: !out;
+  List.iter
+    (fun (loop : Loops.loop) ->
+      let inside b = List.exists (Int.equal b) loop.Loops.body in
+      let h = loop.Loops.header in
+      if not (inside h) then
+        err ~block:h "loop-header" "loop header not in its own body";
+      List.iter
+        (fun (latch, target) ->
+          if target <> h then
+            err ~block:latch "loop-back-edge"
+              (Printf.sprintf "back edge targets %d, not the header %d" target
+                 h);
+          if not (inside latch) then
+            err ~block:latch "loop-back-edge" "latch outside the loop body";
+          if not (List.exists (Int.equal h) (Cfg.successor_blocks cfg latch))
+          then
+            err ~block:latch "loop-back-edge"
+              "latch has no edge to the loop header")
+        loop.Loops.back_edges;
+      List.iter
+        (fun b ->
+          if reach.(b) && not (Dom.dominates dom h b) then
+            err ~block:b "loop-body-dom"
+              (Printf.sprintf "header %d does not dominate body block %d" h b))
+        loop.Loops.body;
+      List.iter
+        (fun b ->
+          if not (inside b) then
+            err ~block:b "loop-exit-branch" "exit branch outside the body"
+          else if not (Cfg.is_conditional cfg b) then
+            err ~block:b "loop-exit-branch" "exit branch is not conditional"
+          else if
+            not
+              (List.exists
+                 (fun s -> not (inside s))
+                 (Cfg.successor_blocks cfg b))
+          then
+            err ~block:b "loop-exit-branch"
+              "exit branch has no successor outside the body")
+        loop.Loops.exit_branches)
+    fn.Context.loops;
+  List.rev !out
+
+let check_context ctx =
+  List.concat
+    (List.init (Context.num_fns ctx) (fun func -> check_fn ctx func))
+
+(* ---- annotation legality ---- *)
+
+let block_term cfg b = (Cfg.block cfg b).Block.term
+
+let reaches_return cfg reach =
+  let n = Cfg.num_nodes cfg in
+  let found = ref false in
+  for b = 0 to n - 1 do
+    if reach.(b) then
+      match block_term cfg b with Term.Ret -> found := true | _ -> ()
+  done;
+  !found
+
+let check_diverge ctx ~mode (d : Annotation.diverge) =
+  let linked = ctx.Context.linked in
+  let params = ctx.Context.params in
+  let heuristic = match mode with Select.Heuristic -> true | _ -> false in
+  let out = ref [] in
+  let addr = d.Annotation.branch_addr in
+  let err ?func ?block ?a rule msg =
+    out := D.error ?func ?block ~addr:(Option.value a ~default:addr) ~rule msg :: !out
+  in
+  if addr < 0 || addr >= Linked.size linked then
+    err "branch-range"
+      (Printf.sprintf "diverge branch address %d outside the program" addr)
+  else if not (Linked.is_conditional_branch linked addr) then
+    err "branch-not-conditional"
+      "diverge branch address is not a conditional-branch terminator"
+  else begin
+    let l = Linked.loc linked addr in
+    let func = l.Linked.func and block = l.Linked.block in
+    let fn = Context.fn ctx func in
+    let cfg = fn.Context.cfg in
+    let err ?block:b ?a rule msg = err ~func ?block:b ?a rule msg in
+    let hammock_cfms =
+      List.filter (fun c -> c.Annotation.cfm_addr >= 0) d.Annotation.cfms
+    in
+    let ret_entries =
+      List.filter (fun c -> c.Annotation.cfm_addr < 0) d.Annotation.cfms
+    in
+    if List.length hammock_cfms > params.Params.max_cfm then
+      err ~block "max-cfm"
+        (Printf.sprintf "%d CFM points exceed MAX_CFM=%d"
+           (List.length hammock_cfms) params.Params.max_cfm);
+    if List.length ret_entries > 1 then
+      err ~block "ret-pseudo" "more than one return-CFM pseudo entry";
+    if ret_entries <> [] && not d.Annotation.return_cfm then
+      err ~block "ret-pseudo"
+        "negative CFM address on a branch without return_cfm";
+    let is_loop_kind = d.Annotation.kind = Annotation.Loop_branch in
+    if is_loop_kind <> (d.Annotation.loop <> None) then
+      err ~block "loop-info"
+        "Loop_branch kind and loop info must appear together";
+    if is_loop_kind
+       && (d.Annotation.cfms <> [] || d.Annotation.return_cfm
+          || d.Annotation.always_predicate)
+    then
+      err ~block "loop-info"
+        "loop diverge branch with hammock CFMs / return CFM / \
+         always-predicate";
+    if (not is_loop_kind)
+       && Loops.loop_of_branch fn.Context.loops block <> None
+    then
+      err ~block "hammock-on-loop-exit"
+        "hammock diverge branch on a loop exit branch (Section 5.2 \
+         reserves these for the loop mechanism)";
+    let succs = Cfg.branch_successors cfg block in
+    let reach_t, reach_nt =
+      match succs with
+      | Some (t, f) ->
+          (Cfg.reachable_from cfg t, Cfg.reachable_from cfg f)
+      | None -> (* unreachable: is_conditional_branch held *)
+          (Array.make (Cfg.num_nodes cfg) true,
+           Array.make (Cfg.num_nodes cfg) true)
+    in
+    (* Per-CFM structural checks (return-CFM pseudo entries have a
+       negative address and no block to anchor to). *)
+    List.iter
+      (fun (cfm : Annotation.cfm) ->
+        let caddr = cfm.Annotation.cfm_addr in
+        if caddr < 0 then ()
+        else if caddr >= Linked.size linked then
+          err ~block ~a:caddr "cfm-range"
+            (Printf.sprintf "CFM address %d outside the program" caddr)
+        else begin
+          let cf, cb = Linked.block_of_addr linked caddr in
+          if cf <> func then
+            err ~block ~a:caddr "cfm-function"
+              (Printf.sprintf "CFM %d lies in function %d, branch in %d"
+                 caddr cf func)
+          else begin
+            if Linked.block_addr linked ~func:cf ~block:cb <> caddr then
+              err ~block:cb ~a:caddr "cfm-not-block-start"
+                (Printf.sprintf "CFM address %d is not the start of a block"
+                   caddr);
+            if not (reach_t.(cb) && reach_nt.(cb)) then
+              err ~block:cb ~a:caddr "cfm-unreachable"
+                (Printf.sprintf
+                   "CFM %d not reachable from the %s side of the branch"
+                   caddr
+                   (if not (reach_t.(cb) || reach_nt.(cb)) then "taken or \
+                      not-taken"
+                    else if not reach_t.(cb) then "taken"
+                    else "not-taken"));
+            if cfm.Annotation.exact
+               && Postdom.ipostdom fn.Context.postdom block <> Some cb
+            then
+              err ~block:cb ~a:caddr "cfm-not-iposdom"
+                "exact CFM is not the branch's immediate post-dominator"
+          end
+        end;
+        if cfm.Annotation.merge_prob < 0. || cfm.Annotation.merge_prob > 1.
+        then
+          err ~block ~a:caddr "merge-prob-range"
+            (Printf.sprintf "merge probability %g outside [0, 1]"
+               cfm.Annotation.merge_prob);
+        if cfm.Annotation.select_uops < 0 then
+          err ~block ~a:caddr "selects-negative" "negative select-µop count";
+        if heuristic
+           && caddr >= 0
+           && d.Annotation.kind = Annotation.Frequently_hammock
+           && (not d.Annotation.always_predicate)
+           && cfm.Annotation.merge_prob < params.Params.min_merge_prob
+        then
+          err ~block ~a:caddr "merge-prob-threshold"
+            (Printf.sprintf "merge probability %g below MIN_MERGE_PROB=%g"
+               cfm.Annotation.merge_prob params.Params.min_merge_prob))
+      d.Annotation.cfms;
+    if hammock_cfms = [] && (not d.Annotation.return_cfm) && not is_loop_kind
+    then
+      out :=
+        D.warning ~func ~block ~addr ~rule:"cfm-less"
+          "diverge branch with no CFM point and no return CFM (dual-path \
+           until resolution)"
+        :: !out;
+    (* Semantic cross-check: re-run the deterministic per-branch
+       analysis the annotation claims to come from. *)
+    (match d.Annotation.kind with
+    | Annotation.Loop_branch -> (
+        match (d.Annotation.loop, Loop_select.candidate_of_branch ctx ~func ~block) with
+        | None, _ -> () (* already reported as loop-info *)
+        | Some _, None ->
+            err ~block "loop-not-reconstructible"
+              "no loop diverge candidate reconstructible for this branch"
+        | Some li, Some lc ->
+            if li.Annotation.body_insts <> lc.Loop_select.body_insts then
+              err ~block "loop-body-insts"
+                (Printf.sprintf "annotated body size %d, profiled %d"
+                   li.Annotation.body_insts lc.Loop_select.body_insts);
+            let exit_addr =
+              Context.block_start_addr ctx ~func
+                ~block:lc.Loop_select.exit_target
+            in
+            if li.Annotation.exit_target_addr <> exit_addr then
+              err ~block "loop-exit-target"
+                (Printf.sprintf
+                   "annotated exit target %d, loop exits to block start %d"
+                   li.Annotation.exit_target_addr exit_addr);
+            if not (feq li.Annotation.avg_iterations
+                      lc.Loop_select.avg_iterations)
+            then
+              err ~block "loop-avg-iter"
+                (Printf.sprintf "annotated avg iterations %g, profiled %g"
+                   li.Annotation.avg_iterations
+                   lc.Loop_select.avg_iterations);
+            if li.Annotation.loop_select_uops <> lc.Loop_select.select_uops
+            then
+              err ~block "loop-selects"
+                (Printf.sprintf "annotated %d loop select-µops, computed %d"
+                   li.Annotation.loop_select_uops lc.Loop_select.select_uops);
+            if not (Loop_select.passes_heuristics params lc) then
+              err ~block "loop-heuristics"
+                (Printf.sprintf
+                   "loop fails Section 5.2 heuristics (body %d insts, avg \
+                    %.2f iterations)"
+                   lc.Loop_select.body_insts lc.Loop_select.avg_iterations))
+    | Annotation.Simple_hammock | Annotation.Nested_hammock
+    | Annotation.Frequently_hammock ->
+        let candidate =
+          match d.Annotation.kind with
+          | Annotation.Frequently_hammock ->
+              Alg_freq.candidate_of_branch ~apply_min_merge_prob:heuristic
+                ctx ~func ~block
+          | _ -> Alg_exact.candidate_of_branch ctx ~func ~block
+        in
+        (match candidate with
+        | None ->
+            err ~block "candidate-not-reconstructible"
+              (Printf.sprintf
+                 "no %s candidate reconstructible for this branch"
+                 (Annotation.branch_kind_to_string d.Annotation.kind))
+        | Some c ->
+            if c.Candidate.kind <> d.Annotation.kind then
+              err ~block "kind-mismatch"
+                (Printf.sprintf "annotated %s, analysis classifies %s"
+                   (Annotation.branch_kind_to_string d.Annotation.kind)
+                   (Annotation.branch_kind_to_string c.Candidate.kind));
+            let matched =
+              List.filter_map
+                (fun (cfm : Annotation.cfm) ->
+                  if cfm.Annotation.cfm_addr < 0 then None
+                  else
+                    match
+                      List.find_opt
+                        (fun (m : Candidate.cfm_candidate) ->
+                          m.Candidate.cfm_addr = cfm.Annotation.cfm_addr)
+                        c.Candidate.cfms
+                    with
+                    | None ->
+                        err ~block ~a:cfm.Annotation.cfm_addr
+                          "cfm-not-candidate"
+                          (Printf.sprintf
+                             "CFM %d is not a CFM candidate of this branch"
+                             cfm.Annotation.cfm_addr);
+                        None
+                    | Some m ->
+                        if
+                          not (feq m.Candidate.merge_prob
+                                 cfm.Annotation.merge_prob)
+                        then
+                          err ~block ~a:cfm.Annotation.cfm_addr
+                            "merge-prob-mismatch"
+                            (Printf.sprintf
+                               "annotated merge probability %g, profile \
+                                says %g"
+                               cfm.Annotation.merge_prob
+                               m.Candidate.merge_prob);
+                        if m.Candidate.select_uops
+                           <> cfm.Annotation.select_uops
+                        then
+                          err ~block ~a:cfm.Annotation.cfm_addr
+                            "selects-mismatch"
+                            (Printf.sprintf
+                               "annotated %d select-µops, liveness says %d"
+                               cfm.Annotation.select_uops
+                               m.Candidate.select_uops);
+                        if m.Candidate.longest_t > params.Params.max_instr
+                           || m.Candidate.longest_nt > params.Params.max_instr
+                        then
+                          err ~block ~a:cfm.Annotation.cfm_addr "max-instr"
+                            (Printf.sprintf
+                               "longest path %d/%d exceeds MAX_INSTR=%d"
+                               m.Candidate.longest_t m.Candidate.longest_nt
+                               params.Params.max_instr);
+                        if m.Candidate.max_cbr > params.Params.max_cbr then
+                          err ~block ~a:cfm.Annotation.cfm_addr "max-cbr"
+                            (Printf.sprintf
+                               "%d conditional branches exceed MAX_CBR=%d"
+                               m.Candidate.max_cbr params.Params.max_cbr);
+                        Some m)
+                d.Annotation.cfms
+            in
+            if params.Params.chain_reduction && List.length matched >= 2
+               && List.length (Chains.reduce matched) <> List.length matched
+            then
+              err ~block "cfm-chain"
+                "annotated CFM set is not chain-reduced (one CFM lies on a \
+                 path to another, Section 3.3.1)";
+            if d.Annotation.always_predicate then begin
+              if Candidate.misp_rate c < params.Params.short_min_misp_rate
+              then
+                err ~block "short-misp-rate"
+                  (Printf.sprintf
+                     "always-predicate branch mispredicts at %.3f, below \
+                      the Section 3.4 threshold %.3f"
+                     (Candidate.misp_rate c)
+                     params.Params.short_min_misp_rate);
+              if hammock_cfms = [] then
+                err ~block "short-empty"
+                  "always-predicate branch with no CFM point";
+              List.iter
+                (fun (m : Candidate.cfm_candidate) ->
+                  if m.Candidate.longest_t >= params.Params.short_max_insts
+                     || m.Candidate.longest_nt
+                        >= params.Params.short_max_insts
+                     || m.Candidate.merge_prob
+                        < params.Params.short_min_merge_prob
+                  then
+                    err ~block ~a:m.Candidate.cfm_addr "short-bounds"
+                      (Printf.sprintf
+                         "short hammock violates Section 3.4 bounds \
+                          (paths %d/%d insts, merge %.3f)"
+                         m.Candidate.longest_t m.Candidate.longest_nt
+                         m.Candidate.merge_prob))
+                matched
+            end;
+            if d.Annotation.return_cfm then begin
+              let freq_c =
+                match d.Annotation.kind with
+                | Annotation.Frequently_hammock -> Some c
+                | _ ->
+                    Alg_freq.candidate_of_branch
+                      ~apply_min_merge_prob:heuristic ctx ~func ~block
+              in
+              (match freq_c with
+              | Some { Candidate.ret = Some r; _ } ->
+                  if r.Candidate.ret_prob
+                     < Float.max 0.01 params.Params.min_merge_prob
+                  then
+                    err ~block "ret-prob"
+                      (Printf.sprintf
+                         "return-CFM probability %.3f below the threshold"
+                         r.Candidate.ret_prob)
+              | Some { Candidate.ret = None; _ } | None ->
+                  err ~block "ret-not-reconstructible"
+                    "no return-merge evidence reconstructible for this \
+                     branch");
+              match succs with
+              | None -> ()
+              | Some _ ->
+                  if not (reaches_return cfg reach_t) then
+                    err ~block "ret-unreachable"
+                      "taken side cannot reach a return";
+                  if not (reaches_return cfg reach_nt) then
+                    err ~block "ret-unreachable"
+                      "not-taken side cannot reach a return"
+            end))
+  end;
+  List.rev !out
+
+let check_annotation ctx ~mode ann =
+  Annotation.fold (fun d acc -> acc @ check_diverge ctx ~mode d) ann []
+
+let default_params mode =
+  match mode with
+  | Select.Heuristic -> Params.default
+  | Select.Cost _ -> Params.for_cost_model
+
+let check ?params ~mode linked profile ann =
+  let params =
+    match params with Some p -> p | None -> default_params mode
+  in
+  let ctx = Context.create ~params linked profile in
+  check_linked linked @ check_context ctx @ check_annotation ctx ~mode ann

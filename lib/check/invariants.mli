@@ -1,0 +1,50 @@
+(** Invariant validator: IR/CFG well-formedness and DMP-annotation
+    legality per the paper.
+
+    CFG checks (per function): terminator targets in range, dominator
+    and post-dominator consistency (the per-edge closure properties of
+    both trees), dominator/DFS reachability agreement, and natural-loop
+    sanity (header dominates the body, back edges land on the header,
+    exit branches are conditional with a successor outside the body).
+
+    Annotation checks (per diverge branch): the branch address names a
+    conditional branch; every CFM point is the start of a block of the
+    same function and is reachable from both the taken and not-taken
+    successors (Sections 3.2/3.3); merge probabilities lie in [0, 1]
+    and respect MIN_MERGE_PROB under threshold selection; at most
+    MAX_CFM points, all within MAX_INSTR / MAX_CBR exploration bounds;
+    the CFM set is chain-reduced (Section 3.3.1); exact CFMs are the
+    branch's immediate post-dominator; short hammocks obey the Section
+    3.4 bounds; return CFMs require both sides to reach a return
+    (Section 3.5); loop diverge branches carry consistent loop info,
+    with the CFM at the loop-exit target and the Section 5.2 heuristics
+    satisfied. Candidate facts (path lengths, merge probabilities,
+    select-µop counts) are cross-checked by re-running the deterministic
+    per-branch analyses ([Alg_exact] / [Alg_freq] / [Loop_select]). *)
+
+open Dmp_ir
+open Dmp_profile
+open Dmp_core
+
+val check_linked : Linked.t -> Diagnostic.t list
+(** Program-level well-formedness ({!Program.validate} verdict as a
+    diagnostic). *)
+
+val check_context : Context.t -> Diagnostic.t list
+(** CFG / dominator / post-dominator / loop invariants of every
+    function. Unreachable blocks are warnings (dead code is legal). *)
+
+val check_annotation :
+  Context.t -> mode:Select.mode -> Annotation.t -> Diagnostic.t list
+(** Annotation legality against an analysis context built with the
+    params the annotation was selected under. [mode] tells the
+    validator which filters selection applied (threshold heuristics
+    vs cost model). *)
+
+val check :
+  ?params:Params.t -> mode:Select.mode -> Linked.t -> Profile.t ->
+  Annotation.t -> Diagnostic.t list
+(** [check_linked] + [check_context] + [check_annotation] over a fresh
+    context. [params] defaults to [Params.default] for [Heuristic] mode
+    and [Params.for_cost_model] for [Cost] mode, matching
+    {!Select.all_heuristic} / {!Select.all_cost}. *)

@@ -1,0 +1,211 @@
+open Dmp_ir
+open Dmp_exec
+open Dmp_uarch
+module D = Diagnostic
+
+let stats_mismatches a b =
+  List.filter_map
+    (fun ((fa, va), (fb, vb)) ->
+      assert (fa = fb);
+      if va <> vb then Some (fa, va, vb) else None)
+    (List.combine (Stats.fields a) (Stats.fields b))
+
+let pp_event = Fmt.to_to_string Event.pp
+
+let check_streams ?max_insts linked ~input trace image =
+  let out = ref [] in
+  let err ?addr rule msg = out := D.error ?addr ~rule msg :: !out in
+  let n = Trace.length trace in
+  if Image.length image <> n then
+    err "oracle-image-length"
+      (Printf.sprintf "image has %d events, trace %d" (Image.length image) n);
+  let live = Source.live (Emulator.create linked ~input) in
+  let cur = Trace.cursor trace in
+  let cap = match max_insts with Some m -> min m n | None -> n in
+  let i = ref 0 in
+  let diverged = ref false in
+  while (not !diverged) && !i < cap do
+    let la = Source.advance live in
+    let ta = Trace.advance cur in
+    if not (la && ta) then begin
+      err "oracle-stream-length"
+        (Printf.sprintf
+           "at event %d: live stream %s, trace replay %s (trace length %d)"
+           !i
+           (if la then "continues" else "ends")
+           (if ta then "continues" else "ends")
+           n);
+      diverged := true
+    end
+    else begin
+      let el = Source.current_event live in
+      let et = Trace.current_event cur in
+      if el <> et then begin
+        err ~addr:et.Event.addr "oracle-trace-divergence"
+          (Printf.sprintf "first diverging event %d: live %s, replay %s" !i
+             (pp_event el) (pp_event et));
+        diverged := true
+      end;
+      (if !i < Image.length image then
+         let ei = Image.event image !i in
+         if et <> ei then begin
+           err ~addr:et.Event.addr "oracle-image-divergence"
+             (Printf.sprintf "first diverging event %d: replay %s, image %s"
+                !i (pp_event et) (pp_event ei));
+           diverged := true
+         end);
+      incr i
+    end
+  done;
+  (* A complete trace must end exactly where the program halts. *)
+  if (not !diverged) && cap = n && Trace.complete trace
+     && max_insts = None && Source.advance live
+  then
+    err "oracle-stream-length"
+      (Printf.sprintf
+         "live stream continues past the %d events of a complete trace" n);
+  List.rev !out
+
+let diff_stats ~label ~left ~right a b =
+  match stats_mismatches a b with
+  | [] -> []
+  | ms ->
+      let fields =
+        String.concat ", "
+          (List.map
+             (fun (f, va, vb) -> Printf.sprintf "%s %d/%d" f va vb)
+             ms)
+      in
+      [
+        D.errorf ~rule:"oracle-stats"
+          "%s: %s and %s statistics disagree on %d field(s): %s" label left
+          right (List.length ms) fields;
+      ]
+
+let sim_diff ?max_insts linked ~input trace image ~label config annotation =
+  let live = Sim.run ~config ?annotation ?max_insts linked ~input in
+  let replay = Sim.run_replay ~config ?annotation ?max_insts linked trace in
+  let img = Sim.run_image ~config ?annotation ?max_insts linked image in
+  diff_stats ~label ~left:"live" ~right:"replay" live replay
+  @ diff_stats ~label ~left:"live" ~right:"image" live img
+
+let check_sims ?max_insts ?annotation linked ~input trace image =
+  sim_diff ?max_insts linked ~input trace image ~label:"baseline"
+    Config.baseline None
+  @
+  match annotation with
+  | None -> []
+  | Some ann ->
+      sim_diff ?max_insts linked ~input trace image ~label:"dmp" Config.dmp
+        (Some ann)
+
+let check_dmp_sim ?max_insts ~label ann linked ~input trace image =
+  sim_diff ?max_insts linked ~input trace image ~label Config.dmp (Some ann)
+
+(* ---- profiles ---- *)
+
+let profile_bytes p =
+  Marshal.to_string (Dmp_profile.Profile.to_raw p) []
+
+let profile_divergence ~left ~right linked a b =
+  let module P = Dmp_profile.Profile in
+  if String.equal (profile_bytes a) (profile_bytes b) then []
+  else
+    (* Serialised counters differ; pinpoint the first counter. *)
+    let pin = ref [] in
+    let err ?addr msg = pin := D.error ?addr ~rule:"oracle-profile" msg :: !pin in
+    if P.retired a <> P.retired b then
+      err
+        (Printf.sprintf "%s retired %d, %s retired %d" left (P.retired a)
+           right (P.retired b));
+    let addrs =
+      List.sort_uniq Int.compare (P.branch_addrs a @ P.branch_addrs b)
+    in
+    List.iter
+      (fun addr ->
+        match (P.branch a ~addr, P.branch b ~addr) with
+        | None, None -> ()
+        | Some _, None | None, Some _ ->
+            err ~addr
+              (Printf.sprintf "branch %d profiled by %s only" addr
+                 (match P.branch a ~addr with Some _ -> left | None -> right))
+        | Some ba, Some bb ->
+            if
+              ba.P.executed <> bb.P.executed
+              || ba.P.taken <> bb.P.taken
+              || ba.P.mispredicted <> bb.P.mispredicted
+            then
+              err ~addr
+                (Printf.sprintf
+                   "branch %d: %s exec/taken/misp %d/%d/%d, %s %d/%d/%d"
+                   addr left ba.P.executed ba.P.taken ba.P.mispredicted
+                   right bb.P.executed bb.P.taken bb.P.mispredicted))
+      addrs;
+    let program = linked.Linked.program in
+    for func = 0 to Program.num_funcs program - 1 do
+      let f = Program.func program func in
+      for block = 0 to Func.num_blocks f - 1 do
+        let ca = P.block_count a ~func ~block in
+        let cb = P.block_count b ~func ~block in
+        if ca <> cb then
+          err
+            ~addr:(Linked.block_addr linked ~func ~block)
+            (Printf.sprintf "block %d.%d counted %d by %s, %d by %s" func
+               block ca left cb right)
+      done
+    done;
+    match List.rev !pin with
+    | [] ->
+        [
+          D.errorf ~rule:"oracle-profile"
+            "%s and %s profiles serialise differently but no counter \
+             disagrees"
+            left right;
+        ]
+    | first :: _ -> [ first ]
+
+let check_profiles ?max_insts linked ~input trace =
+  let module P = Dmp_profile.Profile in
+  let p_live = P.collect ?max_insts linked ~input in
+  let p_trace = P.collect_trace ?max_insts linked trace in
+  let config = { Dmp_sampling.Sampler.mode = Periodic; period = 1; seed = 0 } in
+  let sampler =
+    Dmp_sampling.Sampler.collect_trace ?max_insts ~config linked trace
+  in
+  let coverage =
+    if Dmp_sampling.Sampler.complete_coverage sampler then []
+    else
+      [
+        D.error ~rule:"oracle-sampler-coverage"
+          "period-1 periodic sampler reports incomplete coverage";
+      ]
+  in
+  let p_rec = Dmp_sampling.Reconstruct.profile linked sampler in
+  let flow =
+    match Dmp_sampling.Reconstruct.flow_violations linked sampler with
+    | [] -> []
+    | (func, block, inflow, outflow) :: _ as vs ->
+        [
+          D.errorf ~func ~block ~rule:"oracle-flow"
+            "%d flow-conservation violation(s); first at block %d.%d \
+             (inflow %d, outflow %d)"
+            (List.length vs) func block inflow outflow;
+        ]
+  in
+  profile_divergence ~left:"live" ~right:"replay" linked p_live p_trace
+  @ profile_divergence ~left:"exact" ~right:"period-1-sampled" linked
+      p_trace p_rec
+  @ coverage @ flow
+
+let run ?max_insts ?(annotations = []) linked ~input =
+  let trace = Trace.capture ?max_insts linked ~input in
+  let image = Image.of_trace trace in
+  check_streams ?max_insts linked ~input trace image
+  @ sim_diff ?max_insts linked ~input trace image ~label:"baseline"
+      Config.baseline None
+  @ List.concat_map
+      (fun (label, ann) ->
+        sim_diff ?max_insts linked ~input trace image
+          ~label:(Printf.sprintf "dmp[%s]" label) Config.dmp (Some ann))
+      annotations
+  @ check_profiles ?max_insts linked ~input trace

@@ -1,0 +1,109 @@
+open Dmp_ir
+open Dmp_exec
+open Dmp_core
+open Dmp_workload
+module D = Diagnostic
+
+let tag label ds =
+  List.map
+    (fun d -> { d with D.message = "[" ^ label ^ "] " ^ d.D.message })
+    ds
+
+let configs =
+  [ ("all-best-heur", Select.all_heuristic);
+    ("all-best-cost", Select.all_cost) ]
+
+let mutate_annotation linked ann =
+  let target =
+    Annotation.fold
+      (fun d acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if
+              List.exists
+                (fun c -> c.Annotation.cfm_addr >= 0)
+                d.Annotation.cfms
+            then Some d
+            else None)
+      ann None
+  in
+  match target with
+  | None -> None
+  | Some d ->
+      let l = Linked.loc linked d.Annotation.branch_addr in
+      let entry_addr =
+        Linked.block_addr linked ~func:l.Linked.func ~block:0
+      in
+      let mutated =
+        List.find
+          (fun c -> c.Annotation.cfm_addr >= 0)
+          d.Annotation.cfms
+      in
+      Annotation.replace ann
+        { d with
+          Annotation.cfms =
+            [ { mutated with Annotation.cfm_addr = entry_addr } ] };
+      Some d.Annotation.branch_addr
+
+let check_program ?max_insts ?(mutate = false) ?gen linked ~input =
+  let trace = Trace.capture ?max_insts linked ~input in
+  let image = Image.of_trace trace in
+  let profile = Dmp_profile.Profile.collect_trace ?max_insts linked trace in
+  let structural =
+    Invariants.check_linked linked
+    @ Invariants.check_context (Context.create linked profile)
+  in
+  let annotated =
+    List.map
+      (fun (label, (config : Select.config)) ->
+        (label, config, Select.run ~config linked profile))
+      configs
+  in
+  (match (gen, annotated) with
+  | Some g, (_, _, ann) :: _ -> Generator.note g ann
+  | _ -> ());
+  (if mutate then
+     match annotated with
+     | (_, _, ann) :: _ -> ignore (mutate_annotation linked ann)
+     | [] -> ());
+  let ann_checks =
+    List.concat_map
+      (fun (label, (config : Select.config), ann) ->
+        let ctx =
+          Context.create ~params:config.Select.params linked profile
+        in
+        tag label
+          (Invariants.check_annotation ctx ~mode:config.Select.mode ann))
+      annotated
+  in
+  let oracle =
+    Oracle.check_streams ?max_insts linked ~input trace image
+    @ Oracle.check_sims ?max_insts linked ~input trace image
+    @ List.concat_map
+        (fun (label, _, ann) ->
+          Oracle.check_dmp_sim ?max_insts ~label:("dmp[" ^ label ^ "]") ann
+            linked ~input trace image)
+        annotated
+    @ Oracle.check_profiles ?max_insts linked ~input trace
+  in
+  structural @ ann_checks @ oracle
+
+type outcome = { name : string; diagnostics : Diagnostic.t list }
+
+let check_benchmark ?max_insts ?mutate ~set spec =
+  let linked = Spec.linked spec in
+  let input = spec.Spec.input set in
+  { name = spec.Spec.name;
+    diagnostics = check_program ?max_insts ?mutate linked ~input }
+
+let check_random ?max_insts ~n ~seed () =
+  let gen = Generator.create ~seed in
+  let outcomes =
+    List.init n (fun i ->
+        let program, input = Generator.next gen in
+        let linked = Linked.link program in
+        { name = Printf.sprintf "random-%d" (i + 1);
+          diagnostics = check_program ?max_insts ~gen linked ~input })
+  in
+  (outcomes, gen)

@@ -88,10 +88,14 @@ let load t ~bench ~set ~kind =
                 let len =
                   in_channel_length ic - String.length magic - 16
                 in
-                let payload = really_input_string ic len in
-                if Digest.string payload <> d then None
-                else Some (Marshal.from_string payload 0)
-            with End_of_file | Failure _ -> None)
+                if len < 0 then None
+                else
+                  let payload = really_input_string ic len in
+                  if Digest.string payload <> d then None
+                  else Some (Marshal.from_string payload 0)
+            with
+            | End_of_file | Failure _ | Sys_error _ | Invalid_argument _ ->
+              None)
       in
       (match r with
       | None -> ( try Sys.remove file with Sys_error _ -> ())

@@ -55,6 +55,34 @@ let create () =
     rob_full_cycles = 0;
   }
 
+let fields t =
+  [
+    ("cycles", t.cycles);
+    ("retired", t.retired);
+    ("cond_branches", t.cond_branches);
+    ("mispredictions", t.mispredictions);
+    ("flushes", t.flushes);
+    ("low_confidence", t.low_confidence);
+    ("low_confidence_mispredicted", t.low_confidence_mispredicted);
+    ("dpred_entries", t.dpred_entries);
+    ("dpred_hammock_entries", t.dpred_hammock_entries);
+    ("dpred_loop_entries", t.dpred_loop_entries);
+    ("dpred_merges", t.dpred_merges);
+    ("dpred_resolved_before_merge", t.dpred_resolved_before_merge);
+    ("dpred_flushes_avoided", t.dpred_flushes_avoided);
+    ("dpred_useless_entries", t.dpred_useless_entries);
+    ("select_uops", t.select_uops);
+    ("wrong_side_insts", t.wrong_side_insts);
+    ("loop_early_exits", t.loop_early_exits);
+    ("loop_late_exits", t.loop_late_exits);
+    ("loop_no_exits", t.loop_no_exits);
+    ("loop_correct", t.loop_correct);
+    ("loop_extra_insts", t.loop_extra_insts);
+    ("dpred_cycles", t.dpred_cycles);
+    ("recovery_cycles", t.recovery_cycles);
+    ("rob_full_cycles", t.rob_full_cycles);
+  ]
+
 let ipc t =
   if t.cycles = 0 then 0. else float_of_int t.retired /. float_of_int t.cycles
 

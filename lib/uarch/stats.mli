@@ -32,6 +32,11 @@ type t = {
 }
 
 val create : unit -> t
+
+val fields : t -> (string * int) list
+(** Every counter as a (name, value) pair, in declaration order — the
+    differential oracle diffs two stats structs field-by-field with it. *)
+
 val ipc : t -> float
 val mpki : t -> float
 val flushes_per_ki : t -> float

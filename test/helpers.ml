@@ -171,3 +171,12 @@ let random_func rand_state ~nblocks =
 
 let random_program rand_state ~nblocks =
   Program.of_funcs_exn ~main:"main" [ random_func rand_state ~nblocks ]
+
+(* Coverage-guided motif stream (lib/check): deterministic
+   (program, input) pairs biased toward the paper's structural shapes —
+   simple / nested / frequently / short hammocks, return CFMs, diverge
+   loops. Property tests use it when they need selection to actually
+   fire, which the fully irregular CFGs above rarely achieve. *)
+let generated_programs ~seed n =
+  let gen = Dmp_check.Generator.create ~seed in
+  List.init n (fun _ -> Dmp_check.Generator.next gen)

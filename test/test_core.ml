@@ -649,6 +649,112 @@ let qcheck_selection_invariants =
                d.Annotation.cfms)
         ann true)
 
+(* ---------- Annotation.compile edge cases ---------- *)
+
+(* The compiled per-address table must agree with a straightforward
+   list-based interpretation of the annotation, even on malformed CFM
+   lists: duplicates (last declaration wins), unsorted addresses, a
+   negative-address return pseudo-entry, and a diverge branch whose
+   address lies outside the image entirely. *)
+let test_compile_edge_cases () =
+  let mk_cfm addr selects =
+    { Annotation.cfm_addr = addr; exact = false; merge_prob = 0.5;
+      select_uops = selects }
+  in
+  let messy =
+    { Annotation.branch_addr = 10; kind = Annotation.Frequently_hammock;
+      cfms = [ mk_cfm 30 2; mk_cfm 20 1; mk_cfm 30 7; mk_cfm (-1) 3 ];
+      return_cfm = true; always_predicate = false; loop = None }
+  in
+  let defaulted =
+    { Annotation.branch_addr = 12; kind = Annotation.Simple_hammock;
+      cfms = []; return_cfm = true; always_predicate = false; loop = None }
+  in
+  let absent =
+    { messy with Annotation.branch_addr = 60 }
+  in
+  let ann = Annotation.empty () in
+  Annotation.add ann messy;
+  Annotation.add ann defaulted;
+  Annotation.add ann absent;
+  let size = 50 in
+  let table = Annotation.compile ~size ann in
+  check Alcotest.int "one slot per address" size (Array.length table);
+  Array.iteri
+    (fun a slot ->
+      check Alcotest.bool
+        (Printf.sprintf "slot %d occupancy" a)
+        (a = 10 || a = 12)
+        (slot <> None))
+    table;
+  let c = Option.get table.(10) in
+  (* list-based reference: membership ignores the return pseudo-entry;
+     duplicates resolve to the last declaration *)
+  let ref_is_cfm a =
+    List.exists
+      (fun (m : Annotation.cfm) -> m.Annotation.cfm_addr = a)
+      messy.Annotation.cfms
+    && a >= 0
+  in
+  let ref_selects a =
+    if a < 0 then 0
+    else
+      List.fold_left
+        (fun acc (m : Annotation.cfm) ->
+          if m.Annotation.cfm_addr = a then m.Annotation.select_uops else acc)
+        0 messy.Annotation.cfms
+  in
+  for a = 0 to size - 1 do
+    check Alcotest.bool
+      (Printf.sprintf "is_cfm %d agrees with the list path" a)
+      (ref_is_cfm a) (Annotation.is_cfm c a);
+    check Alcotest.int
+      (Printf.sprintf "cfm_selects %d agrees with the list path" a)
+      (ref_selects a)
+      (Annotation.cfm_selects c a)
+  done;
+  check Alcotest.(array int) "addresses sorted, duplicate collapsed"
+    [| 20; 30 |] c.Annotation.c_cfm_addrs;
+  check Alcotest.(array int) "selects parallel, last declaration wins"
+    [| 1; 7 |] c.Annotation.c_cfm_selects;
+  check Alcotest.int "return selects from the pseudo-entry" 3
+    c.Annotation.c_ret_selects;
+  let d = Option.get table.(12) in
+  check Alcotest.int "return selects default when undeclared" 4
+    d.Annotation.c_ret_selects;
+  check Alcotest.bool "empty CFM list has no members" false
+    (Annotation.is_cfm d 12)
+
+(* ---------- Section 5.2 loop-threshold boundaries ---------- *)
+
+(* STATIC_LOOP_SIZE = 30, DYNAMIC_LOOP_SIZE = 80, LOOP_ITER = 15: each
+   limit is inclusive — exactly at the limit selects, one over does
+   not. The avg_iterations values are exact binary floats, so the
+   dynamic product is computed without rounding. *)
+let test_loop_threshold_boundaries () =
+  let p = Params.default in
+  check Alcotest.int "STATIC_LOOP_SIZE" 30 p.Params.static_loop_size;
+  check Alcotest.int "DYNAMIC_LOOP_SIZE" 80 p.Params.dynamic_loop_size;
+  check Alcotest.int "LOOP_ITER" 15 p.Params.loop_iter;
+  let mk ~body ~avg =
+    { Loop_select.func = 0; block = 0; branch_addr = 0; body_insts = body;
+      avg_iterations = avg; exit_target = 1; select_uops = 0;
+      executed = 100; mispredicted = 10 }
+  in
+  let case name expected ~body ~avg =
+    check Alcotest.bool name expected
+      (Loop_select.passes_heuristics p (mk ~body ~avg))
+  in
+  case "static: one under" true ~body:29 ~avg:1.0;
+  case "static: exactly at" true ~body:30 ~avg:1.0;
+  case "static: one over" false ~body:31 ~avg:1.0;
+  case "dynamic: one under (8 x 9.875 = 79)" true ~body:8 ~avg:9.875;
+  case "dynamic: exactly at (8 x 10 = 80)" true ~body:8 ~avg:10.0;
+  case "dynamic: one over (8 x 10.125 = 81)" false ~body:8 ~avg:10.125;
+  case "iterations: one under" true ~body:5 ~avg:14.0;
+  case "iterations: exactly at" true ~body:5 ~avg:15.0;
+  case "iterations: over" false ~body:5 ~avg:15.5
+
 let () =
   Alcotest.run "dmp_core"
     [
@@ -678,6 +784,8 @@ let () =
             test_loop_selection_boundaries;
           Alcotest.test_case "loop static size" `Quick
             test_loop_static_size_filter;
+          Alcotest.test_case "loop threshold boundaries" `Quick
+            test_loop_threshold_boundaries;
         ] );
       ( "cost model",
         [
@@ -707,6 +815,8 @@ let () =
           Alcotest.test_case "round trip" `Quick test_annotation_round_trip;
           Alcotest.test_case "parse errors" `Quick
             test_annotation_parse_errors;
+          Alcotest.test_case "compile edge cases" `Quick
+            test_compile_edge_cases;
         ] );
       ( "if-conversion",
         [

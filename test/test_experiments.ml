@@ -345,6 +345,102 @@ let test_disk_cache_corrupt_fallback () =
       check Alcotest.int "no recompute after re-store" 0
         (stage_calls r3 "profile (collect)"))
 
+(* Targeted corruption injection against the Disk_cache format itself
+   (magic | digest | marshalled payload): a flipped bit anywhere, or a
+   truncation at any boundary — empty file, inside the magic, inside
+   the digest, inside the payload — must load as a miss, never raise,
+   and a re-store must restore service. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let flip_bit path pos =
+  let s = Bytes.of_string (read_file path) in
+  let pos = min pos (Bytes.length s - 1) in
+  Bytes.set s pos (Char.chr (Char.code (Bytes.get s pos) lxor 0x40));
+  write_file path (Bytes.to_string s)
+
+let truncate_to path keep =
+  let s = read_file path in
+  write_file path (String.sub s 0 (min keep (String.length s)))
+
+let test_disk_cache_corruption_injection () =
+  with_temp_cache_dir (fun dir ->
+      let linked =
+        Dmp_ir.Linked.link (Helpers.simple_hammock_program ~iters:200 ())
+      in
+      let input = Helpers.uniform_input 300 in
+      let trace = Dmp_exec.Trace.capture linked ~input in
+      let profile = Dmp_profile.Profile.collect_trace linked trace in
+      let cache = Disk_cache.create ~dir ~max_insts:None () in
+      let bench = "synthetic" and set = Input_gen.Reduced in
+      let store () =
+        Disk_cache.store_profile cache ~bench ~set profile;
+        Disk_cache.store_trace cache ~bench ~set trace
+      in
+      let entries () =
+        Sys.readdir (Disk_cache.dir cache)
+        |> Array.to_list |> List.sort compare
+        |> List.map (Filename.concat (Disk_cache.dir cache))
+      in
+      let trace_bytes (t : Dmp_exec.Trace.t) = Marshal.to_string t [] in
+      let loads_intact () =
+        (match Disk_cache.load_profile cache linked ~bench ~set with
+        | Some p -> profile_bytes p = profile_bytes profile
+        | None -> false)
+        &&
+        match Disk_cache.load_trace cache ~bench ~set with
+        | Some t -> trace_bytes t = trace_bytes trace
+        | None -> false
+      in
+      let loads_missing () =
+        Disk_cache.load_profile cache linked ~bench ~set = None
+        && Disk_cache.load_trace cache ~bench ~set = None
+      in
+      store ();
+      check Alcotest.int "two entries on disk" 2 (List.length (entries ()));
+      check Alcotest.bool "intact entries load" true (loads_intact ());
+      (* a flipped bit in the payload breaks the digest *)
+      List.iter
+        (fun f -> flip_bit f (String.length (read_file f) / 2))
+        (entries ());
+      check Alcotest.bool "bit-flipped entries miss" true (loads_missing ());
+      check Alcotest.int "corrupt entries evicted" 0
+        (List.length (entries ()));
+      store ();
+      check Alcotest.bool "re-stored entries load" true (loads_intact ());
+      (* a flipped bit in the magic is caught before the digest *)
+      List.iter (fun f -> flip_bit f 0) (entries ());
+      check Alcotest.bool "bad-magic entries miss" true (loads_missing ());
+      List.iter
+        (fun keep ->
+          store ();
+          List.iter
+            (fun f ->
+              let len = String.length (read_file f) in
+              truncate_to f (min keep (len - 1)))
+            (entries ());
+          check Alcotest.bool
+            (Printf.sprintf "truncated-to-%d entries miss" keep)
+            true (loads_missing ()))
+        [ 0; 3; 20; 1000 ];
+      store ();
+      List.iter
+        (fun f -> truncate_to f (String.length (read_file f) / 2))
+        (entries ());
+      check Alcotest.bool "half-truncated entries miss" true (loads_missing ());
+      store ();
+      check Alcotest.bool "cache recovers after every corruption" true
+        (loads_intact ()))
+
 let test_report_render () =
   let fig =
     {
@@ -387,6 +483,8 @@ let () =
             test_disk_cache_sampled_round_trip;
           Alcotest.test_case "corrupt fallback" `Slow
             test_disk_cache_corrupt_fallback;
+          Alcotest.test_case "corruption injection" `Quick
+            test_disk_cache_corruption_injection;
         ] );
       ( "figures",
         [

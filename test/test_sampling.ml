@@ -168,6 +168,91 @@ let test_invalid_config () =
            ~config:{ Sampler.mode = Sampler.Lbr 0; period = 10; seed = 1 }
            linked tr))
 
+(* ---------- degenerate CFGs ---------- *)
+
+module B = Build
+
+let r = Reg.of_int
+
+(* One block, no branches: the function entry is also its only exit. *)
+let single_block_program () =
+  let f = B.func "main" in
+  B.li f (r 4) 3;
+  B.add f (r 4) (r 4) (B.imm 1);
+  B.write f (r 4);
+  B.halt f;
+  Program.of_funcs_exn ~main:"main" [ B.finish f ]
+
+(* A small loop plus an unreachable block in main, and a whole function
+   the program never calls: sampling observes nothing in the dead
+   regions, and reconstruction must still conserve flow there. *)
+let dead_code_program () =
+  let ghost = B.func "ghost" in
+  B.branch ghost Term.Ne (r 4) (B.imm 0) ~target:"a" ();
+  B.label ghost "b";
+  B.sub ghost (r 7) (r 7) (B.imm 1);
+  B.ret ghost;
+  B.label ghost "a";
+  B.add ghost (r 7) (r 7) (B.imm 1);
+  B.ret ghost;
+  let ghost = B.finish ghost in
+  let f = B.func "main" in
+  let n = r 6 and acc = r 7 in
+  B.li f n 40;
+  B.label f "loop";
+  B.add f acc acc (B.imm 1);
+  B.sub f n n (B.imm 1);
+  B.branch f Term.Gt n (B.imm 0) ~target:"loop" ~fall:"done" ();
+  B.label f "done";
+  B.jump f "end";
+  B.label f "dead";
+  B.add f acc acc (B.imm 5);
+  B.jump f "end";
+  B.label f "end";
+  B.write f acc;
+  B.halt f;
+  Program.of_funcs_exn ~main:"main" [ B.finish f; ghost ]
+
+(* Reconstruction over degenerate CFGs must never raise (in particular
+   no division by zero on regions with zero samples), must conserve
+   flow, and must keep the exactly-counted totals. The huge period
+   yields (almost) no samples at all; Mispredict mode on a branch-free
+   program yields exactly none. *)
+let test_reconstruct_degenerate () =
+  List.iter
+    (fun (name, program, input) ->
+      let linked = Linked.link program in
+      let tr = Dmp_exec.Trace.capture linked ~input in
+      let exact = Profile.collect_trace linked tr in
+      List.iter
+        (fun config ->
+          let label what =
+            Printf.sprintf "%s/%s: %s" name
+              (Sampler.config_to_string config)
+              what
+          in
+          let s = Sampler.collect_trace ~config linked tr in
+          let p = Reconstruct.profile linked s in
+          check Alcotest.int (label "flow conservation") 0
+            (List.length (Reconstruct.flow_violations linked s));
+          check Alcotest.int (label "retired preserved")
+            (Profile.retired exact) (Profile.retired p);
+          if config.Sampler.mode = Sampler.Periodic && config.Sampler.period = 1
+          then
+            check Alcotest.bool (label "period-1 identity") true
+              (profile_bytes p = profile_bytes exact))
+        [
+          { Sampler.mode = Sampler.Periodic; period = 1; seed = 1 };
+          { Sampler.mode = Sampler.Periodic; period = 7; seed = 2 };
+          { Sampler.mode = Sampler.Periodic; period = 1_000_000; seed = 3 };
+          { Sampler.mode = Sampler.Mispredict; period = 3; seed = 4 };
+          { Sampler.mode = Sampler.Lbr 4; period = 11; seed = 5 };
+        ])
+    [
+      ("single-block", single_block_program (), Helpers.uniform_input 4);
+      ("dead-code", dead_code_program (), Helpers.uniform_input 64);
+    ]
+
 let () =
   Alcotest.run "dmp_sampling"
     [
@@ -183,8 +268,12 @@ let () =
       ( "determinism",
         [ Alcotest.test_case "repeat collection" `Slow test_determinism ] );
       ( "reconstruction",
-        [ Alcotest.test_case "counter sanity" `Slow
-            test_reconstructed_sanity ] );
+        [
+          Alcotest.test_case "counter sanity" `Slow
+            test_reconstructed_sanity;
+          Alcotest.test_case "degenerate CFGs" `Quick
+            test_reconstruct_degenerate;
+        ] );
       ( "config",
         [
           Alcotest.test_case "strings" `Quick test_config_strings;
