@@ -20,7 +20,17 @@
                           (smoke runs of a target on one workload)
      --timings            print a per-stage wall-clock summary to stderr
      --timings-json FILE  write the per-stage timings to FILE as JSON
-     --no-cache           do not read or write the persistent _cache/ *)
+     --no-cache           do not read or write the persistent _cache/
+     --sim-segments N     split every DMP simulation into N segments at
+                          checkpoint boundaries and fan them across the
+                          pool; output stays byte-identical to the
+                          unsegmented run
+     --sim-sampling       interval sampling: simulate a warmup prefix
+                          plus a representative window per segment and
+                          extrapolate (fast, estimated statistics; see
+                          the sim-fidelity target for the error)
+     --sim-warmup N       sampled mode: warmup events per segment
+     --sim-window N       sampled mode: measured events per segment *)
 
 open Dmp_experiments
 
@@ -146,12 +156,28 @@ type opts = {
   mutable max_insts : int option;
   mutable cache : bool;
   mutable benchmarks : string list option;
+  mutable sim_segments : int option;
+  mutable sim_sampling : bool;
+  mutable sim_warmup : int;
+  mutable sim_window : int;
 }
 
 let parse_args args =
   let o =
     { targets = []; timings = false; timings_json = None; jobs = None;
-      max_insts = None; cache = true; benchmarks = None }
+      max_insts = None; cache = true; benchmarks = None;
+      sim_segments = None; sim_sampling = false;
+      sim_warmup = Sim_fidelity.default_warmup;
+      sim_window = Sim_fidelity.default_window }
+  in
+  let positive flag rest k =
+    match rest with
+    | n :: rest' -> (
+        match int_of_string_opt n with
+        | Some m when m > 0 -> k m rest'
+        | Some _ | None ->
+            usage_error (Printf.sprintf "bad %s %S" flag n))
+    | [] -> usage_error (flag ^ " needs a positive integer")
   in
   let rec go = function
     | [] -> ()
@@ -200,6 +226,21 @@ let parse_args args =
             | Some _ | None ->
                 usage_error (Printf.sprintf "bad job count %S" n))
         | [] -> usage_error "-j/--jobs needs a positive integer")
+    | "--sim-segments" :: rest ->
+        positive "--sim-segments" rest (fun n rest' ->
+            o.sim_segments <- Some n;
+            go rest')
+    | "--sim-sampling" :: rest ->
+        o.sim_sampling <- true;
+        go rest
+    | "--sim-warmup" :: rest ->
+        positive "--sim-warmup" rest (fun n rest' ->
+            o.sim_warmup <- n;
+            go rest')
+    | "--sim-window" :: rest ->
+        positive "--sim-window" rest (fun n rest' ->
+            o.sim_window <- n;
+            go rest')
     | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
         usage_error ("unknown option " ^ flag)
     | target :: rest ->
@@ -210,7 +251,28 @@ let parse_args args =
   o.targets <- List.rev o.targets;
   o
 
+let sim_mode_of o =
+  if o.sim_sampling then
+    Runner.Sampled
+      {
+        segments =
+          Option.value o.sim_segments ~default:Sim_fidelity.default_segments;
+        warmup = o.sim_warmup;
+        window = o.sim_window;
+      }
+  else
+    match o.sim_segments with
+    | Some n -> Runner.Segmented n
+    | None -> Runner.Exact
+
 let () =
+  (* Reject a malformed DMP_JOBS before any work starts; -j overrides a
+     valid value but a value that does not parse is an error. *)
+  (match Dmp_exec.Pool.env_jobs () with
+  | Ok _ -> ()
+  | Error msg ->
+      Printf.eprintf "bench: %s\n" msg;
+      exit 2);
   let o = parse_args (List.tl (Array.to_list Sys.argv)) in
   match o.targets with
   | [ "micro" ] -> micro ()
@@ -229,7 +291,7 @@ let () =
                (List.map Dmp_workload.Registry.find)
                o.benchmarks)
           ?cache_dir:(if o.cache then Some "_cache" else None)
-          ?max_insts:o.max_insts ?jobs:o.jobs ()
+          ?max_insts:o.max_insts ?jobs:o.jobs ~sim_mode:(sim_mode_of o) ()
       in
       Runner.prefetch ~profile_sets:(Targets.profile_sets known) runner;
       List.iter

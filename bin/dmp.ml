@@ -440,6 +440,14 @@ let experiment_cmd =
     Term.(const run $ target_arg)
 
 let () =
+  (* Fail fast on a malformed DMP_JOBS before any command runs; a value
+     that does not parse as a positive integer is a configuration
+     error, not a hint. *)
+  (match Dmp_exec.Pool.env_jobs () with
+  | Ok _ -> ()
+  | Error msg ->
+      Printf.eprintf "dmp: %s\n" msg;
+      exit 2);
   let info =
     Cmd.info "dmp" ~version:"1.0.0"
       ~doc:

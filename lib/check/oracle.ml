@@ -66,7 +66,7 @@ let check_streams ?max_insts linked ~input trace image =
          "live stream continues past the %d events of a complete trace" n);
   List.rev !out
 
-let diff_stats ~label ~left ~right a b =
+let diff_stats ?(rule = "oracle-stats") ~label ~left ~right a b =
   match stats_mismatches a b with
   | [] -> []
   | ms ->
@@ -77,9 +77,8 @@ let diff_stats ~label ~left ~right a b =
              ms)
       in
       [
-        D.errorf ~rule:"oracle-stats"
-          "%s: %s and %s statistics disagree on %d field(s): %s" label left
-          right (List.length ms) fields;
+        D.errorf ~rule "%s: %s and %s statistics disagree on %d field(s): %s"
+          label left right (List.length ms) fields;
       ]
 
 let sim_diff ?max_insts linked ~input trace image ~label config annotation =
@@ -101,6 +100,53 @@ let check_sims ?max_insts ?annotation linked ~input trace image =
 
 let check_dmp_sim ?max_insts ~label ann linked ~input trace image =
   sim_diff ?max_insts linked ~input trace image ~label Config.dmp (Some ann)
+
+(* ---- checkpoints ---- *)
+
+(* Cross-check the checkpointed execution machinery against the plain
+   image simulation: the capturing run itself, a resume +
+   run-to-completion from every captured checkpoint, and the merge of
+   the per-segment deltas must all reproduce the plain run's
+   statistics field-for-field. *)
+let check_checkpoints ?max_insts ~label config annotation linked image =
+  let rule = "oracle-checkpoint" in
+  let full = Sim.run_image ~config ?annotation ?max_insts linked image in
+  let interval = max 1 (Image.length image / 4) in
+  let ck_stats, ckpts =
+    Sim.run_image_checkpointed ~config ?annotation ?max_insts ~interval
+      linked image
+  in
+  let capture =
+    diff_stats ~rule ~label ~left:"image" ~right:"checkpointing-run" full
+      ck_stats
+  in
+  let resumes =
+    List.concat_map
+      (fun ck ->
+        let t =
+          Sim.resume_image ~config ?annotation ?max_insts linked image ck
+        in
+        diff_stats ~rule ~label ~left:"image"
+          ~right:(Printf.sprintf "resume@%d" (Checkpoint.consumed ck))
+          full (Sim.run_to_completion t))
+      ckpts
+  in
+  let rec deltas from = function
+    | [] ->
+        [
+          Sim.run_image_segment ~config ?annotation ?max_insts ?from
+            ~interval ~to_completion:true linked image;
+        ]
+    | ck :: tl ->
+        Sim.run_image_segment ~config ?annotation ?max_insts ?from ~interval
+          ~to_completion:false linked image
+        :: deltas (Some ck) tl
+  in
+  let merged =
+    List.fold_left Stats.merge (Stats.create ()) (deltas None ckpts)
+  in
+  capture @ resumes
+  @ diff_stats ~rule ~label ~left:"image" ~right:"segment-merge" full merged
 
 (* ---- profiles ---- *)
 
@@ -203,9 +249,14 @@ let run ?max_insts ?(annotations = []) linked ~input =
   check_streams ?max_insts linked ~input trace image
   @ sim_diff ?max_insts linked ~input trace image ~label:"baseline"
       Config.baseline None
+  @ check_checkpoints ?max_insts ~label:"baseline" Config.baseline None
+      linked image
   @ List.concat_map
       (fun (label, ann) ->
-        sim_diff ?max_insts linked ~input trace image
-          ~label:(Printf.sprintf "dmp[%s]" label) Config.dmp (Some ann))
+        let label = Printf.sprintf "dmp[%s]" label in
+        sim_diff ?max_insts linked ~input trace image ~label Config.dmp
+          (Some ann)
+        @ check_checkpoints ?max_insts ~label Config.dmp (Some ann) linked
+            image)
       annotations
   @ check_profiles ?max_insts linked ~input trace

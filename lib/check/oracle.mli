@@ -41,6 +41,15 @@ val check_dmp_sim :
     (no baseline runs — callers diffing several annotations over one
     trace run the baseline once via {!check_sims}). *)
 
+val check_checkpoints :
+  ?max_insts:int -> label:string -> Config.t -> Annotation.t option ->
+  Linked.t -> Image.t -> Diagnostic.t list
+(** Cross-check the checkpointed execution machinery (rule
+    ["oracle-checkpoint"]): a checkpointing run, a resume from every
+    captured checkpoint, and the {!Dmp_uarch.Stats.merge} of the
+    per-segment deltas must each reproduce the plain image
+    simulation's statistics field-for-field. *)
+
 val check_profiles :
   ?max_insts:int -> Linked.t -> input:int array -> Trace.t ->
   Diagnostic.t list

@@ -14,13 +14,28 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
-let default_jobs () =
+(* DMP_JOBS is an operator-facing contract: a value that does not parse
+   as a positive integer is a configuration error, not a hint, so it is
+   reported instead of silently replaced by the domain count (matching
+   the unknown-target policy of the CLIs, which surface [env_jobs]
+   errors as exit 2 before any work starts). *)
+let env_jobs () =
   match Sys.getenv_opt "DMP_JOBS" with
+  | None -> Ok None
+  | Some s when String.trim s = "" -> Ok None
   | Some s -> (
       match int_of_string_opt (String.trim s) with
-      | Some n when n > 0 -> n
-      | Some _ | None -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+      | Some n when n > 0 -> Ok (Some n)
+      | Some _ | None ->
+          Error
+            (Printf.sprintf
+               "DMP_JOBS must be a positive integer, got %S" s))
+
+let default_jobs () =
+  match env_jobs () with
+  | Ok (Some n) -> n
+  | Ok None -> Domain.recommended_domain_count ()
+  | Error msg -> invalid_arg ("Pool.default_jobs: " ^ msg)
 
 let worker t () =
   let rec loop () =
@@ -59,7 +74,17 @@ let jobs t = t.jobs
 
 (* Every task writes its slot and bumps [done_count]; the submitter
    waits on [batch_done]. Exceptions are captured per-slot so the whole
-   batch settles before the first one is re-raised in order. *)
+   batch settles before the first one is re-raised in order.
+
+   Re-entrancy: a submitter may itself be a pool worker (a task that
+   calls [map] again). It cannot just sleep on [batch_done] — with
+   every worker blocked the same way, the queued sub-tasks would never
+   drain. Instead the submitter helps: while its batch is unfinished it
+   keeps taking tasks (any batch's — each settles its own counter) off
+   the shared queue and running them, and only waits when the queue is
+   momentarily empty. Any batch's tasks are therefore drained by its
+   own submitter at the latest, so nesting terminates by induction on
+   depth. *)
 let map t ~f xs =
   let xs = Array.of_list xs in
   let n = Array.length xs in
@@ -95,7 +120,12 @@ let map t ~f xs =
     done;
     Condition.broadcast t.work_available;
     while !done_count < n do
-      Condition.wait batch_done t.mutex
+      match Queue.take_opt t.queue with
+      | Some task ->
+          Mutex.unlock t.mutex;
+          task ();
+          Mutex.lock t.mutex
+      | None -> if !done_count < n then Condition.wait batch_done t.mutex
     done;
     Mutex.unlock t.mutex
   end;

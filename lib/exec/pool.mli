@@ -8,10 +8,20 @@
 
 type t
 
+val env_jobs : unit -> (int option, string) result
+(** The [DMP_JOBS] environment variable, validated: [Ok None] when
+    unset or blank, [Ok (Some n)] for a positive integer, [Error msg]
+    otherwise.
+    CLIs call this at startup and turn an [Error] into an exit-2 usage
+    error, consistently with their unknown-target handling. *)
+
 val default_jobs : unit -> int
 (** Worker count used when [create] is given no [jobs]: the [DMP_JOBS]
-    environment variable when set to a positive integer, otherwise
-    [Domain.recommended_domain_count ()]. *)
+    environment variable when set, otherwise
+    [Domain.recommended_domain_count ()].
+    @raise Invalid_argument when [DMP_JOBS] is set but is not a
+    positive integer (zero, negative, or unparsable) — never a silent
+    fallback. *)
 
 val create : ?jobs:int -> unit -> t
 (** [jobs] is clamped below at 1. A pool with [jobs = 1] runs tasks
@@ -23,7 +33,13 @@ val map : t -> f:('a -> 'b) -> 'a list -> 'b list
 (** [map t ~f xs] applies [f] to every element, in parallel across the
     pool's workers. The result list matches the order of [xs]. If one or
     more applications raise, the batch still runs to completion and the
-    first exception (in submission order) is re-raised. *)
+    first exception (in submission order) is re-raised.
+
+    [map] is re-entrant: a task may call [map] on the same pool. The
+    nested submitter helps drain the shared queue while its batch is in
+    flight instead of blocking a worker, so nesting cannot deadlock
+    (the experiment runner nests per-segment simulations inside
+    per-annotation tasks this way). *)
 
 val run : t -> (unit -> unit) list -> unit
 (** Like [map] for effectful thunks with no result. *)

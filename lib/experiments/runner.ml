@@ -18,6 +18,11 @@ open Dmp_profile
 open Dmp_uarch
 open Dmp_workload
 
+type sim_mode =
+  | Exact
+  | Segmented of int
+  | Sampled of { segments : int; warmup : int; window : int }
+
 type entry = {
   spec : Spec.t;
   lock : Mutex.t;
@@ -27,6 +32,7 @@ type entry = {
   profiles : (Input_gen.set, Profile.t) Hashtbl.t;
   sampled : (Input_gen.set * Dmp_sampling.Sampler.config, Profile.t) Hashtbl.t;
   baselines : (Input_gen.set, Stats.t) Hashtbl.t;
+  refckpts : (Input_gen.set * Config.t * int, Checkpoint.t list) Hashtbl.t;
 }
 
 type timing = { mutable calls : int; mutable seconds : float }
@@ -37,11 +43,23 @@ type t = {
   max_insts : int option;
   cache : Disk_cache.t option;
   jobs : int option;
+  sim_mode : sim_mode;
   timings : (string, timing) Hashtbl.t;
   timings_lock : Mutex.t;
 }
 
-let create ?(benchmarks = Registry.all) ?max_insts ?cache_dir ?jobs () =
+let validate_sim_mode = function
+  | Exact -> ()
+  | Segmented n ->
+      if n < 1 then invalid_arg "Runner: Segmented needs >= 1 segment"
+  | Sampled { segments; warmup; window } ->
+      if segments < 1 then invalid_arg "Runner: Sampled needs >= 1 segment";
+      if warmup < 0 || window < 1 then
+        invalid_arg "Runner: Sampled needs warmup >= 0 and window >= 1"
+
+let create ?(benchmarks = Registry.all) ?max_insts ?cache_dir ?jobs
+    ?(sim_mode = Exact) () =
+  validate_sim_mode sim_mode;
   let entries = Hashtbl.create 32 in
   List.iter
     (fun spec ->
@@ -55,6 +73,7 @@ let create ?(benchmarks = Registry.all) ?max_insts ?cache_dir ?jobs () =
           profiles = Hashtbl.create 4;
           sampled = Hashtbl.create 4;
           baselines = Hashtbl.create 4;
+          refckpts = Hashtbl.create 4;
         })
     benchmarks;
   let cache =
@@ -66,6 +85,7 @@ let create ?(benchmarks = Registry.all) ?max_insts ?cache_dir ?jobs () =
     max_insts;
     cache;
     jobs;
+    sim_mode;
     timings = Hashtbl.create 8;
     timings_lock = Mutex.create ();
   }
@@ -274,24 +294,145 @@ let baseline ?(set = Input_gen.Reduced) t name =
           Hashtbl.replace e.baselines set s;
           s)
 
-let dmp ?(set = Input_gen.Reduced) ?(config = Config.dmp) t name annotation =
+(* Configuration fields that shape the long-lived architectural state a
+   checkpoint restores in sampled mode — predictor kind, confidence and
+   cache geometry — plus the ROB size the resume validates against.
+   Timing-only fields (widths, depths, latencies, the confidence
+   threshold, the DMP episode limits) are normalised to the baseline so
+   a sweep over them shares one set of reference checkpoints: the
+   predictor / confidence / cache tables after k consumed events are a
+   pure function of the consumed event prefix, which those fields do
+   not alter. *)
+let arch_key (c : Config.t) =
+  {
+    Config.baseline with
+    Config.rob_size = c.Config.rob_size;
+    predictor = c.Config.predictor;
+    conf_log2_entries = c.Config.conf_log2_entries;
+    conf_history_length = c.Config.conf_history_length;
+    l1_log2_sets = c.Config.l1_log2_sets;
+    l1_ways = c.Config.l1_ways;
+    l2_log2_sets = c.Config.l2_log2_sets;
+    l2_ways = c.Config.l2_ways;
+    line_bytes = c.Config.line_bytes;
+  }
+
+let segment_interval img segments = max 1 (Image.length img / max 1 segments)
+
+(* Reference checkpoints for the sampled mode: captured once per
+   (input set, architectural key, segment count) by an annotation-free
+   run under the normalised configuration, then shared — read-only —
+   by every sampled simulation of that benchmark. Valid for any
+   annotation and any same-key configuration because only the
+   prefix-determined architectural sections are restored. *)
+let ref_checkpoints t e set config segments =
+  with_lock e (fun () ->
+      let key = (set, arch_key config, segments) in
+      match Hashtbl.find_opt e.refckpts key with
+      | Some cks -> cks
+      | None ->
+          let linked = linked_locked t e in
+          let img = image_locked t e set in
+          let cks =
+            timed t "ckpt (capture)" (fun () ->
+                snd
+                  (Sim.run_image_checkpointed ~config:(arch_key config)
+                     ?max_insts:t.max_insts
+                     ~interval:(segment_interval img segments) linked img))
+          in
+          Hashtbl.replace e.refckpts key cks;
+          cks)
+
+(* Per-segment task lists. Exact segments carry (start, last?) for
+   [Sim.run_image_segment]; sampled segments carry (start, length) for
+   [Sim.run_image_sampled]. *)
+let exact_segment_tasks ckpts =
+  let rec go from = function
+    | [] -> [ (from, true) ]
+    | ck :: tl -> (from, false) :: go (Some ck) tl
+  in
+  go None ckpts
+
+let sampled_segment_tasks total ckpts =
+  let rec go from start = function
+    | [] -> [ (from, total - start) ]
+    | ck :: tl ->
+        let c = Checkpoint.consumed ck in
+        (from, c - start) :: go (Some ck) c tl
+  in
+  go None 0 ckpts
+
+let merge_deltas deltas = List.fold_left Stats.merge (Stats.create ()) deltas
+
+(* How independent per-segment simulations are spread; polymorphic so
+   one fanner serves both segment task shapes. *)
+type fanner = { fan : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+
+(* One DMP simulation under the runner's (or an explicit) simulation
+   mode. [fan] says how independent per-segment simulations are spread:
+   the plain [dmp] entry point runs them inline; [dmp_batch] nests them
+   onto its worker pool, where the re-entrant [Pool.map] lets the
+   submitting worker help drain its own segments. *)
+let dmp_with ~fan:{ fan } ?(set = Input_gen.Reduced) ?(config = Config.dmp) ?mode t
+    name annotation =
+  let mode = Option.value mode ~default:t.sim_mode in
+  validate_sim_mode mode;
   let e = entry t name in
   let linked, img =
     with_lock e (fun () -> (linked_locked t e, image_locked t e set))
   in
-  timed t "dmp (simulate)" (fun () ->
-      Sim.run_image ~config ~annotation ?max_insts:t.max_insts linked img)
+  match mode with
+  | Exact ->
+      timed t "dmp (simulate)" (fun () ->
+          Sim.run_image ~config ~annotation ?max_insts:t.max_insts linked img)
+  | Segmented segments ->
+      (* Validation mode: capture this very run's checkpoints, then
+         re-simulate every segment independently and merge the deltas —
+         byte-identical to the exact statistics by construction. *)
+      let interval = segment_interval img segments in
+      let ckpts =
+        timed t "ckpt (capture)" (fun () ->
+            snd
+              (Sim.run_image_checkpointed ~config ~annotation
+                 ?max_insts:t.max_insts ~interval linked img))
+      in
+      timed t "dmp (simulate)" (fun () ->
+          merge_deltas
+            (fan
+               (fun (from, last) ->
+                 Sim.run_image_segment ~config ~annotation
+                   ?max_insts:t.max_insts ?from ~interval ~to_completion:last
+                   linked img)
+               (exact_segment_tasks ckpts)))
+  | Sampled { segments; warmup; window } ->
+      let ckpts = ref_checkpoints t e set config segments in
+      timed t "dmp (simulate)" (fun () ->
+          merge_deltas
+            (fan
+               (fun (from, length) ->
+                 Sim.run_image_sampled ~config ~annotation
+                   ?max_insts:t.max_insts ?from ~length ~warmup ~window linked
+                   img)
+               (sampled_segment_tasks (Image.length img) ckpts)))
 
-let dmp_batch ?set ?config t tasks =
+let dmp ?set ?config ?mode t name annotation =
+  dmp_with ~fan:{ fan = List.map } ?set ?config ?mode t name annotation
+
+let dmp_batch ?set ?config ?mode t tasks =
   (* Each simulation is independent and deterministic, and [Pool.map]
      returns results in submission order, so the caller sees the exact
      list a sequential [List.map] over [dmp] would produce — with any
      [-j 1] / [-j N] difference invisible in the output. Shared inputs
      (linked program, trace, image) are memoized under the entry lock,
-     so concurrent tasks of one benchmark derive them exactly once. *)
+     so concurrent tasks of one benchmark derive them exactly once.
+     Under a segment-splitting mode each task additionally fans its
+     segments onto the same pool (a nested, re-entrant [Pool.map]), so
+     even a single benchmark's simulation spreads across the workers. *)
   Pool.with_pool ?jobs:t.jobs (fun pool ->
+      let fan = { fan = (fun f xs -> Pool.map pool ~f xs) } in
       Pool.map pool
-        ~f:(fun (name, annotation) -> dmp ?set ?config t name annotation)
+        ~f:(fun (name, annotation) ->
+          dmp_with ~fan ?set ?config ?mode t name annotation)
         tasks)
 
 let prefetch ?(profile_sets = [ Input_gen.Reduced ])

@@ -20,9 +20,24 @@ open Dmp_workload
 
 type t
 
+type sim_mode =
+  | Exact  (** one full-length simulation per task (the default) *)
+  | Segmented of int
+      (** validation mode: run checkpointed, then re-simulate the [n]
+          segments independently and {!Dmp_uarch.Stats.merge} their
+          deltas — byte-identical to [Exact] by construction, with the
+          segments fanned across the pool inside {!dmp_batch} *)
+  | Sampled of { segments : int; warmup : int; window : int }
+      (** interval sampling: per segment, restore the architectural
+          state from a shared annotation-independent reference
+          checkpoint, simulate [warmup] events to heat the cold
+          pipeline plus a [window] measurement, and extrapolate to the
+          segment length — an estimate, orders of magnitude cheaper on
+          long traces *)
+
 val create :
   ?benchmarks:Spec.t list -> ?max_insts:int -> ?cache_dir:string ->
-  ?jobs:int -> unit -> t
+  ?jobs:int -> ?sim_mode:sim_mode -> unit -> t
 (** Defaults to the full 17-benchmark suite with uncapped simulations.
     [max_insts] caps trace capture, profiling and simulation alike (for
     quick runs and tests). When [cache_dir] is given, traces, profiles
@@ -32,7 +47,10 @@ val create :
     ({!prefetch} without an explicit override, {!dmp_batch}); it
     defaults to [Dmp_exec.Pool.default_jobs ()] and [jobs = 1] runs
     every stage inline on the calling domain. The produced statistics
-    and report output are byte-identical for every [jobs] value. *)
+    and report output are byte-identical for every [jobs] value.
+    [sim_mode] (default [Exact]) selects how {!dmp} / {!dmp_batch}
+    simulate; {!baseline} always runs exactly.
+    @raise Invalid_argument on a malformed [sim_mode]. *)
 
 val names : t -> string list
 val linked : t -> string -> Linked.t
@@ -67,20 +85,25 @@ val baseline : ?set:Input_gen.set -> t -> string -> Stats.t
 (** Cached per (benchmark, input set). *)
 
 val dmp :
-  ?set:Input_gen.set -> ?config:Config.t -> t -> string ->
+  ?set:Input_gen.set -> ?config:Config.t -> ?mode:sim_mode -> t -> string ->
   Dmp_core.Annotation.t -> Stats.t
-(** Uncached: one DMP simulation under the given annotation. *)
+(** Uncached: one DMP simulation under the given annotation. [mode]
+    overrides the runner's {!sim_mode} for this call (the fidelity
+    report uses it to compare the modes side by side); segment work
+    runs inline on the calling domain here. *)
 
 val dmp_batch :
-  ?set:Input_gen.set -> ?config:Config.t -> t ->
+  ?set:Input_gen.set -> ?config:Config.t -> ?mode:sim_mode -> t ->
   (string * Dmp_core.Annotation.t) list -> Stats.t list
 (** [dmp] over every (benchmark, annotation) task, spread across a
     {!Dmp_exec.Pool} of the runner's [jobs] workers. Results match the
     order of the tasks, and each simulation is deterministic, so the
     batch returns exactly what the sequential [List.map] would — the
     figure harnesses use it for their independent per-variant sims.
-    The first exception raised by any task is re-raised after the
-    batch settles. *)
+    Under [Segmented] / [Sampled] each task additionally fans its
+    per-segment simulations onto the same pool with a nested
+    (re-entrant) [Pool.map]. The first exception raised by any task is
+    re-raised after the batch settles. *)
 
 val prefetch :
   ?profile_sets:Input_gen.set list ->
@@ -101,8 +124,11 @@ val amean : float list -> float
     ["link"], ["trace (capture)"] / ["trace (disk cache)"],
     ["profile (collect)"] / ["profile (disk cache)"],
     ["sprofile (collect)"] / ["sprofile (disk cache)"],
-    ["baseline (simulate)"] / ["baseline (disk cache)"] and
-    ["dmp (simulate)"]. A warm persistent cache is visible as the
+    ["baseline (simulate)"] / ["baseline (disk cache)"],
+    ["dmp (simulate)"] and — under a segment-splitting {!sim_mode} —
+    ["ckpt (capture)"] for checkpoint capture runs (shared reference
+    captures in [Sampled] mode, per-task captures in [Segmented]
+    mode). A warm persistent cache is visible as the
     capture/collect/simulate rows dropping to zero calls. *)
 
 val timings : t -> (string * int * float) list

@@ -2,7 +2,7 @@ open Dmp_workload
 
 let all =
   [ "table1"; "table2"; "fig5l"; "fig5r"; "fig6"; "fig7"; "fig8"; "fig9";
-    "fig10"; "ablations"; "profile-fidelity" ]
+    "fig10"; "ablations"; "profile-fidelity"; "sim-fidelity" ]
 
 let is_valid t = List.mem t all
 
@@ -19,6 +19,7 @@ let render runner = function
   | "ablations" -> Ok (Ablations.render (Ablations.run runner))
   | "profile-fidelity" ->
       Ok (Profile_fidelity.render (Profile_fidelity.run runner))
+  | "sim-fidelity" -> Ok (Sim_fidelity.render (Sim_fidelity.run runner))
   | t ->
       Error
         (Printf.sprintf "unknown target %s; valid targets: %s" t

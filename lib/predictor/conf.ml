@@ -45,3 +45,19 @@ let update t ~addr ~taken ~mispredicted =
   t.history <- History.shift t.hist t.history ~taken
 
 let is_low = function Low_confidence -> true | High_confidence -> false
+
+(* Flat state snapshot: confidence history followed by the counter
+   table. *)
+let export t =
+  let n = Array.length t.table in
+  let out = Array.make (1 + n) 0 in
+  out.(0) <- t.history;
+  Array.blit t.table 0 out 1 n;
+  out
+
+let import t state =
+  let n = Array.length t.table in
+  if Array.length state <> 1 + n then
+    invalid_arg "Conf.import: state length mismatch";
+  t.history <- state.(0);
+  Array.blit state 1 t.table 0 n

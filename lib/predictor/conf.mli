@@ -12,3 +12,11 @@ val create :
 val estimate : t -> addr:int -> estimate
 val update : t -> addr:int -> taken:bool -> mispredicted:bool -> unit
 val is_low : estimate -> bool
+
+val export : t -> int array
+(** Flat snapshot of the mutable state (history + miss-distance
+    counters), suitable for a {!Dmp_exec.Checkpoint} section. *)
+
+val import : t -> int array -> unit
+(** Restore an {!export} snapshot from an identically configured
+    estimator. @raise Invalid_argument on a length mismatch. *)

@@ -28,3 +28,18 @@ let update t ~addr ~taken =
   let c = t.table.(i) in
   t.table.(i) <- (if taken then min 3 (c + 1) else max 0 (c - 1));
   t.history <- History.shift t.hist t.history ~taken
+
+(* Flat state snapshot: global history followed by the counter table. *)
+let export t =
+  let n = Array.length t.table in
+  let out = Array.make (1 + n) 0 in
+  out.(0) <- t.history;
+  Array.blit t.table 0 out 1 n;
+  out
+
+let import t state =
+  let n = Array.length t.table in
+  if Array.length state <> 1 + n then
+    invalid_arg "Gshare.import: state length mismatch";
+  t.history <- state.(0);
+  Array.blit state 1 t.table 0 n

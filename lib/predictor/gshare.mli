@@ -8,3 +8,10 @@ val predict : t -> addr:int -> bool
 val predict_with_history : t -> history:int -> addr:int -> bool
 val shift : t -> history:int -> taken:bool -> int
 val update : t -> addr:int -> taken:bool -> unit
+
+val export : t -> int array
+(** Flat snapshot of the mutable state (global history + counters). *)
+
+val import : t -> int array -> unit
+(** Restore an {!export} snapshot from an identically configured
+    predictor. @raise Invalid_argument on a length mismatch. *)

@@ -25,6 +25,29 @@ let create ?(entries = 256) ?(history_length = 31) () =
 let history t = t.history
 let index t addr = addr mod Array.length t.table
 
+(* Flat state snapshot: the global history followed by every weight in
+   table order. [import] restores a snapshot taken from an identically
+   shaped predictor; the length check catches geometry mismatches. *)
+let export t =
+  let entries = Array.length t.table in
+  let width = Array.length t.table.(0) in
+  let out = Array.make (1 + (entries * width)) 0 in
+  out.(0) <- t.history;
+  for e = 0 to entries - 1 do
+    Array.blit t.table.(e) 0 out (1 + (e * width)) width
+  done;
+  out
+
+let import t state =
+  let entries = Array.length t.table in
+  let width = Array.length t.table.(0) in
+  if Array.length state <> 1 + (entries * width) then
+    invalid_arg "Perceptron.import: state length mismatch";
+  t.history <- state.(0);
+  for e = 0 to entries - 1 do
+    Array.blit state (1 + (e * width)) t.table.(e) 0 width
+  done
+
 let output t ~history ~addr =
   let w = t.table.(index t addr) in
   let n = History.length t.hist in

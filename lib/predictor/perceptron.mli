@@ -9,3 +9,12 @@ val predict_with_history : t -> history:int -> addr:int -> bool
 val shift : t -> history:int -> taken:bool -> int
 val update : t -> addr:int -> taken:bool -> unit
 (** Train on the architectural outcome and shift the global history. *)
+
+val export : t -> int array
+(** Flat snapshot of the mutable state (global history + weights),
+    suitable for a {!Dmp_exec.Checkpoint} section. *)
+
+val import : t -> int array -> unit
+(** Restore a snapshot taken by {!export} from an identically
+    configured predictor.
+    @raise Invalid_argument on a length mismatch. *)

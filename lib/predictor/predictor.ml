@@ -5,6 +5,8 @@ type t = {
   history : unit -> int;
   predict_with_history : history:int -> addr:int -> bool;
   shift_history : history:int -> taken:bool -> int;
+  export_state : unit -> int array;
+  import_state : int array -> unit;
 }
 
 let perceptron ?entries ?history_length () =
@@ -18,6 +20,8 @@ let perceptron ?entries ?history_length () =
       (fun ~history ~addr -> Perceptron.predict_with_history p ~history ~addr);
     shift_history =
       (fun ~history ~taken -> Perceptron.shift p ~history ~taken);
+    export_state = (fun () -> Perceptron.export p);
+    import_state = (fun state -> Perceptron.import p state);
   }
 
 let gshare ?log2_entries ?history_length () =
@@ -30,6 +34,8 @@ let gshare ?log2_entries ?history_length () =
     predict_with_history =
       (fun ~history ~addr -> Gshare.predict_with_history p ~history ~addr);
     shift_history = (fun ~history ~taken -> Gshare.shift p ~history ~taken);
+    export_state = (fun () -> Gshare.export p);
+    import_state = (fun state -> Gshare.import p state);
   }
 
 let always ~taken =
@@ -40,6 +46,11 @@ let always ~taken =
     history = (fun () -> 0);
     predict_with_history = (fun ~history:_ ~addr:_ -> taken);
     shift_history = (fun ~history ~taken:_ -> history);
+    export_state = (fun () -> [||]);
+    import_state =
+      (fun state ->
+        if Array.length state <> 0 then
+          invalid_arg "Predictor.import_state: state length mismatch");
   }
 
 let of_name = function

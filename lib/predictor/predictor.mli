@@ -3,7 +3,11 @@
     [predict]/[update] drive the architectural (correct-path) stream;
     [predict_with_history]/[shift_history] let the simulator's
     wrong-path and dynamic-predication fetch engines follow speculative
-    predictions on a private history copy without polluting the tables. *)
+    predictions on a private history copy without polluting the tables.
+    [export_state]/[import_state] snapshot and restore the underlying
+    tables and history as one flat int array (for simulation
+    checkpoints); a snapshot only imports into a predictor of the same
+    kind and geometry. *)
 
 type t = {
   name : string;
@@ -12,6 +16,8 @@ type t = {
   history : unit -> int;
   predict_with_history : history:int -> addr:int -> bool;
   shift_history : history:int -> taken:bool -> int;
+  export_state : unit -> int array;
+  import_state : int array -> unit;
 }
 
 val perceptron : ?entries:int -> ?history_length:int -> unit -> t

@@ -24,7 +24,12 @@ open Dmp_ir
 open Dmp_profile
 module Cfg = Dmp_cfg.Cfg
 
-let round_nonneg x = if x <= 0. then 0 else int_of_float (Float.round x)
+(* Written with [x > 0.] so a NaN (which compares false against
+   everything) maps to 0 instead of reaching [int_of_float], whose
+   result on NaN is unspecified: a rate estimate over a degenerate
+   sample set (e.g. a branch-free function under LBR sampling) must
+   reconstruct as zero counts, deterministically. *)
+let round_nonneg x = if x > 0. then int_of_float (Float.round x) else 0
 
 (* ---- complete coverage: period-1 periodic sampling saw every event,
    the sampled counters ARE the exact profile ---- *)
@@ -63,10 +68,14 @@ let exact_profile linked s =
    mispredicted) floats keyed by branch address ---- *)
 
 let lbr_scale s =
-  if Sampler.lbr_captured s = 0 then 0.
-  else
-    float_of_int (Sampler.total_branches s)
-    /. float_of_int (Sampler.lbr_captured s)
+  let scale =
+    if Sampler.lbr_captured s = 0 then 0.
+    else
+      float_of_int (Sampler.total_branches s)
+      /. float_of_int (Sampler.lbr_captured s)
+  in
+  assert (Float.is_finite scale);
+  scale
 
 let branch_estimates s =
   let tbl = Hashtbl.create 128 in
@@ -78,6 +87,7 @@ let branch_estimates s =
         if Sampler.samples s = 0 then 0.
         else fl (Sampler.retired s) /. fl (Sampler.samples s)
       in
+      assert (Float.is_finite scale);
       List.iter
         (fun addr ->
           let c = Option.get (Sampler.ip_branch s ~addr) in
@@ -117,6 +127,7 @@ let branch_estimates s =
         if Sampler.samples s = 0 then 0.
         else fl (Sampler.total_mispredicted s) /. fl (Sampler.samples s)
       in
+      assert (Float.is_finite mscale);
       List.iter
         (fun addr ->
           let c = Option.get (Sampler.ip_branch s ~addr) in
@@ -152,6 +163,7 @@ let solve linked s ests ~main_func ~main_entry fi =
     else
       float_of_int (Sampler.retired s) /. float_of_int (Sampler.samples s)
   in
+  assert (Float.is_finite block_scale);
   let branch_addr b =
     Linked.block_addr linked ~func:fi ~block:b
     + Array.length (Cfg.block g b).Block.body

@@ -48,6 +48,51 @@ let miss_rate t =
   if t.accesses = 0 then 0.
   else float_of_int t.misses /. float_of_int t.accesses
 
+(* Flat state snapshot: the hit counters, then every set as its length
+   followed by its tags in recency order. Restoring rebuilds each LRU
+   list exactly, so a resumed simulation replays the same hits and
+   misses as the original. *)
+let export t =
+  let nsets = Array.length t.sets in
+  let total =
+    Array.fold_left (fun acc set -> acc + List.length set) 0 t.sets
+  in
+  let out = Array.make (3 + nsets + total) 0 in
+  out.(0) <- t.accesses;
+  out.(1) <- t.misses;
+  out.(2) <- nsets;
+  let pos = ref 3 in
+  Array.iter
+    (fun set ->
+      out.(!pos) <- List.length set;
+      incr pos;
+      List.iter
+        (fun line ->
+          out.(!pos) <- line;
+          incr pos)
+        set)
+    t.sets;
+  out
+
+let import t state =
+  let nsets = Array.length t.sets in
+  let len = Array.length state in
+  if len < 3 || state.(2) <> nsets then
+    invalid_arg "Cache.import: geometry mismatch";
+  t.accesses <- state.(0);
+  t.misses <- state.(1);
+  let pos = ref 3 in
+  for i = 0 to nsets - 1 do
+    if !pos >= len then invalid_arg "Cache.import: truncated state";
+    let n = state.(!pos) in
+    incr pos;
+    if n < 0 || n > t.ways || !pos + n > len then
+      invalid_arg "Cache.import: bad set length";
+    t.sets.(i) <- List.init n (fun j -> state.(!pos + j));
+    pos := !pos + n
+  done;
+  if !pos <> len then invalid_arg "Cache.import: trailing state"
+
 type hierarchy = {
   l1 : t;
   l2 : t;

@@ -9,6 +9,14 @@ val access : t -> int -> bool
 
 val miss_rate : t -> float
 
+val export : t -> int array
+(** Flat snapshot of the mutable state (hit counters + per-set LRU tag
+    lists), suitable for a {!Dmp_exec.Checkpoint} section. *)
+
+val import : t -> int array -> unit
+(** Restore an {!export} snapshot into an identically configured cache.
+    @raise Invalid_argument on a geometry or length mismatch. *)
+
 type hierarchy = {
   l1 : t;
   l2 : t;

@@ -819,34 +819,41 @@ let recovery_cycle t (r : recovery) =
     done
   end
 
-let run_to_completion t =
-  let guard = ref 0 in
-  let max_cycles = 400_000_000 in
-  while (not (finished t)) && !guard < max_cycles do
-    incr guard;
-    t.cycle <- t.cycle + 1;
-    retire t;
-    if rob_full t then
-      t.stats.Stats.rob_full_cycles <- t.stats.Stats.rob_full_cycles + 1;
-    (match t.mode with
-    | M_dpred _ ->
-        t.stats.Stats.dpred_cycles <- t.stats.Stats.dpred_cycles + 1
-    | M_normal | M_loop _ -> ());
-    match t.recovery with
-    | Some r ->
-        t.stats.Stats.recovery_cycles <- t.stats.Stats.recovery_cycles + 1;
-        recovery_cycle t r
-    | None ->
-        if t.cycle >= t.fetch_resume then begin
-          match t.mode with
-          | M_normal | M_loop _ ->
-              if not t.trace_done then fetch_correct t ~in_dpred:None
-          | M_dpred d -> dpred_cycle t d
-        end
-  done;
+let max_sim_cycles = 400_000_000
+
+let step_cycle t =
+  t.cycle <- t.cycle + 1;
+  retire t;
+  if rob_full t then
+    t.stats.Stats.rob_full_cycles <- t.stats.Stats.rob_full_cycles + 1;
+  (match t.mode with
+  | M_dpred _ ->
+      t.stats.Stats.dpred_cycles <- t.stats.Stats.dpred_cycles + 1
+  | M_normal | M_loop _ -> ());
+  match t.recovery with
+  | Some r ->
+      t.stats.Stats.recovery_cycles <- t.stats.Stats.recovery_cycles + 1;
+      recovery_cycle t r
+  | None ->
+      if t.cycle >= t.fetch_resume then begin
+        match t.mode with
+        | M_normal | M_loop _ ->
+            if not t.trace_done then fetch_correct t ~in_dpred:None
+        | M_dpred d -> dpred_cycle t d
+      end
+
+let finalize t =
   t.stats.Stats.cycles <- t.cycle;
   t.stats.Stats.retired <- t.consumed;
   t.stats
+
+let run_to_completion t =
+  let guard = ref 0 in
+  while (not (finished t)) && !guard < max_sim_cycles do
+    incr guard;
+    step_cycle t
+  done;
+  finalize t
 
 let run ?config ?annotation ?max_insts linked ~input =
   let t = create ?config ?annotation ?max_insts linked ~input in
@@ -861,3 +868,224 @@ let run_image ?config ?annotation ?max_insts linked image =
   run_to_completion t
 
 let stats t = t.stats
+
+(* ---------- checkpoints ----------
+
+   A checkpoint captures the full machine state at a safe point: normal
+   mode, no recovery walker, between cycles. Dpred episodes, loop
+   predication and misprediction recovery are all bounded, so a safe
+   cycle boundary recurs; restricting capture to those points keeps the
+   episode state machines (walkers, dpred context) out of the snapshot
+   entirely. Only the image supply is checkpointable — [pos] makes the
+   trace position restorable, which a live emulator is not.
+
+   Layout: "core" holds the scalar machine state plus three shape
+   fingerprints (image length, ROB size, register count) validated on
+   resume; "rob" holds the live completion cycles in retire order (the
+   head index is not state — rebuilding at index 0 is equivalent);
+   "reg"/"stats"/"pred"/"conf"/"l1"/"l2" are the flat snapshots of the
+   respective subsystems. Note [Stats.cycles]/[Stats.retired] are dead
+   in the snapshot: they are derived from [t.cycle]/[t.consumed] by
+   [finalize] at the end of any run. *)
+
+let at_safe_point t =
+  (match t.mode with M_normal -> true | M_dpred _ | M_loop _ -> false)
+  && match t.recovery with None -> true | Some _ -> false
+
+let checkpoint t =
+  let image =
+    match t.supply with
+    | S_image img -> img
+    | S_source _ -> invalid_arg "Sim.checkpoint: requires an image supply"
+  in
+  if not (at_safe_point t) then
+    invalid_arg "Sim.checkpoint: not at a safe point (episode in progress)";
+  let core =
+    [|
+      t.cycle; t.fetch_resume; t.select_pending;
+      (if t.pending then 1 else 0);
+      (if t.trace_done then 1 else 0);
+      t.pos; Image.length image; Array.length t.rob; Array.length t.reg_ready;
+    |]
+  in
+  let len = Array.length t.rob in
+  let rob =
+    Array.init t.rob_count (fun i ->
+        let j = t.rob_head + i in
+        t.rob.(if j >= len then j - len else j))
+  in
+  Checkpoint.create ~consumed:t.consumed
+    [
+      ("core", core);
+      ("rob", rob);
+      ("reg", Array.copy t.reg_ready);
+      ("stats", Stats.to_array t.stats);
+      ("pred", t.predictor.Predictor.export_state ());
+      ("conf", Conf.export t.conf);
+      ("l1", Cache.export t.hier.Cache.l1);
+      ("l2", Cache.export t.hier.Cache.l2);
+    ]
+
+(* Restore the trace position and the architectural long-lived state
+   (predictor, confidence estimator, caches) — everything in a
+   checkpoint that is a pure function of the consumed event prefix.
+   Shared by the exact resume (which also restores the timing state)
+   and the sampled mode (which deliberately does not). *)
+let restore_arch t image ck =
+  let core = Checkpoint.section ck "core" in
+  if Array.length core <> 9 then
+    invalid_arg "Sim.resume: bad core section";
+  if core.(6) <> Image.length image then
+    invalid_arg "Sim.resume: checkpoint is for a different image";
+  if core.(7) <> Array.length t.rob || core.(8) <> Array.length t.reg_ready
+  then invalid_arg "Sim.resume: checkpoint is for a different configuration";
+  t.pending <- core.(3) = 1;
+  t.trace_done <- core.(4) = 1;
+  t.pos <- core.(5);
+  t.consumed <- Checkpoint.consumed ck;
+  t.predictor.Predictor.import_state (Checkpoint.section ck "pred");
+  Conf.import t.conf (Checkpoint.section ck "conf");
+  Cache.import t.hier.Cache.l1 (Checkpoint.section ck "l1");
+  Cache.import t.hier.Cache.l2 (Checkpoint.section ck "l2");
+  core
+
+let resume_image ?config ?annotation ?max_insts linked image ck =
+  let t = create_image ?config ?annotation ?max_insts linked image in
+  let core = restore_arch t image ck in
+  t.cycle <- core.(0);
+  t.fetch_resume <- core.(1);
+  t.select_pending <- core.(2);
+  let rob = Checkpoint.section ck "rob" in
+  if Array.length rob > Array.length t.rob then
+    invalid_arg "Sim.resume_image: bad rob section";
+  Array.blit rob 0 t.rob 0 (Array.length rob);
+  t.rob_head <- 0;
+  t.rob_count <- Array.length rob;
+  let reg = Checkpoint.section ck "reg" in
+  if Array.length reg <> Array.length t.reg_ready then
+    invalid_arg "Sim.resume_image: bad reg section";
+  Array.blit reg 0 t.reg_ready 0 (Array.length reg);
+  Stats.load t.stats (Checkpoint.section ck "stats");
+  t
+
+(* Capture rule shared by the checkpointing run and the segment stop
+   rule (they must trigger at exactly the same machine states): the
+   first safe cycle boundary at or after a multiple of [interval]
+   consumed events, while the trace is still live. *)
+let next_boundary ~interval consumed = ((consumed / interval) + 1) * interval
+
+let at_capture_point t ~next =
+  (not t.trace_done) && t.consumed >= next && at_safe_point t
+
+let run_image_checkpointed ?config ?annotation ?max_insts ~interval linked
+    image =
+  if interval <= 0 then
+    invalid_arg "Sim.run_image_checkpointed: interval must be positive";
+  let t = create_image ?config ?annotation ?max_insts linked image in
+  let ckpts = ref [] in
+  let next = ref interval in
+  let guard = ref 0 in
+  while (not (finished t)) && !guard < max_sim_cycles do
+    incr guard;
+    step_cycle t;
+    if at_capture_point t ~next:!next then begin
+      ckpts := checkpoint t :: !ckpts;
+      next := next_boundary ~interval t.consumed
+    end
+  done;
+  (finalize t, List.rev !ckpts)
+
+(* Per-segment counter deltas: [base] snapshots the cumulative counters
+   at segment entry (with the derived cycles/retired patched to their
+   entry values), the diff after the run is the segment's contribution.
+   Merging every segment's delta telescopes back to the whole-run
+   statistics exactly. *)
+let delta_base t =
+  let base = Stats.copy t.stats in
+  base.Stats.cycles <- t.cycle;
+  base.Stats.retired <- t.consumed;
+  base
+
+let run_image_segment ?config ?annotation ?max_insts ?from ~interval
+    ~to_completion linked image =
+  if interval <= 0 then
+    invalid_arg "Sim.run_image_segment: interval must be positive";
+  let t =
+    match from with
+    | None -> create_image ?config ?annotation ?max_insts linked image
+    | Some ck -> resume_image ?config ?annotation ?max_insts linked image ck
+  in
+  let base = delta_base t in
+  if to_completion then ignore (run_to_completion t : Stats.t)
+  else begin
+    let next = next_boundary ~interval t.consumed in
+    let guard = ref 0 in
+    let stop = ref false in
+    while (not !stop) && (not (finished t)) && !guard < max_sim_cycles do
+      incr guard;
+      step_cycle t;
+      if at_capture_point t ~next then stop := true
+    done;
+    ignore (finalize t : Stats.t)
+  end;
+  Stats.diff t.stats base
+
+(* Run (at most) until [target] consumed events, without marking the
+   trace done: unlike the [max_insts] cap this can be resumed, so the
+   sampled mode strings warmup and measurement phases together. When
+   the trace genuinely ends first, the loop drains the ROB ([finished]
+   flips only once it is empty). *)
+let run_until_consumed t target =
+  let guard = ref 0 in
+  while
+    (not (finished t)) && t.consumed < target && !guard < max_sim_cycles
+  do
+    incr guard;
+    step_cycle t
+  done;
+  (* When the trace genuinely ended inside the window, drain the ROB so
+     the tail cycles are accounted exactly as a run to completion. *)
+  if t.trace_done then
+    while (not (finished t)) && !guard < max_sim_cycles do
+      incr guard;
+      step_cycle t
+    done
+
+let run_image_sampled ?config ?annotation ?max_insts ?from ~length ~warmup
+    ~window linked image =
+  if length < 0 then invalid_arg "Sim.run_image_sampled: negative length";
+  if warmup < 0 || window <= 0 then
+    invalid_arg "Sim.run_image_sampled: bad warmup/window";
+  let t = create_image ?config ?annotation ?max_insts linked image in
+  (* Architectural state (trace position, predictor, confidence, cache)
+     is exact from the checkpoint; the timing state (pipeline, ROB,
+     register timestamps, cycle counter) deliberately starts cold and
+     is warmed by the prefix. *)
+  (match from with
+  | Some ck -> ignore (restore_arch t image ck : int array)
+  | None -> ());
+  let start = t.consumed in
+  if length <= warmup + window then begin
+    (* Segment no larger than one measurement: simulate all of it. *)
+    run_until_consumed t (start + length);
+    t.stats.Stats.cycles <- t.cycle;
+    t.stats.Stats.retired <- t.consumed - start;
+    t.stats
+  end
+  else begin
+    run_until_consumed t (start + warmup);
+    let base = delta_base t in
+    run_until_consumed t (start + warmup + window);
+    ignore (finalize t : Stats.t);
+    let d = Stats.diff t.stats base in
+    let measured = d.Stats.retired in
+    if measured <= 0 then begin
+      (* The trace ended inside the warmup (a capped run): fall back to
+         what was actually simulated. *)
+      t.stats.Stats.cycles <- t.cycle;
+      t.stats.Stats.retired <- t.consumed - start;
+      t.stats
+    end
+    else
+      Stats.scale_round (float_of_int length /. float_of_int measured) d
+  end

@@ -76,3 +76,64 @@ val run_image :
 (** Convenience: [create_image] + [run_to_completion]. *)
 
 val stats : t -> Stats.t
+
+(** {2 Checkpoints}
+
+    A checkpoint ({!Dmp_exec.Checkpoint}) snapshots the full machine
+    state — trace position, pipeline timing, statistics, branch
+    predictor and confidence tables, cache contents — at a {e safe
+    point}: a cycle boundary in normal mode with no dpred episode and
+    no misprediction recovery in flight. Episodes are bounded, so safe
+    boundaries recur; restricting capture to them keeps the episode
+    state machines out of the snapshot. Only image-supplied simulations
+    are checkpointable (the image makes the trace position
+    restorable). *)
+
+val checkpoint : t -> Dmp_exec.Checkpoint.t
+(** Snapshot the current state.
+    @raise Invalid_argument unless the simulation uses an image supply
+    and sits at a safe point. *)
+
+val resume_image :
+  ?config:Config.t -> ?annotation:Annotation.t -> ?max_insts:int ->
+  Linked.t -> Image.t -> Dmp_exec.Checkpoint.t -> t
+(** Rebuild a simulation from a checkpoint over the same image, linked
+    program, configuration and annotation as the run that captured it;
+    [run_to_completion] on the result reproduces the original run's
+    final statistics byte-identically (the round-trip property).
+    @raise Invalid_argument when the checkpoint's shape fingerprints
+    (image length, ROB size, register count) do not match. *)
+
+val run_image_checkpointed :
+  ?config:Config.t -> ?annotation:Annotation.t -> ?max_insts:int ->
+  interval:int -> Linked.t -> Image.t -> Stats.t * Dmp_exec.Checkpoint.t list
+(** Like {!run_image}, additionally capturing a checkpoint at the first
+    safe cycle boundary at or after every multiple of [interval]
+    consumed events (while the trace is live). The statistics are
+    byte-identical to {!run_image}'s; the checkpoints split the run
+    into [1 + length ckpts] segments. *)
+
+val run_image_segment :
+  ?config:Config.t -> ?annotation:Annotation.t -> ?max_insts:int ->
+  ?from:Dmp_exec.Checkpoint.t -> interval:int -> to_completion:bool ->
+  Linked.t -> Image.t -> Stats.t
+(** Exactly re-simulate one segment of a checkpointed run: start from
+    [from] (or from the beginning) and stop where the capturing run
+    with the same [interval] took its next checkpoint — or run to the
+    end when [to_completion] is set (the last segment). Returns the
+    segment's {e delta} statistics; folding every segment's delta with
+    {!Stats.merge} reproduces the whole-run statistics exactly. *)
+
+val run_image_sampled :
+  ?config:Config.t -> ?annotation:Annotation.t -> ?max_insts:int ->
+  ?from:Dmp_exec.Checkpoint.t -> length:int -> warmup:int -> window:int ->
+  Linked.t -> Image.t -> Stats.t
+(** Interval sampling: estimate the statistics of a [length]-event
+    segment starting at [from] by simulating only a [warmup] prefix
+    (timing warm-up; discarded) and a [window] measurement, then
+    scaling the measured counters by [length/window]. The architectural
+    state (trace position, predictor, confidence, caches) is restored
+    exactly from the checkpoint — those tables are a function of the
+    consumed event prefix only, hence valid for {e any} annotation —
+    while the pipeline timing starts cold. Segments no longer than
+    [warmup + window] are simulated in full instead of scaled. *)

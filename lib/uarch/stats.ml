@@ -83,6 +83,73 @@ let fields t =
     ("rob_full_cycles", t.rob_full_cycles);
   ]
 
+let map2 f a b =
+  {
+    cycles = f a.cycles b.cycles;
+    retired = f a.retired b.retired;
+    cond_branches = f a.cond_branches b.cond_branches;
+    mispredictions = f a.mispredictions b.mispredictions;
+    flushes = f a.flushes b.flushes;
+    low_confidence = f a.low_confidence b.low_confidence;
+    low_confidence_mispredicted =
+      f a.low_confidence_mispredicted b.low_confidence_mispredicted;
+    dpred_entries = f a.dpred_entries b.dpred_entries;
+    dpred_hammock_entries = f a.dpred_hammock_entries b.dpred_hammock_entries;
+    dpred_loop_entries = f a.dpred_loop_entries b.dpred_loop_entries;
+    dpred_merges = f a.dpred_merges b.dpred_merges;
+    dpred_resolved_before_merge =
+      f a.dpred_resolved_before_merge b.dpred_resolved_before_merge;
+    dpred_flushes_avoided = f a.dpred_flushes_avoided b.dpred_flushes_avoided;
+    dpred_useless_entries = f a.dpred_useless_entries b.dpred_useless_entries;
+    select_uops = f a.select_uops b.select_uops;
+    wrong_side_insts = f a.wrong_side_insts b.wrong_side_insts;
+    loop_early_exits = f a.loop_early_exits b.loop_early_exits;
+    loop_late_exits = f a.loop_late_exits b.loop_late_exits;
+    loop_no_exits = f a.loop_no_exits b.loop_no_exits;
+    loop_correct = f a.loop_correct b.loop_correct;
+    loop_extra_insts = f a.loop_extra_insts b.loop_extra_insts;
+    dpred_cycles = f a.dpred_cycles b.dpred_cycles;
+    recovery_cycles = f a.recovery_cycles b.recovery_cycles;
+    rob_full_cycles = f a.rob_full_cycles b.rob_full_cycles;
+  }
+
+let merge a b = map2 ( + ) a b
+let diff a b = map2 ( - ) a b
+let copy t = map2 (fun v _ -> v) t t
+
+let scale_round factor t =
+  map2 (fun v _ -> int_of_float (Float.round (float_of_int v *. factor))) t t
+
+let to_array t = Array.of_list (List.map snd (fields t))
+
+let load t values =
+  if Array.length values <> List.length (fields t) then
+    invalid_arg "Stats.load: field count mismatch";
+  t.cycles <- values.(0);
+  t.retired <- values.(1);
+  t.cond_branches <- values.(2);
+  t.mispredictions <- values.(3);
+  t.flushes <- values.(4);
+  t.low_confidence <- values.(5);
+  t.low_confidence_mispredicted <- values.(6);
+  t.dpred_entries <- values.(7);
+  t.dpred_hammock_entries <- values.(8);
+  t.dpred_loop_entries <- values.(9);
+  t.dpred_merges <- values.(10);
+  t.dpred_resolved_before_merge <- values.(11);
+  t.dpred_flushes_avoided <- values.(12);
+  t.dpred_useless_entries <- values.(13);
+  t.select_uops <- values.(14);
+  t.wrong_side_insts <- values.(15);
+  t.loop_early_exits <- values.(16);
+  t.loop_late_exits <- values.(17);
+  t.loop_no_exits <- values.(18);
+  t.loop_correct <- values.(19);
+  t.loop_extra_insts <- values.(20);
+  t.dpred_cycles <- values.(21);
+  t.recovery_cycles <- values.(22);
+  t.rob_full_cycles <- values.(23)
+
 let ipc t =
   if t.cycles = 0 then 0. else float_of_int t.retired /. float_of_int t.cycles
 

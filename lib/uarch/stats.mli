@@ -37,6 +37,30 @@ val fields : t -> (string * int) list
 (** Every counter as a (name, value) pair, in declaration order — the
     differential oracle diffs two stats structs field-by-field with it. *)
 
+val merge : t -> t -> t
+(** Fieldwise sum, as a fresh record. [merge] is associative and
+    commutative with {!create} as identity (plain integer addition per
+    counter), so per-segment statistics of a checkpointed run fold into
+    the whole-run statistics in any grouping. *)
+
+val diff : t -> t -> t
+(** Fieldwise difference [a - b], as a fresh record: the per-segment
+    delta between two cumulative snapshots. [merge b (diff a b) = a]. *)
+
+val copy : t -> t
+
+val scale_round : float -> t -> t
+(** Every counter multiplied by the factor and rounded to nearest, as a
+    fresh record — extrapolates a sampled window to its full segment. *)
+
+val to_array : t -> int array
+(** The counter values in declaration order ({!fields} without the
+    names) — the layout {!load} expects and checkpoints store. *)
+
+val load : t -> int array -> unit
+(** Overwrite every counter from a {!to_array} snapshot.
+    @raise Invalid_argument on a length mismatch. *)
+
 val ipc : t -> float
 val mpki : t -> float
 val flushes_per_ki : t -> float

@@ -347,6 +347,125 @@ let test_pool_reuse () =
       check Alcotest.(list int) "first batch" [ 2; 3; 4 ] a;
       check Alcotest.(list int) "second batch" [ 5; 6 ] b)
 
+(* More outer tasks than workers, each submitting a nested batch on the
+   same pool: with submitters parked on the batch condition instead of
+   helping drain, this configuration deadlocks. *)
+let test_pool_nested_map () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let rows =
+        Pool.map pool
+          ~f:(fun i -> Pool.map pool ~f:(fun j -> (10 * i) + j) [ 0; 1; 2 ])
+          [ 1; 2; 3; 4 ]
+      in
+      check
+        Alcotest.(list (list int))
+        "nested batches settle in order"
+        [ [ 10; 11; 12 ]; [ 20; 21; 22 ]; [ 30; 31; 32 ]; [ 40; 41; 42 ] ]
+        rows;
+      let sums =
+        Pool.map pool
+          ~f:(fun i ->
+            List.fold_left ( + ) 0
+              (Pool.map pool
+                 ~f:(fun j ->
+                   List.fold_left ( + ) 0
+                     (Pool.map pool ~f:(fun k -> i * j * k) [ 1; 2 ]))
+                 [ 1; 2; 3 ]))
+          [ 1; 2; 3; 4 ]
+      in
+      check
+        Alcotest.(list int)
+        "two levels of nesting" [ 18; 36; 54; 72 ] sums)
+
+(* ---------- DMP_JOBS validation ---------- *)
+
+(* [Unix.putenv] cannot unset a variable; [Pool.env_jobs] treats a
+   blank value as unset precisely so "" restores the unset state. *)
+let with_jobs_env v f =
+  let old = Option.value (Sys.getenv_opt "DMP_JOBS") ~default:"" in
+  Unix.putenv "DMP_JOBS" v;
+  Fun.protect ~finally:(fun () -> Unix.putenv "DMP_JOBS" old) f
+
+let test_env_jobs_valid () =
+  with_jobs_env "3" (fun () ->
+      (match Pool.env_jobs () with
+      | Ok (Some 3) -> ()
+      | _ -> Alcotest.fail "DMP_JOBS=3 should validate as Some 3");
+      check Alcotest.int "default_jobs honours DMP_JOBS" 3
+        (Pool.default_jobs ()));
+  with_jobs_env " 2 " (fun () ->
+      match Pool.env_jobs () with
+      | Ok (Some 2) -> ()
+      | _ -> Alcotest.fail "surrounding whitespace should be accepted");
+  with_jobs_env "" (fun () ->
+      match Pool.env_jobs () with
+      | Ok None -> ()
+      | _ -> Alcotest.fail "a blank DMP_JOBS should read as unset")
+
+let test_env_jobs_invalid () =
+  List.iter
+    (fun v ->
+      with_jobs_env v (fun () ->
+          (match Pool.env_jobs () with
+          | Error msg ->
+              if not (Astring_contains.contains msg "DMP_JOBS") then
+                Alcotest.failf "error for %S does not name DMP_JOBS: %s" v
+                  msg
+          | Ok _ -> Alcotest.failf "DMP_JOBS=%S should be rejected" v);
+          match Pool.default_jobs () with
+          | exception Invalid_argument _ -> ()
+          | n ->
+              Alcotest.failf "default_jobs accepted DMP_JOBS=%S as %d" v n))
+    [ "0"; "-2"; "four"; "1.5"; "4x" ]
+
+(* ---------- checkpoint container ---------- *)
+
+let test_checkpoint_bytes_roundtrip () =
+  let ck =
+    Checkpoint.create ~consumed:12_345
+      [
+        ("core", [| 1; 2; 3 |]);
+        ("empty", [||]);
+        ("extremes", [| -1; min_int; max_int; 0 |]);
+      ]
+  in
+  let b = Checkpoint.to_bytes ck in
+  check Alcotest.int "byte_size matches to_bytes" (Bytes.length b)
+    (Checkpoint.byte_size ck);
+  match Checkpoint.of_bytes b with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok ck' ->
+      check Alcotest.int "consumed survives" 12_345
+        (Checkpoint.consumed ck');
+      check
+        Alcotest.(list (pair string (array int)))
+        "sections survive" (Checkpoint.sections ck)
+        (Checkpoint.sections ck')
+
+let test_checkpoint_bytes_rejects_corruption () =
+  let expect_error what = function
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s input was accepted" what
+  in
+  let ck =
+    Checkpoint.create ~consumed:7
+      [ ("s", Array.init 64 (fun i -> (i * 17) - 5)) ]
+  in
+  let b = Checkpoint.to_bytes ck in
+  expect_error "empty" (Checkpoint.of_bytes Bytes.empty);
+  expect_error "truncated"
+    (Checkpoint.of_bytes (Bytes.sub b 0 (Bytes.length b - 3)));
+  let flipped = Bytes.copy b in
+  let mid = Bytes.length b / 2 in
+  Bytes.set flipped mid
+    (Char.chr (Char.code (Bytes.get flipped mid) lxor 0x40));
+  expect_error "bit-flipped" (Checkpoint.of_bytes flipped);
+  let badmagic = Bytes.copy b in
+  Bytes.set badmagic 0 'X';
+  expect_error "foreign-magic" (Checkpoint.of_bytes badmagic);
+  expect_error "trailing-garbage"
+    (Checkpoint.of_bytes (Bytes.cat b (Bytes.of_string "x")))
+
 let () =
   Alcotest.run "dmp_exec"
     [
@@ -393,6 +512,18 @@ let () =
           Alcotest.test_case "runs every task" `Quick test_pool_effects;
           Alcotest.test_case "reusable across batches" `Quick
             test_pool_reuse;
+          Alcotest.test_case "re-entrant nested map" `Quick
+            test_pool_nested_map;
+          Alcotest.test_case "DMP_JOBS accepted" `Quick test_env_jobs_valid;
+          Alcotest.test_case "DMP_JOBS rejected" `Quick
+            test_env_jobs_invalid;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "bytes round-trip" `Quick
+            test_checkpoint_bytes_roundtrip;
+          Alcotest.test_case "rejects corruption" `Quick
+            test_checkpoint_bytes_rejects_corruption;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest qcheck_random_programs_terminate ] );

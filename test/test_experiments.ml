@@ -167,6 +167,113 @@ let test_parallel_dmp_batch_equivalence () =
         (stats_bytes s = stats_bytes (List.nth batch4 i)))
     seq
 
+let stage_calls runner stage =
+  match
+    List.find_opt (fun (s, _, _) -> s = stage) (Runner.timings runner)
+  with
+  | Some (_, calls, _) -> calls
+  | None -> 0
+
+(* ---------- segmented / sampled simulation modes ---------- *)
+
+let mode_tasks r =
+  List.map
+    (fun name ->
+      let linked = Runner.linked r name in
+      let profile = Runner.profile r name Input_gen.Reduced in
+      (name, Dmp_core.Select.run linked profile))
+    (Runner.names r)
+
+(* Segmented mode re-simulates checkpointed segments and merges the
+   deltas; the result must be byte-identical to the exact simulation,
+   for any worker count — the nested (task x segment) Pool.map at -j 4
+   exercises pool re-entrancy on a real workload. *)
+let test_segmented_batch_byte_identical () =
+  let mk jobs =
+    Runner.create
+      ~benchmarks:[ Registry.find "vpr"; Registry.find "li" ]
+      ~max_insts:80_000 ~jobs ()
+  in
+  let r1 = mk 1 and r4 = mk 4 in
+  let exact = Runner.dmp_batch ~mode:Runner.Exact r1 (mode_tasks r1) in
+  let seg1 =
+    Runner.dmp_batch ~mode:(Runner.Segmented 4) r1 (mode_tasks r1)
+  in
+  let seg4 =
+    Runner.dmp_batch ~mode:(Runner.Segmented 4) r4 (mode_tasks r4)
+  in
+  List.iteri
+    (fun i e ->
+      check Alcotest.bool
+        (Printf.sprintf "task %d: segmented -j 1 = exact" i)
+        true
+        (stats_bytes e = stats_bytes (List.nth seg1 i));
+      check Alcotest.bool
+        (Printf.sprintf "task %d: segmented -j 4 = exact" i)
+        true
+        (stats_bytes e = stats_bytes (List.nth seg4 i)))
+    exact;
+  check Alcotest.int "one checkpoint capture per task" (List.length exact * 2)
+    (stage_calls r1 "ckpt (capture)" + stage_calls r4 "ckpt (capture)")
+
+(* Sampled mode is an estimate, but the extrapolation is exact on the
+   retired counter (each segment scales to its own length), reference
+   checkpoints are captured once per benchmark, and the estimated IPC
+   must land near the exact one on these short capped traces. *)
+let test_sampled_batch_estimates () =
+  let r =
+    Runner.create
+      ~benchmarks:[ Registry.find "vpr"; Registry.find "li" ]
+      ~max_insts:80_000 ~jobs:2
+      ~sim_mode:(Runner.Sampled { segments = 4; warmup = 2_000; window = 8_000 })
+      ()
+  in
+  let tasks = mode_tasks r in
+  let exact = Runner.dmp_batch ~mode:Runner.Exact r tasks in
+  (* two batches under the runner's sampled default: the second must
+     reuse the memoized reference checkpoints *)
+  let samp = Runner.dmp_batch r tasks in
+  let samp' = Runner.dmp_batch r tasks in
+  check Alcotest.int "reference checkpoints captured once per benchmark" 2
+    (stage_calls r "ckpt (capture)");
+  List.iteri
+    (fun i e ->
+      let s = List.nth samp i in
+      check Alcotest.int
+        (Printf.sprintf "task %d: retired extrapolates exactly" i)
+        e.Dmp_uarch.Stats.retired s.Dmp_uarch.Stats.retired;
+      check Alcotest.bool
+        (Printf.sprintf "task %d: sampled runs are deterministic" i)
+        true
+        (stats_bytes s = stats_bytes (List.nth samp' i));
+      let err =
+        abs_float
+          (Dmp_uarch.Stats.ipc s /. Dmp_uarch.Stats.ipc e -. 1.)
+      in
+      check Alcotest.bool
+        (Printf.sprintf "task %d: IPC within 25%% (err %.3f)" i err)
+        true (err < 0.25))
+    exact
+
+(* The fidelity report's own contract: segmented error is identically
+   zero (byte-identical stats), and the render says so. *)
+let test_sim_fidelity_report () =
+  let r = small_runner () in
+  let rows = Sim_fidelity.run ~segments:3 ~warmup:1_000 ~window:6_000 r in
+  check Alcotest.int "one row per benchmark" 2 (List.length rows);
+  List.iter
+    (fun row ->
+      check Alcotest.bool
+        (row.Sim_fidelity.name ^ ": segmented byte-identical") true
+        row.Sim_fidelity.seg_bytes;
+      check (Alcotest.float 1e-12)
+        (row.Sim_fidelity.name ^ ": segmented error zero")
+        0. row.Sim_fidelity.err_seg_pct)
+    rows;
+  let rendered = Sim_fidelity.render rows in
+  check Alcotest.bool "render reports byte-identity" true
+    (Astring_contains.contains rendered "segmented: byte-identical")
+
 let rec remove_tree path =
   if Sys.is_directory path then begin
     Array.iter
@@ -181,13 +288,6 @@ let with_temp_cache_dir f =
   Sys.remove dir;
   Sys.mkdir dir 0o755;
   Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
-
-let stage_calls runner stage =
-  match
-    List.find_opt (fun (s, _, _) -> s = stage) (Runner.timings runner)
-  with
-  | Some (_, calls, _) -> calls
-  | None -> 0
 
 let cached_runner dir =
   Runner.create
@@ -473,6 +573,15 @@ let () =
             test_parallel_prefetch_equivalence;
           Alcotest.test_case "dmp_batch = sequential" `Slow
             test_parallel_dmp_batch_equivalence;
+        ] );
+      ( "sim modes",
+        [
+          Alcotest.test_case "segmented byte-identical" `Slow
+            test_segmented_batch_byte_identical;
+          Alcotest.test_case "sampled estimates" `Slow
+            test_sampled_batch_estimates;
+          Alcotest.test_case "sim-fidelity report" `Slow
+            test_sim_fidelity_report;
         ] );
       ( "disk cache",
         [

@@ -253,6 +253,39 @@ let test_reconstruct_degenerate () =
       ("dead-code", dead_code_program (), Helpers.uniform_input 64);
     ]
 
+(* A branch-free function under LBR sampling produces no branch records
+   at all, so every rate estimate degenerates to 0/0: the reconstruction
+   must come back as an all-zero branch profile with non-negative block
+   counts — never NaN-tainted ones (a NaN estimate rounds to 0 by the
+   [round_nonneg] guard rather than reaching [int_of_float], whose
+   result on NaN is unspecified). *)
+let test_branch_free_lbr_all_zero () =
+  let linked = Linked.link (single_block_program ()) in
+  let tr = Dmp_exec.Trace.capture linked ~input:(Helpers.uniform_input 4) in
+  List.iter
+    (fun period ->
+      let config = { Sampler.mode = Sampler.Lbr 8; period; seed = 9 } in
+      let s = Sampler.collect_trace ~config linked tr in
+      check Alcotest.int
+        (Printf.sprintf "period %d: no branch retirements" period)
+        0 (Sampler.total_branches s);
+      let p = Reconstruct.profile linked s in
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "period %d: no branch counters" period)
+        [] (Profile.branch_addrs p);
+      let program = linked.Linked.program in
+      for func = 0 to Program.num_funcs program - 1 do
+        let f = Program.func program func in
+        for block = 0 to Func.num_blocks f - 1 do
+          let c = Profile.block_count p ~func ~block in
+          if c < 0 then
+            Alcotest.failf "period %d: block %d.%d reconstructed negative (%d)"
+              period func block c
+        done
+      done)
+    [ 1; 3; 1_000_000 ]
+
 let () =
   Alcotest.run "dmp_sampling"
     [
@@ -273,6 +306,8 @@ let () =
             test_reconstructed_sanity;
           Alcotest.test_case "degenerate CFGs" `Quick
             test_reconstruct_degenerate;
+          Alcotest.test_case "branch-free LBR all-zero" `Quick
+            test_branch_free_lbr_all_zero;
         ] );
       ( "config",
         [

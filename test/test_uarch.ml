@@ -297,6 +297,150 @@ let qcheck_dmp_never_wildly_slower =
       float_of_int dmp.Stats.cycles
       <= 1.4 *. float_of_int (max 1 base.Stats.cycles))
 
+(* ---------- checkpoints ---------- *)
+
+let stat_bytes (s : Stats.t) = Marshal.to_string s []
+
+let ckpt_setup program ~input =
+  let linked = Linked.link program in
+  let tr = Dmp_exec.Trace.capture linked ~input in
+  let img = Dmp_exec.Image.of_trace tr in
+  let profile = Dmp_profile.Profile.collect linked ~input in
+  let ann = Dmp_core.Select.run linked profile in
+  (linked, img, ann)
+
+(* Split a checkpointed run back into segments — from the start to the
+   first checkpoint, between consecutive checkpoints, and from the last
+   checkpoint to the end — and fold the per-segment deltas. *)
+let merged_segments ~config ?annotation ~interval linked img ckpts =
+  let rec go from rest acc =
+    match rest with
+    | [] ->
+        let d =
+          Sim.run_image_segment ~config ?annotation ?from ~interval
+            ~to_completion:true linked img
+        in
+        d :: acc
+    | ck :: tl ->
+        let d =
+          Sim.run_image_segment ~config ?annotation ?from ~interval
+            ~to_completion:false linked img
+        in
+        go (Some ck) tl (d :: acc)
+  in
+  List.fold_left Stats.merge (Stats.create ()) (go None ckpts [])
+
+let test_checkpoint_resume_roundtrip () =
+  let input = Helpers.uniform_input 600 in
+  let linked, img, ann =
+    ckpt_setup (Helpers.freq_hammock_program ~iters:400 ()) ~input
+  in
+  let config = Config.dmp in
+  let full = Sim.run_image ~config ~annotation:ann linked img in
+  let ck_stats, ckpts =
+    Sim.run_image_checkpointed ~config ~annotation:ann ~interval:500 linked
+      img
+  in
+  check Alcotest.string "checkpointing run byte-identical to plain run"
+    (stat_bytes full) (stat_bytes ck_stats);
+  check Alcotest.bool "captured at least two checkpoints" true
+    (List.length ckpts >= 2);
+  List.iter
+    (fun ck ->
+      let t = Sim.resume_image ~config ~annotation:ann linked img ck in
+      let tail = Sim.run_to_completion t in
+      check Alcotest.string "resume reproduces the final statistics"
+        (stat_bytes full) (stat_bytes tail))
+    ckpts
+
+let test_segment_merge_exact () =
+  let input = Helpers.uniform_input 500 in
+  let linked, img, ann =
+    ckpt_setup (Helpers.data_loop_program ~iters:300 ()) ~input
+  in
+  List.iter
+    (fun (config, annotation) ->
+      let full = Sim.run_image ~config ?annotation linked img in
+      let interval = max 1 (full.Stats.retired / 5) in
+      let _, ckpts =
+        Sim.run_image_checkpointed ~config ?annotation ~interval linked img
+      in
+      let merged =
+        merged_segments ~config ?annotation ~interval linked img ckpts
+      in
+      check Alcotest.string "segment deltas merge to the full run"
+        (stat_bytes full) (stat_bytes merged))
+    [ (Config.baseline, None); (Config.dmp, Some ann) ]
+
+let test_checkpoint_rejects_foreign_shape () =
+  let input = Helpers.uniform_input 400 in
+  let linked, img, ann =
+    ckpt_setup (Helpers.freq_hammock_program ~iters:300 ()) ~input
+  in
+  let _, ckpts =
+    Sim.run_image_checkpointed ~config:Config.dmp ~annotation:ann
+      ~interval:400 linked img
+  in
+  match ckpts with
+  | [] -> Alcotest.fail "expected at least one checkpoint"
+  | ck :: _ ->
+      let small = { Config.dmp with Config.rob_size = 64 } in
+      Alcotest.check_raises "different ROB size rejected"
+        (Invalid_argument
+           "Sim.resume: checkpoint is for a different configuration")
+        (fun () ->
+          ignore (Sim.resume_image ~config:small ~annotation:ann linked img ck))
+
+let test_sampled_extrapolates_retired () =
+  let input = Helpers.uniform_input 800 in
+  let linked, img, ann =
+    ckpt_setup (Helpers.freq_hammock_program ~iters:600 ()) ~input
+  in
+  let config = Config.dmp in
+  let full = Sim.run_image ~config ~annotation:ann linked img in
+  let sampled =
+    Sim.run_image_sampled ~config ~annotation:ann ~length:full.Stats.retired
+      ~warmup:200 ~window:500 linked img
+  in
+  check Alcotest.int "sampled retired extrapolates to the segment length"
+    full.Stats.retired sampled.Stats.retired;
+  check Alcotest.bool "sampled cycle estimate positive" true
+    (sampled.Stats.cycles > 0);
+  (* A segment shorter than warmup + window is simulated in full, so the
+     estimate is exact. *)
+  let short =
+    Sim.run_image_sampled ~config ~annotation:ann ~length:full.Stats.retired
+      ~warmup:full.Stats.retired ~window:1 linked img
+  in
+  check Alcotest.string "short segment simulated exactly" (stat_bytes full)
+    (stat_bytes short)
+
+let qcheck_segment_merge_random =
+  QCheck.Test.make
+    ~name:"random programs: segment deltas merge to the full run" ~count:20
+    QCheck.(pair (int_range 2 14) (int_range 1 8))
+    (fun (n, segs) ->
+      let st = Random.State.make [| n; segs; 173 |] in
+      let program = Helpers.random_program st ~nblocks:n in
+      let linked = Linked.link program in
+      let input = Helpers.uniform_input 64 in
+      let tr = Dmp_exec.Trace.capture linked ~input in
+      let img = Dmp_exec.Image.of_trace tr in
+      let profile = Dmp_profile.Profile.collect linked ~input in
+      let ann = Dmp_core.Select.run linked profile in
+      let config = Config.dmp in
+      let full = Sim.run_image ~config ~annotation:ann linked img in
+      let interval = max 1 (full.Stats.retired / segs) in
+      let ck_stats, ckpts =
+        Sim.run_image_checkpointed ~config ~annotation:ann ~interval linked
+          img
+      in
+      let merged =
+        merged_segments ~config ~annotation:ann ~interval linked img ckpts
+      in
+      stat_bytes ck_stats = stat_bytes full
+      && stat_bytes merged = stat_bytes full)
+
 let () =
   Alcotest.run "dmp_uarch"
     [
@@ -337,5 +481,16 @@ let () =
           Alcotest.test_case "foreign image rejected" `Quick
             test_image_foreign_program_rejected;
           QCheck_alcotest.to_alcotest qcheck_dmp_never_wildly_slower;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "resume round-trip" `Quick
+            test_checkpoint_resume_roundtrip;
+          Alcotest.test_case "segment merge" `Quick test_segment_merge_exact;
+          Alcotest.test_case "foreign shape rejected" `Quick
+            test_checkpoint_rejects_foreign_shape;
+          Alcotest.test_case "sampled extrapolation" `Quick
+            test_sampled_extrapolates_retired;
+          QCheck_alcotest.to_alcotest qcheck_segment_merge_random;
         ] );
     ]
