@@ -7,8 +7,18 @@
      bench/main.exe                 regenerate all tables and figures
      bench/main.exe table1 fig5l …  regenerate a subset
      bench/main.exe micro           Bechamel micro-benchmarks
+     bench/main.exe serve-load      closed-loop load against a running
+                                    `dmp serve` daemon
 
    Options:
+     --repeat N           run the target list N times in one process
+                          (a fresh runner per repeat, so the stages
+                          really re-run; the persistent cache still
+                          applies) and report per-stage min/median
+                          seconds to stderr; stdout prints once
+     --socket PATH        serve-load: daemon socket (default dmp.sock)
+     --clients N          serve-load: concurrent client connections
+     --requests N         serve-load: requests per client
      -j/--jobs N          worker domains for the prefetch and the DMP
                           simulation batches (default: DMP_JOBS or the
                           recommended domain count); the report output
@@ -142,7 +152,7 @@ let micro () =
 
 let valid_targets_msg () =
   Printf.sprintf "valid targets: %s"
-    (String.concat ", " (Targets.all @ [ "micro" ]))
+    (String.concat ", " (Targets.all @ [ "micro"; "serve-load" ]))
 
 let usage_error msg =
   Printf.eprintf "bench: %s\n%s\n" msg (valid_targets_msg ());
@@ -160,6 +170,10 @@ type opts = {
   mutable sim_sampling : bool;
   mutable sim_warmup : int;
   mutable sim_window : int;
+  mutable repeat : int;
+  mutable socket : string;
+  mutable clients : int;
+  mutable requests : int;
 }
 
 let parse_args args =
@@ -168,7 +182,8 @@ let parse_args args =
       max_insts = None; cache = true; benchmarks = None;
       sim_segments = None; sim_sampling = false;
       sim_warmup = Sim_fidelity.default_warmup;
-      sim_window = Sim_fidelity.default_window }
+      sim_window = Sim_fidelity.default_window;
+      repeat = 1; socket = "dmp.sock"; clients = 4; requests = 50 }
   in
   let positive flag rest k =
     match rest with
@@ -241,6 +256,24 @@ let parse_args args =
         positive "--sim-window" rest (fun n rest' ->
             o.sim_window <- n;
             go rest')
+    | "--repeat" :: rest ->
+        positive "--repeat" rest (fun n rest' ->
+            o.repeat <- n;
+            go rest')
+    | "--socket" :: rest -> (
+        match rest with
+        | path :: rest' ->
+            o.socket <- path;
+            go rest'
+        | [] -> usage_error "--socket needs a path")
+    | "--clients" :: rest ->
+        positive "--clients" rest (fun n rest' ->
+            o.clients <- n;
+            go rest')
+    | "--requests" :: rest ->
+        positive "--requests" rest (fun n rest' ->
+            o.requests <- n;
+            go rest')
     | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
         usage_error ("unknown option " ^ flag)
     | target :: rest ->
@@ -250,6 +283,93 @@ let parse_args args =
   go args;
   o.targets <- List.rev o.targets;
   o
+
+(* Closed-loop load generator against a running `dmp serve` daemon:
+   every client thread keeps exactly one request outstanding on its own
+   connection, cycling phase-shifted through the benchmark list (so
+   concurrent clients regularly collide on the same key and exercise
+   the daemon's coalescing). Client-observed and server-reported
+   latency land in two histograms; the summary line carries achieved
+   throughput. *)
+let serve_load o =
+  let module C = Dmp_serve.Client in
+  let module P = Dmp_serve.Protocol in
+  let module H = Dmp_serve.Histogram in
+  let benches =
+    Option.value o.benchmarks ~default:[ "gzip"; "mcf" ] |> Array.of_list
+  in
+  let client_h = H.create () and server_h = H.create () in
+  let errors = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let worker i =
+    match C.connect_unix ~wait_s:10. o.socket with
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "bench: serve-load: cannot connect to %s: %s\n"
+          o.socket (Unix.error_message e);
+        Atomic.fetch_and_add errors o.requests |> ignore
+    | conn ->
+        Fun.protect
+          ~finally:(fun () -> C.close conn)
+          (fun () ->
+            for j = 0 to o.requests - 1 do
+              let bench = benches.((i + j) mod Array.length benches) in
+              let req =
+                P.Run { bench; set = "reduced"; algo = "all-best-heur" }
+              in
+              let r0 = Unix.gettimeofday () in
+              match C.request conn req with
+              | Ok { P.ok = true; latency_ns; _ } ->
+                  H.record client_h
+                    (int_of_float ((Unix.gettimeofday () -. r0) *. 1e9));
+                  H.record server_h latency_ns
+              | Ok { P.ok = false; _ } | Error _ -> Atomic.incr errors
+            done)
+  in
+  let threads = List.init o.clients (fun i -> Thread.create worker i) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  let sent = o.clients * o.requests in
+  let ok = sent - Atomic.get errors in
+  Printf.printf
+    "serve-load: socket=%s clients=%d requests=%d ok=%d errors=%d \
+     wall=%.3fs throughput=%.1f req/s\n"
+    o.socket o.clients sent ok (Atomic.get errors) wall
+    (float_of_int ok /. wall);
+  Printf.printf "client latency: %s\n" (H.summary client_h);
+  Printf.printf "server latency: %s\n" (H.summary server_h);
+  if Atomic.get errors > 0 then exit 1
+
+(* Per-stage min/median seconds across --repeat runs. Stages absent
+   from a repeat (e.g. a disk-cache hit replacing a capture) count as
+   0 s for that repeat, which is what they cost. *)
+let repeat_summary reps =
+  let stages =
+    List.concat_map (List.map (fun (s, _, _) -> s)) reps
+    |> List.sort_uniq compare
+  in
+  let b = Buffer.create 512 in
+  Printf.bprintf b "== Stage timings over %d repeats (seconds) ==\n"
+    (List.length reps);
+  Printf.bprintf b "%-26s %10s %10s\n" "stage" "min" "median";
+  List.iter
+    (fun stage ->
+      let secs =
+        List.map
+          (fun rep ->
+            match List.find_opt (fun (s, _, _) -> s = stage) rep with
+            | Some (_, _, sec) -> sec
+            | None -> 0.)
+          reps
+        |> List.sort compare |> Array.of_list
+      in
+      let n = Array.length secs in
+      let median =
+        if n mod 2 = 1 then secs.(n / 2)
+        else (secs.((n / 2) - 1) +. secs.(n / 2)) /. 2.
+      in
+      Printf.bprintf b "%-26s %10.3f %10.3f\n" stage secs.(0) median)
+    stages;
+  Buffer.contents b
 
 let sim_mode_of o =
   if o.sim_sampling then
@@ -273,9 +393,15 @@ let () =
   | Error msg ->
       Printf.eprintf "bench: %s\n" msg;
       exit 2);
+  (match Disk_cache.env_max_bytes () with
+  | Ok _ -> ()
+  | Error msg ->
+      Printf.eprintf "bench: %s\n" msg;
+      exit 2);
   let o = parse_args (List.tl (Array.to_list Sys.argv)) in
   match o.targets with
   | [ "micro" ] -> micro ()
+  | [ "serve-load" ] -> serve_load o
   | requested ->
       let targets = if requested = [] then Targets.all else requested in
       let known, unknown = List.partition Targets.is_valid targets in
@@ -284,7 +410,7 @@ let () =
         unknown;
       if unknown <> [] then prerr_endline (valid_targets_msg ());
       if known = [] then exit 2;
-      let runner =
+      let make_runner () =
         Runner.create
           ?benchmarks:
             (Option.map
@@ -293,15 +419,31 @@ let () =
           ?cache_dir:(if o.cache then Some "_cache" else None)
           ?max_insts:o.max_insts ?jobs:o.jobs ~sim_mode:(sim_mode_of o) ()
       in
-      Runner.prefetch ~profile_sets:(Targets.profile_sets known) runner;
-      List.iter
-        (fun t ->
-          match Targets.render runner t with
-          | Ok s ->
-              print_string s;
-              print_newline ()
-          | Error msg -> Printf.eprintf "bench: %s\n" msg)
-        known;
+      (* A fresh runner per repeat, so repeats re-run the stages (the
+         persistent cache still short-circuits capture/collect where it
+         applies); stdout prints once so a --repeat run's output stays
+         comparable to a single run's. *)
+      let reps = ref [] in
+      let last = ref None in
+      for i = 1 to o.repeat do
+        let runner = make_runner () in
+        Runner.prefetch ~profile_sets:(Targets.profile_sets known) runner;
+        List.iter
+          (fun t ->
+            match Targets.render runner t with
+            | Ok s ->
+                if i = 1 then begin
+                  print_string s;
+                  print_newline ()
+                end
+            | Error msg ->
+                if i = 1 then Printf.eprintf "bench: %s\n" msg)
+          known;
+        reps := Runner.timings runner :: !reps;
+        last := Some runner
+      done;
+      let runner = Option.get !last in
+      if o.repeat > 1 then prerr_string (repeat_summary (List.rev !reps));
       if o.timings then prerr_string (Runner.timing_summary runner);
       Option.iter
         (fun file ->

@@ -23,7 +23,9 @@ let algo_arg =
   Arg.(value & opt string "all-best-heur" & info [ "a"; "algo" ] ~doc)
 
 let max_insts_arg =
-  let doc = "Stop simulation after this many retired instructions." in
+  let doc =
+    "Stop profiling and simulation after this many retired instructions."
+  in
   Arg.(value & opt (some int) None & info [ "max-insts" ] ~doc)
 
 let lookup_variant name =
@@ -49,11 +51,15 @@ let lookup_set s =
       Printf.eprintf "unknown input set %s; known: reduced, train, ref\n" s;
       exit 2
 
-let pipeline bench set =
+(* [max_insts] caps profiling here exactly as it caps the simulations
+   below, matching the serving daemon's Runner semantics — that is
+   what makes `dmp run --max-insts N` byte-identical to the daemon's
+   capped run request (CI compares them). *)
+let pipeline bench set max_insts =
   let spec = lookup_bench bench in
   let linked = Spec.linked spec in
   let input = spec.Spec.input (lookup_set set) in
-  let profile = Dmp_profile.Profile.collect linked ~input in
+  let profile = Dmp_profile.Profile.collect linked ~input ?max_insts in
   (spec, linked, input, profile)
 
 (* ---- list ---- *)
@@ -115,7 +121,7 @@ let run_cmd =
                ~doc:"Load a serialised annotation instead of selecting.")
   in
   let run bench set algo max_insts ann_file =
-    let _, linked, input, profile = pipeline bench set in
+    let _, linked, input, profile = pipeline bench set max_insts in
     let ann =
       match ann_file with
       | Some file -> (
@@ -138,13 +144,7 @@ let run_cmd =
       Dmp_uarch.Sim.run ~config:Dmp_uarch.Config.dmp ~annotation:ann
         ?max_insts linked ~input
     in
-    Fmt.pr "--- baseline ---@.%a@." Dmp_uarch.Stats.pp base;
-    Fmt.pr "--- DMP (%s, %d diverge branches) ---@.%a@." algo
-      (Dmp_core.Annotation.count ann)
-      Dmp_uarch.Stats.pp dmp;
-    Fmt.pr "IPC %.3f -> %.3f (%+.1f%%)@." (Dmp_uarch.Stats.ipc base)
-      (Dmp_uarch.Stats.ipc dmp)
-      (Runner.speedup_pct ~base dmp)
+    print_string (Dmp_serve.Render.run_text ~algo ~ann ~base ~dmp)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Profile, select diverge branches, and simulate")
@@ -160,8 +160,8 @@ let annotate_cmd =
            & info [ "o"; "output" ]
                ~doc:"Write the annotation in its serialised form to FILE.")
   in
-  let run bench set algo out =
-    let _, linked, _, profile = pipeline bench set in
+  let run bench set algo max_insts out =
+    let _, linked, _, profile = pipeline bench set max_insts in
     let ann = Variants.annotate (lookup_variant algo) linked profile in
     match out with
     | Some file ->
@@ -170,15 +170,13 @@ let annotate_cmd =
         close_out oc;
         Printf.printf "wrote %d diverge branches to %s\n"
           (Dmp_core.Annotation.count ann) file
-    | None ->
-        Fmt.pr "%d diverge branches (%s):@.%a@."
-          (Dmp_core.Annotation.count ann)
-          algo Dmp_core.Annotation.pp ann
+    | None -> print_string (Dmp_serve.Render.annotate_text ~algo ann)
   in
   Cmd.v
     (Cmd.info "annotate"
        ~doc:"Show the diverge branches and CFM points the compiler selects")
-    Term.(const run $ bench_arg $ set_arg $ algo_arg $ out_arg)
+    Term.(const run $ bench_arg $ set_arg $ algo_arg $ max_insts_arg
+          $ out_arg)
 
 (* ---- profile ---- *)
 
@@ -202,13 +200,13 @@ let profile_cmd =
     Arg.(value & opt int 42
            & info [ "sampling-seed" ] ~doc:"Sampling jitter seed.")
   in
-  let run bench set mode period seed =
+  let run bench set mode period seed max_insts =
     let spec = lookup_bench bench in
     let linked = Spec.linked spec in
     let input = spec.Spec.input (lookup_set set) in
     let profile =
       match mode with
-      | None -> Dmp_profile.Profile.collect linked ~input
+      | None -> Dmp_profile.Profile.collect linked ~input ?max_insts
       | Some m ->
           let mode =
             match Dmp_sampling.Sampler.mode_of_string m with
@@ -222,7 +220,7 @@ let profile_cmd =
           in
           let config = { Dmp_sampling.Sampler.mode; period; seed } in
           let s =
-            Dmp_sampling.Sampler.collect_source ~config linked
+            Dmp_sampling.Sampler.collect_source ?max_insts ~config linked
               (Dmp_exec.Source.live (Dmp_exec.Emulator.create linked ~input))
           in
           Printf.printf "sampled %s: samples=%d lbr-records=%d\n"
@@ -231,34 +229,14 @@ let profile_cmd =
             (Dmp_sampling.Sampler.lbr_captured s);
           Dmp_sampling.Reconstruct.profile linked s
     in
-    Printf.printf "retired=%d branch-execs=%d mispredictions=%d mpki=%.2f\n"
-      (Dmp_profile.Profile.retired profile)
-      (Dmp_profile.Profile.total_branch_executions profile)
-      (Dmp_profile.Profile.total_mispredictions profile)
-      (Dmp_profile.Profile.mpki profile);
-    List.iter
-      (fun addr ->
-        match Dmp_profile.Profile.branch profile ~addr with
-        | Some s when s.Dmp_profile.Profile.executed > 0 ->
-            let l = Linked.loc linked addr in
-            let f = Program.func linked.Linked.program l.Linked.func in
-            let b = Func.block f l.Linked.block in
-            Printf.printf "br@%-6d %-24s exec=%-8d taken=%.3f misp=%.3f\n"
-              addr
-              (f.Func.name ^ "/" ^ b.Block.label)
-              s.Dmp_profile.Profile.executed
-              (float_of_int s.Dmp_profile.Profile.taken
-              /. float_of_int s.Dmp_profile.Profile.executed)
-              (float_of_int s.Dmp_profile.Profile.mispredicted
-              /. float_of_int s.Dmp_profile.Profile.executed)
-        | Some _ | None -> ())
-      (Dmp_profile.Profile.branch_addrs profile)
+    print_string (Dmp_serve.Render.profile_text linked profile)
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Show the per-branch edge/misprediction profile (exact or sampled)")
-    Term.(const run $ bench_arg $ set_arg $ mode_arg $ period_arg $ seed_arg)
+    Term.(const run $ bench_arg $ set_arg $ mode_arg $ period_arg $ seed_arg
+          $ max_insts_arg)
 
 (* ---- cfg ---- *)
 
@@ -412,6 +390,150 @@ let check_cmd =
       const run $ benchmarks_arg $ set_arg $ max_insts_arg $ random_arg
       $ seed_arg $ mutate_arg)
 
+(* ---- serve / client ---- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the daemon." in
+  Arg.(value & opt string "dmp.sock" & info [ "socket" ] ~doc)
+
+let serve_cmd =
+  let tcp_arg =
+    Arg.(value & opt (some int) None
+           & info [ "tcp-port" ]
+               ~doc:"Also listen on 127.0.0.1:PORT.")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+           & info [ "j"; "jobs" ]
+               ~doc:
+                 "Worker count for parallel stages and request admission \
+                  (default: DMP_JOBS clamped to the recommended domain \
+                  count).")
+  in
+  let mem_budget_arg =
+    Arg.(value & opt (some int) None
+           & info [ "mem-budget" ]
+               ~doc:
+                 "Byte budget of the in-memory stage LRU (traces, images, \
+                  profiles, baselines, selections); default unlimited.")
+  in
+  let response_budget_arg =
+    Arg.(value & opt (some int) None
+           & info [ "response-budget" ]
+               ~doc:
+                 "Byte budget of the rendered-response LRU (default 64 \
+                  MiB).")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) None
+           & info [ "cache-dir" ]
+               ~doc:"Persist traces/profiles/baselines in this disk cache.")
+  in
+  let run socket tcp jobs mem_budget response_budget cache_dir max_insts =
+    (* The daemon is long-lived: oversubscribing its domains would
+       degrade every request, so unlike the offline CLI it refuses
+       rather than obeys. *)
+    let cap = Domain.recommended_domain_count () in
+    (match jobs with
+    | Some j when j < 1 ->
+        Printf.eprintf "dmp serve: --jobs must be >= 1, got %d\n" j;
+        exit 2
+    | Some j when j > cap ->
+        Printf.eprintf
+          "dmp serve: --jobs %d exceeds this machine's %d recommended \
+           domains; refusing to oversubscribe the daemon\n"
+          j cap;
+        exit 2
+    | Some _ | None -> ());
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let service =
+      Dmp_serve.Service.create ?max_insts ?cache_dir:cache_dir ?jobs
+        ?mem_budget ?response_budget ()
+    in
+    let server =
+      Dmp_serve.Server.create ~service ~unix_path:socket ?tcp_port:tcp ()
+    in
+    let stop _ = Dmp_serve.Server.stop server in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Printf.printf "dmp serve: listening on %s%s (jobs=%d)\n%!" socket
+      (match tcp with
+      | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
+      | None -> "")
+      (Dmp_serve.Service.jobs service);
+    Dmp_serve.Server.run server;
+    (* Drained: every accepted request has been answered, so the final
+       stats dump is complete. *)
+    print_string (Dmp_serve.Service.stats_text service)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the annotation daemon: a Unix-domain (and optional loopback \
+          TCP) socket serving annotate / profile / run / stats requests \
+          from an in-memory LRU over the disk cache, with identical \
+          in-flight requests coalesced. SIGTERM drains in-flight requests \
+          and dumps final stats.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ jobs_arg $ mem_budget_arg
+      $ response_budget_arg $ cache_dir_arg $ max_insts_arg)
+
+let client_cmd =
+  let kind_arg =
+    Arg.(
+      value
+      & pos 0 string "run"
+      & info [] ~docv:"KIND" ~doc:"Request kind: annotate, profile, run or \
+                                   stats.")
+  in
+  let wait_arg =
+    Arg.(value & opt float 5.
+           & info [ "wait" ]
+               ~doc:"Retry the connection for this many seconds (startup \
+                     grace).")
+  in
+  let run kind socket wait bench set algo =
+    let req =
+      match kind with
+      | "annotate" -> Dmp_serve.Protocol.Annotate { bench; set; algo }
+      | "profile" -> Dmp_serve.Protocol.Profile { bench; set }
+      | "run" -> Dmp_serve.Protocol.Run { bench; set; algo }
+      | "stats" -> Dmp_serve.Protocol.Stats
+      | k ->
+          Printf.eprintf
+            "unknown request kind %s; known: annotate, profile, run, stats\n"
+            k;
+          exit 2
+    in
+    let conn =
+      match Dmp_serve.Client.connect_unix ~wait_s:wait socket with
+      | c -> c
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "dmp client: cannot connect to %s: %s\n" socket
+            (Unix.error_message e);
+          exit 1
+    in
+    Fun.protect
+      ~finally:(fun () -> Dmp_serve.Client.close conn)
+      (fun () ->
+        match Dmp_serve.Client.request conn req with
+        | Ok { Dmp_serve.Protocol.ok = true; body; _ } -> print_string body
+        | Ok { Dmp_serve.Protocol.ok = false; body; _ } ->
+            Printf.eprintf "dmp client: server error: %s\n" body;
+            exit 1
+        | Error msg ->
+            Printf.eprintf "dmp client: %s\n" msg;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running `dmp serve` daemon and print the \
+          response body (byte-identical to the offline command's output).")
+    Term.(
+      const run $ kind_arg $ socket_arg $ wait_arg $ bench_arg $ set_arg
+      $ algo_arg)
+
 (* ---- experiment ---- *)
 
 let experiment_cmd =
@@ -448,6 +570,11 @@ let () =
   | Error msg ->
       Printf.eprintf "dmp: %s\n" msg;
       exit 2);
+  (match Disk_cache.env_max_bytes () with
+  | Ok _ -> ()
+  | Error msg ->
+      Printf.eprintf "dmp: %s\n" msg;
+      exit 2);
   let info =
     Cmd.info "dmp" ~version:"1.0.0"
       ~doc:
@@ -458,4 +585,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; annotate_cmd; profile_cmd; cfg_cmd;
-            asm_cmd; disasm_cmd; check_cmd; experiment_cmd ]))
+            asm_cmd; disasm_cmd; check_cmd; experiment_cmd; serve_cmd;
+            client_cmd ]))

@@ -39,6 +39,12 @@ let length t = t.len
 let complete t = t.complete
 let max_addr t = t.max_addr
 
+let byte_size t =
+  Bigarray.Array1.size_in_bytes t.addr + Bigarray.Array1.size_in_bytes t.next
+  + Bigarray.Array1.size_in_bytes t.tag
+  + Bigarray.Array1.size_in_bytes t.p1
+  + Bigarray.Array1.size_in_bytes t.p2
+
 let create_int n = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
 
 let create_tag n =

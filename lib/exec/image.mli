@@ -50,6 +50,11 @@ val max_addr : t -> int
     empty. Consumers indexing a per-address table validate its size
     against this once, then index unchecked. *)
 
+val byte_size : t -> int
+(** Allocated bytes of the decoded buffers (~33 B per event; the
+    Bigarray payloads live outside the OCaml heap) — the size
+    {!Dmp_exec.Mem_cache} accounts for a cached image. *)
+
 val event : t -> int -> Event.t
 (** Decode event [i] into a boxed {!Event.t} (allocates; for tests and
     debugging). @raise Invalid_argument when out of bounds. *)

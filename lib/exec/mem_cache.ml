@@ -1,0 +1,153 @@
+(* Byte-budgeted in-memory LRU. Entries form an intrusive doubly-linked
+   recency list threaded through the hash table's values; [find] moves
+   the entry to the front, [add] evicts from the back until the live
+   bytes fit the budget again. All operations take the cache's own
+   mutex, so a cache is safe to share across domains and sys-threads;
+   values themselves are returned as-is and must be immutable (every
+   caller in this repo shares read-only traces, images, profiles and
+   rendered responses). *)
+
+type 'v node = {
+  key : string;
+  value : 'v;
+  size : int;
+  mutable prev : 'v node option;  (* towards MRU *)
+  mutable next : 'v node option;  (* towards LRU *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+  budget : int option;
+}
+
+type 'v t = {
+  name : string;
+  budget : int option;
+  table : (string, 'v node) Hashtbl.t;
+  mutable mru : 'v node option;
+  mutable lru : 'v node option;
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutex : Mutex.t;
+}
+
+let create ?budget ~name () =
+  (match budget with
+  | Some b when b < 0 -> invalid_arg "Mem_cache.create: negative budget"
+  | _ -> ());
+  {
+    name;
+    budget;
+    table = Hashtbl.create 64;
+    mru = None;
+    lru = None;
+    bytes = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    mutex = Mutex.create ();
+  }
+
+let name t = t.name
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* List surgery; callers hold the mutex. *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.prev <- None;
+  n.next <- t.mru;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let drop t n =
+  unlink t n;
+  Hashtbl.remove t.table n.key;
+  t.bytes <- t.bytes - n.size
+
+let evict_over_budget t =
+  match t.budget with
+  | None -> ()
+  | Some budget ->
+      while t.bytes > budget && t.lru <> None do
+        (match t.lru with
+        | Some n ->
+            drop t n;
+            t.evictions <- t.evictions + 1
+        | None -> ());
+      done
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some n ->
+          t.hits <- t.hits + 1;
+          unlink t n;
+          push_front t n;
+          Some n.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let mem t key = locked t (fun () -> Hashtbl.mem t.table key)
+
+let add t key ~size value =
+  if size < 0 then invalid_arg "Mem_cache.add: negative size";
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.table key with
+      | Some old -> drop t old
+      | None -> ());
+      let n = { key; value; size; prev = None; next = None } in
+      Hashtbl.replace t.table key n;
+      push_front t n;
+      t.bytes <- t.bytes + size;
+      evict_over_budget t)
+
+let remove t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some n -> drop t n
+      | None -> ())
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.table;
+        bytes = t.bytes;
+        budget = t.budget;
+      })
+
+(* Recency order for tests and the stats dump; MRU first. *)
+let keys t =
+  locked t (fun () ->
+      let rec go acc = function
+        | None -> List.rev acc
+        | Some n -> go (n.key :: acc) n.next
+      in
+      go [] t.mru)
+
+let approx_size v = Obj.reachable_words (Obj.repr v) * (Sys.word_size / 8)
+
+let stats_line name (s : stats) =
+  Printf.sprintf
+    "mem cache (%s): hits=%d misses=%d evictions=%d entries=%d bytes=%d \
+     budget=%s"
+    name s.hits s.misses s.evictions s.entries s.bytes
+    (match s.budget with Some b -> string_of_int b | None -> "unlimited")

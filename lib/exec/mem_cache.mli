@@ -1,0 +1,65 @@
+(** Byte-budgeted in-memory LRU cache with hit/miss/eviction counters.
+
+    The serving layer keys everything by strings (stage kind + benchmark
+    + input set + parameters, or a whole-request fingerprint) and
+    supplies an explicit byte size per value: Bigarray-backed traces and
+    images keep their payload outside the OCaml heap, so no generic
+    heap-walking size is trustworthy — use {!Dmp_exec.Trace.byte_size}
+    / {!Dmp_exec.Image.byte_size} for those and {!approx_size} for
+    ordinary heap values.
+
+    A cache is safe to share across domains and sys-threads (every
+    operation takes an internal mutex). Values are returned without
+    copying and must therefore be treated as immutable by all
+    sharers. *)
+
+type 'v t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;  (** live entries *)
+  bytes : int;  (** accounted bytes of the live entries *)
+  budget : int option;
+}
+
+val create : ?budget:int -> name:string -> unit -> 'v t
+(** [budget] is the byte budget; omitted means unlimited (no eviction —
+    the offline CLI default, preserving the old unbounded-memo
+    behaviour). [name] labels the cache in stats dumps.
+    @raise Invalid_argument on a negative budget. *)
+
+val name : 'v t -> string
+
+val find : 'v t -> string -> 'v option
+(** Bumps the entry to most-recently-used and counts a hit; counts a
+    miss when absent. *)
+
+val mem : 'v t -> string -> bool
+(** Membership without touching recency or the counters. *)
+
+val add : 'v t -> string -> size:int -> 'v -> unit
+(** Insert (or replace) the entry as most-recently-used, account
+    [size] bytes, then evict least-recently-used entries until the live
+    bytes fit the budget again. A single entry larger than the whole
+    budget is evicted immediately — the budget is a hard bound, not
+    advisory. @raise Invalid_argument on a negative size. *)
+
+val remove : 'v t -> string -> unit
+
+val stats : 'v t -> stats
+
+val keys : 'v t -> string list
+(** Live keys in recency order, most-recently-used first (tests and
+    stats dumps). *)
+
+val approx_size : 'a -> int
+(** [Obj.reachable_words] scaled to bytes — an upper-ish estimate for
+    ordinary heap values (shared substructure is charged to every
+    entry; out-of-heap Bigarray payloads are not counted — use the
+    exact [byte_size] accessors for traces and images). *)
+
+val stats_line : string -> stats -> string
+(** One aligned ["mem cache (<name>): hits=..."] line for stats
+    dumps. *)

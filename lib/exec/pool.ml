@@ -31,10 +31,17 @@ let env_jobs () =
             (Printf.sprintf
                "DMP_JOBS must be a positive integer, got %S" s))
 
+(* Domains are heavyweight: more workers than cores is strictly
+   overhead (BENCH_4 measured -j 4 slower than -j 1 on a 1-cpu
+   container), so the default never oversubscribes — DMP_JOBS is
+   clamped to the recommended domain count. An explicit [create ~jobs]
+   still takes the requested value verbatim, for callers (CI's
+   jobs-invariance checks) that oversubscribe on purpose. *)
 let default_jobs () =
+  let cap = Domain.recommended_domain_count () in
   match env_jobs () with
-  | Ok (Some n) -> n
-  | Ok None -> Domain.recommended_domain_count ()
+  | Ok (Some n) -> min n cap
+  | Ok None -> cap
   | Error msg -> invalid_arg ("Pool.default_jobs: " ^ msg)
 
 let worker t () =

@@ -18,7 +18,11 @@ val env_jobs : unit -> (int option, string) result
 val default_jobs : unit -> int
 (** Worker count used when [create] is given no [jobs]: the [DMP_JOBS]
     environment variable when set, otherwise
-    [Domain.recommended_domain_count ()].
+    [Domain.recommended_domain_count ()] — and never more than the
+    recommended domain count either way, since oversubscribing domains
+    on a small machine is strictly overhead. An explicit [create ~jobs]
+    is not clamped (deliberate oversubscription, e.g. jobs-invariance
+    checks, stays possible).
     @raise Invalid_argument when [DMP_JOBS] is set but is not a
     positive integer (zero, negative, or unparsable) — never a silent
     fallback. *)

@@ -49,6 +49,9 @@ type t = {
 let length t = t.len
 let complete t = t.complete
 
+let byte_size t =
+  Bigarray.Array1.size_in_bytes t.main + Bigarray.Array1.size_in_bytes t.aux
+
 let aux_words tag =
   if tag = tag_fall then 0
   else if tag = tag_branch_taken || tag = tag_branch_not_taken then 2

@@ -29,6 +29,11 @@ val complete : t -> bool
     [max_insts] exceeds [length] of an incomplete trace would end
     early; capture and replay must use the same cap. *)
 
+val byte_size : t -> int
+(** Allocated bytes of the packed buffers (the Bigarray payloads live
+    outside the OCaml heap, so generic heap-size estimates miss them) —
+    the size {!Dmp_exec.Mem_cache} accounts for a cached trace. *)
+
 (** {2 Allocation-free cursor}
 
     A cursor decodes one event at a time into mutable int fields; the

@@ -15,9 +15,26 @@ open Dmp_profile
 open Dmp_uarch
 open Dmp_workload
 
-type t = { dir : string }
+type t = { root : string; dir : string; max_bytes : int option }
 
 let magic = "DMPCACHE1\n"
+
+(* DMP_CACHE_BYTES caps the whole cache root (all fingerprint
+   subdirectories — the unbounded growth happens *across* sweeps with
+   different fingerprints). Same operator contract as DMP_JOBS: a
+   value that does not parse as a positive integer is an error, not a
+   hint; unset or blank means unlimited. *)
+let env_max_bytes () =
+  match Sys.getenv_opt "DMP_CACHE_BYTES" with
+  | None -> Ok None
+  | Some s when String.trim s = "" -> Ok None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> Ok (Some n)
+      | Some _ | None ->
+          Error
+            (Printf.sprintf "DMP_CACHE_BYTES must be a positive integer, got %S"
+               s))
 
 (* Bump when the emulator, profiler, predictor or simulator change in a
    way that alters profiles or baseline statistics: the fingerprint
@@ -40,13 +57,132 @@ let mkdir_if_absent d =
   | () -> ()
   | exception Sys_error _ when Sys.file_exists d && Sys.is_directory d -> ()
 
-let create ?(dir = "_cache") ~max_insts () =
+let create ?(dir = "_cache") ?max_bytes ~max_insts () =
+  let max_bytes =
+    match max_bytes with
+    | Some _ as b -> b
+    | None -> (
+        match env_max_bytes () with
+        | Ok b -> b
+        | Error msg -> invalid_arg ("Disk_cache.create: " ^ msg))
+  in
   mkdir_if_absent dir;
   let sub = Filename.concat dir (fingerprint ~max_insts) in
   mkdir_if_absent sub;
-  { dir = sub }
+  { root = dir; dir = sub; max_bytes }
 
 let dir t = t.dir
+
+(* ---------- access-time bookkeeping and LRU eviction ----------
+
+   Each entry carries a sidecar [<entry>.atime] file holding a
+   wall-clock timestamp plus a process-local sequence number (the
+   tiebreak for stores landing in the same microsecond). The sidecar is
+   rewritten on every successful load and every store, so its content
+   orders entries by last use across processes; an entry without a
+   sidecar (pre-existing caches) falls back to its mtime. Eviction
+   walks every fingerprint subdirectory under the root, sums the entry
+   payload sizes, and removes oldest-access entries (and their
+   sidecars) until the total fits the cap again. All filesystem races
+   (a concurrent evictor or writer) are tolerated: a vanished file is
+   simply skipped, and a load of an evicted entry is an ordinary
+   miss. *)
+
+let atime_suffix = ".atime"
+let atime_seq = Atomic.make 0
+
+let is_tmp name =
+  (* store's temporaries: <entry>.tmp.<pid>.<domain> *)
+  let rec has_tmp i =
+    match String.index_from_opt name i '.' with
+    | None -> false
+    | Some j ->
+        String.length name - j > 4 && String.sub name j 5 = ".tmp."
+        || has_tmp (j + 1)
+  in
+  has_tmp 0
+
+let touch_atime file =
+  let stamp =
+    Printf.sprintf "%.6f %d\n" (Unix.gettimeofday ())
+      (Atomic.fetch_and_add atime_seq 1)
+  in
+  try
+    let oc = open_out (file ^ atime_suffix) in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc stamp)
+  with Sys_error _ -> ()
+
+let read_atime file =
+  let sidecar = file ^ atime_suffix in
+  let from_sidecar () =
+    let ic = open_in sidecar in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        Scanf.bscanf (Scanf.Scanning.from_string (input_line ic)) "%f %d"
+          (fun t seq -> (t, seq)))
+  in
+  match from_sidecar () with
+  | stamp -> Some stamp
+  | exception (Sys_error _ | End_of_file | Scanf.Scan_failure _ | Failure _)
+    -> (
+      match Unix.stat file with
+      | { Unix.st_mtime; _ } -> Some (st_mtime, 0)
+      | exception Unix.Unix_error _ -> None)
+
+let cache_entries root =
+  let subdirs =
+    match Sys.readdir root with
+    | names ->
+        Array.to_list names
+        |> List.map (Filename.concat root)
+        |> List.filter (fun d ->
+               try Sys.is_directory d with Sys_error _ -> false)
+    | exception Sys_error _ -> []
+  in
+  List.concat_map
+    (fun d ->
+      match Sys.readdir d with
+      | names ->
+          Array.to_list names
+          |> List.filter (fun n ->
+                 (not (Filename.check_suffix n atime_suffix))
+                 && not (is_tmp n))
+          |> List.filter_map (fun n ->
+                 let file = Filename.concat d n in
+                 match (Unix.stat file, read_atime file) with
+                 | { Unix.st_size; _ }, Some atime ->
+                     Some (file, st_size, atime)
+                 | _, None -> None
+                 | exception Unix.Unix_error _ -> None)
+      | exception Sys_error _ -> [])
+    subdirs
+
+let remove_entry file =
+  (try Sys.remove file with Sys_error _ -> ());
+  try Sys.remove (file ^ atime_suffix) with Sys_error _ -> ()
+
+let enforce_cap t =
+  match t.max_bytes with
+  | None -> ()
+  | Some cap ->
+      let entries = cache_entries t.root in
+      let total = List.fold_left (fun a (_, s, _) -> a + s) 0 entries in
+      if total > cap then begin
+        let oldest_first =
+          List.sort (fun (_, _, a) (_, _, b) -> compare a b) entries
+        in
+        let excess = ref (total - cap) in
+        List.iter
+          (fun (file, size, _) ->
+            if !excess > 0 then begin
+              remove_entry file;
+              excess := !excess - size
+            end)
+          oldest_first
+      end
 
 let path t ~bench ~set ~kind =
   Filename.concat t.dir
@@ -66,7 +202,9 @@ let store t ~bench ~set ~kind value =
       output_string oc magic;
       Digest.output oc (Digest.string payload);
       output_string oc payload);
-  Sys.rename tmp final
+  Sys.rename tmp final;
+  touch_atime final;
+  enforce_cap t
 
 (* Any failure — missing file, bad magic, bad digest, Marshal noise —
    is a miss; a recognisably corrupt entry is also deleted so it cannot
@@ -98,8 +236,8 @@ let load t ~bench ~set ~kind =
               None)
       in
       (match r with
-      | None -> ( try Sys.remove file with Sys_error _ -> ())
-      | Some _ -> ());
+      | None -> remove_entry file
+      | Some _ -> touch_atime file);
       r)
 
 let load_profile t linked ~bench ~set =

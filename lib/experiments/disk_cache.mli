@@ -23,9 +23,28 @@ open Dmp_workload
 
 type t
 
-val create : ?dir:string -> max_insts:int option -> unit -> t
+val env_max_bytes : unit -> (int option, string) result
+(** The [DMP_CACHE_BYTES] environment variable, validated: [Ok None]
+    when unset or blank (unlimited), [Ok (Some n)] for a positive
+    integer, [Error msg] otherwise. CLIs call this at startup and turn
+    an [Error] into an exit-2 usage error, like [DMP_JOBS]. *)
+
+val create :
+  ?dir:string -> ?max_bytes:int -> max_insts:int option -> unit -> t
 (** [dir] defaults to ["_cache"]. Creates the directory eagerly;
-    raises [Sys_error] if that is impossible. *)
+    raises [Sys_error] if that is impossible.
+
+    [max_bytes] caps the total payload bytes stored under [dir] across
+    {e all} fingerprint subdirectories; it defaults to the validated
+    [DMP_CACHE_BYTES] environment variable (unset means unlimited —
+    the historical behaviour). Every store re-checks the cap and evicts
+    the least-recently-used entries (ordered by a per-entry [.atime]
+    sidecar file, rewritten on every load and store; entries predating
+    the sidecars order by mtime) until the total fits. Eviction is
+    crash- and race-tolerant: concurrent loads of an evicted entry are
+    ordinary misses and never raise.
+    @raise Invalid_argument when no [max_bytes] is given and
+    [DMP_CACHE_BYTES] is set but invalid. *)
 
 val dir : t -> string
 (** The fingerprinted subdirectory entries of this cache live in. *)

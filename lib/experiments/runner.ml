@@ -6,11 +6,21 @@
    and every later baseline / dmp call replays the image (profiling
    still walks the packed trace — it runs once per pair anyway).
 
-   Concurrency: every entry owns a lock that guards its memo tables and
-   its one-shot linking, so a stage is computed exactly once no matter
-   how many domains ask for it, and distinct benchmarks proceed in
-   parallel. The runner-wide state (stage timings) has its own lock and
-   is never held across a stage computation. *)
+   Storage: every stage value lives in one runner-wide byte-budgeted
+   [Mem_cache] (an LRU keyed by "kind/benchmark/input-set[/params]"),
+   layered over the optional persistent [Disk_cache]. With no budget
+   (the offline default) nothing is ever evicted and the behaviour is
+   the old unbounded memoisation; the serving daemon runs the same
+   runner with a budget, so a long-lived process holds the hottest
+   traces / images / profiles / selections in memory and transparently
+   recomputes (or reloads from disk) anything evicted.
+
+   Concurrency: every entry owns a lock that guards its one-shot
+   linking and its stage computations, so a stage is computed exactly
+   once no matter how many domains ask for it (while cached), and
+   distinct benchmarks proceed in parallel. The runner-wide state
+   (stage timings, the mem cache) has its own locking and is never
+   held across a stage computation. *)
 
 open Dmp_ir
 open Dmp_exec
@@ -27,13 +37,18 @@ type entry = {
   spec : Spec.t;
   lock : Mutex.t;
   mutable linked_v : Linked.t option;
-  traces : (Input_gen.set, Trace.t) Hashtbl.t;
-  images : (Input_gen.set, Image.t) Hashtbl.t;
-  profiles : (Input_gen.set, Profile.t) Hashtbl.t;
-  sampled : (Input_gen.set * Dmp_sampling.Sampler.config, Profile.t) Hashtbl.t;
-  baselines : (Input_gen.set, Stats.t) Hashtbl.t;
-  refckpts : (Input_gen.set * Config.t * int, Checkpoint.t list) Hashtbl.t;
 }
+
+(* One variant per stage kind so a single LRU (one recency order, one
+   byte budget) covers them all; the key namespaces ("trace/...",
+   "image/...") make a kind mismatch impossible. *)
+type value =
+  | VTrace of Trace.t
+  | VImage of Image.t
+  | VProfile of Profile.t
+  | VStats of Stats.t
+  | VCkpts of Checkpoint.t list
+  | VAnn of Dmp_core.Annotation.t
 
 type timing = { mutable calls : int; mutable seconds : float }
 
@@ -44,6 +59,7 @@ type t = {
   cache : Disk_cache.t option;
   jobs : int option;
   sim_mode : sim_mode;
+  mem : value Mem_cache.t;
   timings : (string, timing) Hashtbl.t;
   timings_lock : Mutex.t;
 }
@@ -58,23 +74,13 @@ let validate_sim_mode = function
         invalid_arg "Runner: Sampled needs warmup >= 0 and window >= 1"
 
 let create ?(benchmarks = Registry.all) ?max_insts ?cache_dir ?jobs
-    ?(sim_mode = Exact) () =
+    ?(sim_mode = Exact) ?mem_budget () =
   validate_sim_mode sim_mode;
   let entries = Hashtbl.create 32 in
   List.iter
     (fun spec ->
       Hashtbl.replace entries spec.Spec.name
-        {
-          spec;
-          lock = Mutex.create ();
-          linked_v = None;
-          traces = Hashtbl.create 4;
-          images = Hashtbl.create 4;
-          profiles = Hashtbl.create 4;
-          sampled = Hashtbl.create 4;
-          baselines = Hashtbl.create 4;
-          refckpts = Hashtbl.create 4;
-        })
+        { spec; lock = Mutex.create (); linked_v = None })
     benchmarks;
   let cache =
     Option.map (fun dir -> Disk_cache.create ~dir ~max_insts ()) cache_dir
@@ -86,9 +92,30 @@ let create ?(benchmarks = Registry.all) ?max_insts ?cache_dir ?jobs
     cache;
     jobs;
     sim_mode;
+    mem = Mem_cache.create ?budget:mem_budget ~name:"stages" ();
     timings = Hashtbl.create 8;
     timings_lock = Mutex.create ();
   }
+
+let mem_stats t = Mem_cache.stats t.mem
+
+(* Stage keys. The set / sampling-config / arch-key components are
+   rendered to strings (the arch key via a digest of its marshalled
+   form) so one string-keyed LRU covers every kind. *)
+
+let set_str = Input_gen.set_to_string
+let key_trace name set = Printf.sprintf "trace/%s/%s" name (set_str set)
+let key_image name set = Printf.sprintf "image/%s/%s" name (set_str set)
+let key_profile name set = Printf.sprintf "profile/%s/%s" name (set_str set)
+
+let key_sampled name set sampling =
+  Printf.sprintf "sprofile/%s/%s/%s" name (set_str set)
+    (Dmp_sampling.Sampler.config_to_string sampling)
+
+let key_baseline name set = Printf.sprintf "baseline/%s/%s" name (set_str set)
+
+let key_select name set algo =
+  Printf.sprintf "select/%s/%s/%s" name (set_str set) algo
 
 let names t = t.order
 
@@ -135,9 +162,10 @@ let input t name set = (entry t name).spec.Spec.input set
    persisted trace always covers exactly what the replaying stages
    consume. *)
 let trace_locked t e set =
-  match Hashtbl.find_opt e.traces set with
-  | Some tr -> tr
-  | None ->
+  let key = key_trace e.spec.Spec.name set in
+  match Mem_cache.find t.mem key with
+  | Some (VTrace tr) -> tr
+  | Some _ | None ->
       let linked = linked_locked t e in
       let name = e.spec.Spec.name in
       let cached =
@@ -161,7 +189,7 @@ let trace_locked t e set =
               t.cache;
             tr
       in
-      Hashtbl.replace e.traces set tr;
+      Mem_cache.add t.mem key ~size:(Trace.byte_size tr) (VTrace tr);
       tr
 
 let trace t name set =
@@ -173,51 +201,56 @@ let trace t name set =
    decode is one sequential pass, cheaper than reading the ~8x larger
    flat form back from disk. One image per (benchmark, input set) is
    shared — read-only — by every simulation of that pair, across
-   domains. *)
+   domains (and amortised to zero by a long-lived serving process). *)
 let image_locked t e set =
-  match Hashtbl.find_opt e.images set with
-  | Some img -> img
-  | None ->
+  let key = key_image e.spec.Spec.name set in
+  match Mem_cache.find t.mem key with
+  | Some (VImage img) -> img
+  | Some _ | None ->
       let tr = trace_locked t e set in
       let img = timed t "image (decode)" (fun () -> Image.of_trace tr) in
-      Hashtbl.replace e.images set img;
+      Mem_cache.add t.mem key ~size:(Image.byte_size img) (VImage img);
       img
 
 let image t name set =
   let e = entry t name in
   with_lock e (fun () -> image_locked t e set)
 
+(* Caller must hold [e.lock]. *)
+let profile_locked t e set =
+  let name = e.spec.Spec.name in
+  let key = key_profile name set in
+  match Mem_cache.find t.mem key with
+  | Some (VProfile p) -> p
+  | Some _ | None ->
+      let linked = linked_locked t e in
+      let cached =
+        match t.cache with
+        | None -> None
+        | Some c ->
+            timed t "profile (disk cache)" (fun () ->
+                Disk_cache.load_profile c linked ~bench:name ~set)
+      in
+      let p =
+        match cached with
+        | Some p -> p
+        | None ->
+            let tr = trace_locked t e set in
+            let p =
+              timed t "profile (collect)" (fun () ->
+                  Profile.collect_trace ?max_insts:t.max_insts linked tr)
+            in
+            Option.iter
+              (fun c -> Disk_cache.store_profile c ~bench:name ~set p)
+              t.cache;
+            p
+      in
+      Mem_cache.add t.mem key ~size:(Mem_cache.approx_size p) (VProfile p);
+      p
+
 let profile t name set =
   let e = entry t name in
-  with_lock e (fun () ->
-      match Hashtbl.find_opt e.profiles set with
-      | Some p -> p
-      | None ->
-          let linked = linked_locked t e in
-          let cached =
-            match t.cache with
-            | None -> None
-            | Some c ->
-                timed t "profile (disk cache)" (fun () ->
-                    Disk_cache.load_profile c linked ~bench:name ~set)
-          in
-          let p =
-            match cached with
-            | Some p -> p
-            | None ->
-                let tr = trace_locked t e set in
-                let p =
-                  timed t "profile (collect)" (fun () ->
-                      Profile.collect_trace ?max_insts:t.max_insts linked
-                        tr)
-                in
-                Option.iter
-                  (fun c -> Disk_cache.store_profile c ~bench:name ~set p)
-                  t.cache;
-                p
-          in
-          Hashtbl.replace e.profiles set p;
-          p)
+  with_lock e (fun () -> profile_locked t e set)
 
 (* Sampled profiles walk the same packed trace as the exact profiler,
    then reconstruct; the collect+reconstruct pair is memoized (and
@@ -226,10 +259,10 @@ let profile t name set =
 let sampled_profile t name set sampling =
   let e = entry t name in
   with_lock e (fun () ->
-      let key = (set, sampling) in
-      match Hashtbl.find_opt e.sampled key with
-      | Some p -> p
-      | None ->
+      let key = key_sampled name set sampling in
+      match Mem_cache.find t.mem key with
+      | Some (VProfile p) -> p
+      | Some _ | None ->
           let linked = linked_locked t e in
           let cached =
             match t.cache with
@@ -259,15 +292,17 @@ let sampled_profile t name set sampling =
                   t.cache;
                 p
           in
-          Hashtbl.replace e.sampled key p;
+          Mem_cache.add t.mem key ~size:(Mem_cache.approx_size p)
+            (VProfile p);
           p)
 
 let baseline ?(set = Input_gen.Reduced) t name =
   let e = entry t name in
   with_lock e (fun () ->
-      match Hashtbl.find_opt e.baselines set with
-      | Some s -> s
-      | None ->
+      let key = key_baseline name set in
+      match Mem_cache.find t.mem key with
+      | Some (VStats s) -> s
+      | Some _ | None ->
           let linked = linked_locked t e in
           let cached =
             match t.cache with
@@ -291,8 +326,33 @@ let baseline ?(set = Input_gen.Reduced) t name =
                   t.cache;
                 s
           in
-          Hashtbl.replace e.baselines set s;
+          Mem_cache.add t.mem key ~size:(Mem_cache.approx_size s) (VStats s);
           s)
+
+(* Compiler selection as a cached stage: the annotation a named
+   selection algorithm derives from the (benchmark, input set) profile.
+   The serving daemon's annotate / run requests hit this instead of
+   re-running Alg_exact / Alg_freq / the cost model per request. *)
+let selection t name set ~algo =
+  let variant =
+    match Variants.of_string algo with
+    | Some v -> v
+    | None -> invalid_arg ("Runner.selection: unknown algorithm " ^ algo)
+  in
+  let e = entry t name in
+  with_lock e (fun () ->
+      let key = key_select name set algo in
+      match Mem_cache.find t.mem key with
+      | Some (VAnn a) -> a
+      | Some _ | None ->
+          let linked = linked_locked t e in
+          let p = profile_locked t e set in
+          let a =
+            timed t "select (run)" (fun () ->
+                Variants.annotate variant linked p)
+          in
+          Mem_cache.add t.mem key ~size:(Mem_cache.approx_size a) (VAnn a);
+          a)
 
 (* Configuration fields that shape the long-lived architectural state a
    checkpoint restores in sampled mode — predictor kind, confidence and
@@ -325,12 +385,17 @@ let segment_interval img segments = max 1 (Image.length img / max 1 segments)
    by every sampled simulation of that benchmark. Valid for any
    annotation and any same-key configuration because only the
    prefix-determined architectural sections are restored. *)
+let key_refckpt name set config segments =
+  Printf.sprintf "refckpt/%s/%s/%s/%d" name (set_str set)
+    (Digest.to_hex (Digest.string (Marshal.to_string (arch_key config) [])))
+    segments
+
 let ref_checkpoints t e set config segments =
   with_lock e (fun () ->
-      let key = (set, arch_key config, segments) in
-      match Hashtbl.find_opt e.refckpts key with
-      | Some cks -> cks
-      | None ->
+      let key = key_refckpt e.spec.Spec.name set config segments in
+      match Mem_cache.find t.mem key with
+      | Some (VCkpts cks) -> cks
+      | Some _ | None ->
           let linked = linked_locked t e in
           let img = image_locked t e set in
           let cks =
@@ -340,7 +405,8 @@ let ref_checkpoints t e set config segments =
                      ?max_insts:t.max_insts
                      ~interval:(segment_interval img segments) linked img))
           in
-          Hashtbl.replace e.refckpts key cks;
+          Mem_cache.add t.mem key ~size:(Mem_cache.approx_size cks)
+            (VCkpts cks);
           cks)
 
 (* Per-segment task lists. Exact segments carry (start, last?) for

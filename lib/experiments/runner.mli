@@ -37,7 +37,7 @@ type sim_mode =
 
 val create :
   ?benchmarks:Spec.t list -> ?max_insts:int -> ?cache_dir:string ->
-  ?jobs:int -> ?sim_mode:sim_mode -> unit -> t
+  ?jobs:int -> ?sim_mode:sim_mode -> ?mem_budget:int -> unit -> t
 (** Defaults to the full 17-benchmark suite with uncapped simulations.
     [max_insts] caps trace capture, profiling and simulation alike (for
     quick runs and tests). When [cache_dir] is given, traces, profiles
@@ -50,7 +50,20 @@ val create :
     and report output are byte-identical for every [jobs] value.
     [sim_mode] (default [Exact]) selects how {!dmp} / {!dmp_batch}
     simulate; {!baseline} always runs exactly.
+
+    Every stage value (traces, decoded images, exact and sampled
+    profiles, baseline statistics, selections, reference checkpoints)
+    lives in one runner-wide in-memory LRU ({!Dmp_exec.Mem_cache})
+    layered over the disk cache. [mem_budget] bounds it in bytes; no
+    budget (the default) means nothing is ever evicted — the old
+    unbounded memoisation. Under a budget, evicted stages are
+    recomputed (or re-loaded from disk) transparently, so results are
+    identical for every budget value.
     @raise Invalid_argument on a malformed [sim_mode]. *)
+
+val mem_stats : t -> Dmp_exec.Mem_cache.stats
+(** Hit/miss/eviction counters and live bytes of the runner-wide
+    in-memory stage cache (the daemon's stats request reports them). *)
 
 val names : t -> string list
 val linked : t -> string -> Linked.t
@@ -83,6 +96,15 @@ val sampled_profile :
 
 val baseline : ?set:Input_gen.set -> t -> string -> Stats.t
 (** Cached per (benchmark, input set). *)
+
+val selection : t -> string -> Input_gen.set -> algo:string -> Dmp_core.Annotation.t
+(** The annotation the named selection algorithm (a {!Variants} name,
+    e.g. ["all-best-heur"]) derives from the benchmark's profile.
+    Cached per (benchmark, input set, algorithm) in the in-memory LRU;
+    stage label ["select (run)"]. The serving daemon's annotate / run
+    requests resolve selections through this instead of re-running the
+    compiler per request.
+    @raise Invalid_argument on an unknown algorithm name. *)
 
 val dmp :
   ?set:Input_gen.set -> ?config:Config.t -> ?mode:sim_mode -> t -> string ->

@@ -1,0 +1,49 @@
+(* Minimal blocking client: one connection, synchronous
+   request/response. The CLI's [dmp client], the bench load generator
+   and the tests all sit on this. *)
+
+type t = { fd : Unix.file_descr }
+
+let connect_unix ?(wait_s = 0.) path =
+  let deadline = Unix.gettimeofday () +. wait_s in
+  let rec go () =
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    match Unix.connect fd (ADDR_UNIX path) with
+    | () -> { fd }
+    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED) as e, fn, arg) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if Unix.gettimeofday () < deadline then begin
+          (* Daemon still starting up: back off briefly and retry. *)
+          ignore (Unix.select [] [] [] 0.05);
+          go ()
+        end
+        else raise (Unix.Unix_error (e, fn, arg))
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  go ()
+
+let connect_tcp host port =
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  match Unix.connect fd (ADDR_INET (addr, port)) with
+  | () -> { fd }
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let request t req =
+  match Protocol.write_frame t.fd (Protocol.encode_request req) with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("send failed: " ^ Unix.error_message e)
+  | () -> (
+      match Protocol.read_frame ~max:Protocol.max_response_frame t.fd with
+      | `Frame s -> Protocol.decode_response s
+      | `Eof | `Truncated -> Error "connection closed by server"
+      | `Too_big n -> Error (Printf.sprintf "oversized response (%d bytes)" n))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,20 @@
+(** Blocking client for the serving daemon: one connection, any number
+    of synchronous request/response round-trips. *)
+
+type t
+
+val connect_unix : ?wait_s:float -> string -> t
+(** Connect to the daemon's Unix-domain socket. [wait_s] retries
+    connection-refused / not-found for that many seconds (startup
+    grace for scripts that launch the daemon and connect immediately);
+    default is one immediate attempt.
+    @raise Unix.Unix_error when the connection (still) fails. *)
+
+val connect_tcp : string -> int -> t
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** One round-trip. [Error] is a transport or protocol-decode failure;
+    a served error (unknown benchmark, failed computation) comes back
+    as [Ok { ok = false; body = message; _ }]. *)
+
+val close : t -> unit

@@ -1,0 +1,104 @@
+(* HDR-style log-linear latency histogram.
+
+   Values (nanoseconds) land in fixed buckets: exact below [sub_count],
+   then [sub_count] sub-buckets per power-of-two octave, giving a
+   bounded relative error of 1/sub_count (~3%) at any magnitude. The
+   bucket array is allocated once at [create]; [record] only does
+   integer arithmetic and an increment under the mutex, so the serving
+   hot path never allocates. *)
+
+let sub_bits = 5
+let sub_count = 1 lsl sub_bits (* 32 *)
+
+(* Highest index: values up to 2^62 land in octave 62. *)
+let num_buckets = ((62 - (sub_bits - 1)) * sub_count) + sub_count
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable max_v : int;
+  m : Mutex.t;
+}
+
+let create () =
+  { counts = Array.make num_buckets 0; total = 0; max_v = 0;
+    m = Mutex.create () }
+
+let msb v =
+  let r = ref 0 and v = ref v in
+  while !v > 1 do
+    incr r;
+    v := !v lsr 1
+  done;
+  !r
+
+let bucket_of v =
+  if v < sub_count then v
+  else
+    let p = msb v in
+    (((p - (sub_bits - 1)) * sub_count) + (v lsr (p - sub_bits))) - sub_count
+
+(* Inclusive upper bound of a bucket — what a percentile reports, so
+   the estimate errs high (never promises a latency that was beaten). *)
+let upper_of idx =
+  if idx < sub_count then idx
+  else
+    let o = idx / sub_count and sub = idx mod sub_count in
+    ((sub_count + sub + 1) lsl (o - 1)) - 1
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let idx = bucket_of v in
+  let idx = if idx >= num_buckets then num_buckets - 1 else idx in
+  Mutex.lock t.m;
+  t.counts.(idx) <- t.counts.(idx) + 1;
+  t.total <- t.total + 1;
+  if v > t.max_v then t.max_v <- v;
+  Mutex.unlock t.m
+
+let count t =
+  Mutex.lock t.m;
+  let n = t.total in
+  Mutex.unlock t.m;
+  n
+
+let max_ns t =
+  Mutex.lock t.m;
+  let v = t.max_v in
+  Mutex.unlock t.m;
+  v
+
+let percentile t p =
+  if p <= 0. || p > 100. then invalid_arg "Histogram.percentile";
+  Mutex.lock t.m;
+  let r =
+    if t.total = 0 then 0
+    else begin
+      let target =
+        let x = int_of_float (ceil (p /. 100. *. float_of_int t.total)) in
+        if x < 1 then 1 else x
+      in
+      let cum = ref 0 and idx = ref 0 in
+      while !cum < target && !idx < num_buckets do
+        cum := !cum + t.counts.(!idx);
+        incr idx
+      done;
+      min (upper_of (!idx - 1)) t.max_v
+    end
+  in
+  Mutex.unlock t.m;
+  r
+
+let ns_string v =
+  if v < 1_000 then Printf.sprintf "%dns" v
+  else if v < 1_000_000 then Printf.sprintf "%.1fus" (float_of_int v /. 1e3)
+  else if v < 1_000_000_000 then
+    Printf.sprintf "%.1fms" (float_of_int v /. 1e6)
+  else Printf.sprintf "%.2fs" (float_of_int v /. 1e9)
+
+let summary t =
+  Printf.sprintf "count=%d p50=%s p90=%s p99=%s max=%s" (count t)
+    (ns_string (percentile t 50.))
+    (ns_string (percentile t 90.))
+    (ns_string (percentile t 99.))
+    (ns_string (max_ns t))

@@ -1,0 +1,30 @@
+(** Fixed-bucket (HDR-style) latency histogram in nanoseconds.
+
+    Log-linear buckets: exact below 32, then 32 sub-buckets per
+    power-of-two octave, bounding relative error at ~3% across the
+    whole range. The bucket array is allocated once; {!record} is
+    allocation-free, so recording on the serving hot path costs an
+    index computation and one increment. Thread-safe. *)
+
+type t
+
+val create : unit -> t
+val record : t -> int -> unit
+(** Record a latency in nanoseconds (negative values clamp to 0). *)
+
+val count : t -> int
+val max_ns : t -> int
+(** The exact maximum recorded value (not bucket-quantised). *)
+
+val percentile : t -> float -> int
+(** [percentile t p] for [0 < p <= 100], in nanoseconds. Reports the
+    inclusive upper bound of the target bucket (clamped to the exact
+    max), so the estimate errs high. 0 when empty.
+    @raise Invalid_argument when [p] is out of range. *)
+
+val ns_string : int -> string
+(** Render nanoseconds human-readable: ["850ns"], ["12.3us"],
+    ["4.5ms"], ["1.20s"]. *)
+
+val summary : t -> string
+(** ["count=... p50=... p90=... p99=... max=..."]. *)

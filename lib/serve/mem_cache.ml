@@ -1,0 +1,7 @@
+(* The serving layer's in-memory LRU is the executor-level cache
+   re-exported under the daemon's namespace: [Dmp_serve.Mem_cache] and
+   [Dmp_exec.Mem_cache] are the same module (and the same types), so
+   the runner's stage cache and the daemon's response cache share one
+   implementation and one stats format. *)
+
+include Dmp_exec.Mem_cache

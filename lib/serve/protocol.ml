@@ -1,0 +1,178 @@
+(* Length-prefixed binary wire protocol.
+
+   Frame:    u32 BE payload length | payload
+   Request:  u8 kind | u8 field count | (u16 BE length, bytes) * count
+             kinds: 1 annotate (bench, set, algo)
+                    2 profile  (bench, set)
+                    3 run      (bench, set, algo)
+                    4 stats    (no fields)
+   Response: u8 status (0 ok, 1 error) | u64 BE server latency ns | body
+
+   Decoding never raises: every read is bounds-checked and a malformed
+   payload (bad kind, wrong arity, field overrunning the payload,
+   trailing garbage) is an [Error]. Frame reading classifies its
+   failure modes — clean EOF between frames, truncation inside a
+   frame, a length prefix over the limit — so the server can answer
+   garbage with an error response instead of dying. *)
+
+type request =
+  | Annotate of { bench : string; set : string; algo : string }
+  | Profile of { bench : string; set : string }
+  | Run of { bench : string; set : string; algo : string }
+  | Stats
+
+type response = { ok : bool; latency_ns : int; body : string }
+
+let kind_name = function
+  | Annotate _ -> "annotate"
+  | Profile _ -> "profile"
+  | Run _ -> "run"
+  | Stats -> "stats"
+
+let kind_index = function
+  | Annotate _ -> 0
+  | Profile _ -> 1
+  | Run _ -> 2
+  | Stats -> 3
+
+let kind_count = 4
+let kind_names = [| "annotate"; "profile"; "run"; "stats" |]
+
+(* Requests are a handful of short names; responses carry rendered
+   reports (the largest experiment tables are well under a MiB, the
+   margin is for future targets). *)
+let max_request_frame = 4096
+let max_response_frame = 1 lsl 26
+
+let encode_request req =
+  let kind, fields =
+    match req with
+    | Annotate { bench; set; algo } -> (1, [ bench; set; algo ])
+    | Profile { bench; set } -> (2, [ bench; set ])
+    | Run { bench; set; algo } -> (3, [ bench; set; algo ])
+    | Stats -> (4, [])
+  in
+  let b = Buffer.create 64 in
+  Buffer.add_uint8 b kind;
+  Buffer.add_uint8 b (List.length fields);
+  List.iter
+    (fun f ->
+      if String.length f > 0xffff then
+        invalid_arg "Protocol.encode_request: field too long";
+      Buffer.add_uint16_be b (String.length f);
+      Buffer.add_string b f)
+    fields;
+  Buffer.contents b
+
+let decode_request s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let u8 () =
+    if !pos >= len then Error "truncated request"
+    else begin
+      let v = Char.code s.[!pos] in
+      incr pos;
+      Ok v
+    end
+  in
+  let field () =
+    if !pos + 2 > len then Error "truncated field length"
+    else begin
+      let n = (Char.code s.[!pos] lsl 8) lor Char.code s.[!pos + 1] in
+      pos := !pos + 2;
+      if !pos + n > len then Error "field overruns payload"
+      else begin
+        let f = String.sub s !pos n in
+        pos := !pos + n;
+        Ok f
+      end
+    end
+  in
+  let ( let* ) = Result.bind in
+  let* kind = u8 () in
+  let* count = u8 () in
+  let rec fields acc n =
+    if n = 0 then Ok (List.rev acc)
+    else
+      let* f = field () in
+      fields (f :: acc) (n - 1)
+  in
+  let* fs = fields [] count in
+  if !pos <> len then Error "trailing bytes after request"
+  else
+    match (kind, fs) with
+    | 1, [ bench; set; algo ] -> Ok (Annotate { bench; set; algo })
+    | 2, [ bench; set ] -> Ok (Profile { bench; set })
+    | 3, [ bench; set; algo ] -> Ok (Run { bench; set; algo })
+    | 4, [] -> Ok Stats
+    | (1 | 2 | 3 | 4), _ ->
+        Error
+          (Printf.sprintf "wrong field count %d for request kind %d" count
+             kind)
+    | k, _ -> Error (Printf.sprintf "unknown request kind %d" k)
+
+let encode_response r =
+  let b = Buffer.create (String.length r.body + 16) in
+  Buffer.add_uint8 b (if r.ok then 0 else 1);
+  Buffer.add_int64_be b (Int64.of_int r.latency_ns);
+  Buffer.add_string b r.body;
+  Buffer.contents b
+
+let decode_response s =
+  if String.length s < 9 then Error "truncated response"
+  else
+    match Char.code s.[0] with
+    | (0 | 1) as status ->
+        let latency_ns = Int64.to_int (String.get_int64_be s 1) in
+        Ok
+          {
+            ok = status = 0;
+            latency_ns;
+            body = String.sub s 9 (String.length s - 9);
+          }
+    | k -> Error (Printf.sprintf "unknown response status %d" k)
+
+(* ---------- framing over a file descriptor ---------- *)
+
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd b pos len
+      with Unix.Unix_error (EINTR, _, _) -> 0
+    in
+    write_all fd b (pos + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  write_all fd b 0 (4 + n)
+
+(* [`Eof got] distinguishes a clean close (0 bytes read) from a close
+   mid-item. *)
+let read_exact fd b pos len =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    match Unix.read fd b (pos + !got) (len - !got) with
+    | 0 -> eof := true
+    | n -> got := !got + n
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done;
+  if !eof then `Eof !got else `Ok
+
+let read_frame ~max fd =
+  let hdr = Bytes.create 4 in
+  match read_exact fd hdr 0 4 with
+  | `Eof 0 -> `Eof
+  | `Eof _ -> `Truncated
+  | `Ok -> (
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len < 0 || len > max then `Too_big len
+      else
+        let b = Bytes.create len in
+        match read_exact fd b 0 len with
+        | `Eof _ -> `Truncated
+        | `Ok -> `Frame (Bytes.unsafe_to_string b))

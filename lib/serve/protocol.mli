@@ -1,0 +1,52 @@
+(** Wire protocol of the serving daemon.
+
+    Frames are a 4-byte big-endian payload length followed by the
+    payload. A request payload is [u8 kind, u8 field count] followed by
+    [u16 BE length]-prefixed string fields (kind 1 annotate: bench,
+    set, algo; 2 profile: bench, set; 3 run: bench, set, algo; 4 stats:
+    none). A response payload is [u8 status] (0 ok, 1 error), [u64 BE]
+    server-side latency in nanoseconds, then the body — the rendered
+    report on success, the error message otherwise.
+
+    Decoding never raises; malformed bytes come back as [Error]. *)
+
+type request =
+  | Annotate of { bench : string; set : string; algo : string }
+  | Profile of { bench : string; set : string }
+  | Run of { bench : string; set : string; algo : string }
+  | Stats
+
+type response = { ok : bool; latency_ns : int; body : string }
+
+val kind_name : request -> string
+val kind_index : request -> int
+(** Dense index for per-kind tables (0 annotate, 1 profile, 2 run,
+    3 stats). *)
+
+val kind_count : int
+val kind_names : string array
+
+val max_request_frame : int
+(** Frame-length limit the server enforces on requests (4 KiB). *)
+
+val max_response_frame : int
+(** Frame-length limit the client enforces on responses (64 MiB). *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one length-prefixed frame. Raises [Unix.Unix_error] on a
+    broken connection (EINTR is retried). *)
+
+val read_frame :
+  max:int ->
+  Unix.file_descr ->
+  [ `Frame of string | `Eof | `Truncated | `Too_big of int ]
+(** Read one frame. [`Eof] is a clean close between frames,
+    [`Truncated] a close inside one, [`Too_big] a length prefix over
+    [max] (the payload is left unread — the connection's framing is
+    lost and it should be closed after reporting the error). *)

@@ -1,0 +1,49 @@
+(* Report rendering shared by the offline CLI and the daemon.
+
+   The CLI's run / annotate / profile commands print exactly these
+   strings and the daemon serves exactly these strings, so
+   "daemon response = CLI stdout" is checked byte-for-byte in the
+   serve tests and in CI — the renderer is the single source of the
+   format. *)
+
+open Dmp_ir
+open Dmp_uarch
+open Dmp_experiments
+
+let run_text ~algo ~ann ~base ~dmp =
+  Fmt.str "--- baseline ---@.%a@." Stats.pp base
+  ^ Fmt.str "--- DMP (%s, %d diverge branches) ---@.%a@." algo
+      (Dmp_core.Annotation.count ann)
+      Stats.pp dmp
+  ^ Fmt.str "IPC %.3f -> %.3f (%+.1f%%)@." (Stats.ipc base) (Stats.ipc dmp)
+      (Runner.speedup_pct ~base dmp)
+
+let annotate_text ~algo ann =
+  Fmt.str "%d diverge branches (%s):@.%a@."
+    (Dmp_core.Annotation.count ann)
+    algo Dmp_core.Annotation.pp ann
+
+let profile_text linked profile =
+  let module P = Dmp_profile.Profile in
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "retired=%d branch-execs=%d mispredictions=%d mpki=%.2f\n"
+    (P.retired profile)
+    (P.total_branch_executions profile)
+    (P.total_mispredictions profile)
+    (P.mpki profile);
+  List.iter
+    (fun addr ->
+      match P.branch profile ~addr with
+      | Some s when s.P.executed > 0 ->
+          let l = Linked.loc linked addr in
+          let f = Program.func linked.Linked.program l.Linked.func in
+          let blk = Func.block f l.Linked.block in
+          Printf.bprintf b "br@%-6d %-24s exec=%-8d taken=%.3f misp=%.3f\n"
+            addr
+            (f.Func.name ^ "/" ^ blk.Block.label)
+            s.P.executed
+            (float_of_int s.P.taken /. float_of_int s.P.executed)
+            (float_of_int s.P.mispredicted /. float_of_int s.P.executed)
+      | Some _ | None -> ())
+    (P.branch_addrs profile);
+  Buffer.contents b

@@ -1,0 +1,18 @@
+(** Report rendering shared by the offline CLI and the daemon, so both
+    produce byte-identical output by construction. *)
+
+val run_text :
+  algo:string ->
+  ann:Dmp_core.Annotation.t ->
+  base:Dmp_uarch.Stats.t ->
+  dmp:Dmp_uarch.Stats.t ->
+  string
+(** The [dmp run] report: baseline and DMP statistics blocks followed
+    by the IPC comparison line. *)
+
+val annotate_text : algo:string -> Dmp_core.Annotation.t -> string
+(** The [dmp annotate] console report. *)
+
+val profile_text : Dmp_ir.Linked.t -> Dmp_profile.Profile.t -> string
+(** The [dmp profile] per-branch report (exact-profile part; the CLI's
+    sampling mode prints its own header line before this). *)

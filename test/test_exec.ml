@@ -387,11 +387,13 @@ let with_jobs_env v f =
   Fun.protect ~finally:(fun () -> Unix.putenv "DMP_JOBS" old) f
 
 let test_env_jobs_valid () =
+  let cap = Domain.recommended_domain_count () in
   with_jobs_env "3" (fun () ->
       (match Pool.env_jobs () with
       | Ok (Some 3) -> ()
       | _ -> Alcotest.fail "DMP_JOBS=3 should validate as Some 3");
-      check Alcotest.int "default_jobs honours DMP_JOBS" 3
+      check Alcotest.int "default_jobs honours DMP_JOBS up to the core count"
+        (min 3 cap)
         (Pool.default_jobs ()));
   with_jobs_env " 2 " (fun () ->
       match Pool.env_jobs () with
@@ -401,6 +403,17 @@ let test_env_jobs_valid () =
       match Pool.env_jobs () with
       | Ok None -> ()
       | _ -> Alcotest.fail "a blank DMP_JOBS should read as unset")
+
+(* Oversubscription fix: the default worker count never exceeds the
+   recommended domain count, however large DMP_JOBS is; DMP_JOBS=1
+   still forces a single worker on any machine. *)
+let test_default_jobs_clamped () =
+  let cap = Domain.recommended_domain_count () in
+  with_jobs_env "64" (fun () ->
+      check Alcotest.int "a huge DMP_JOBS clamps to the core count" cap
+        (Pool.default_jobs ()));
+  with_jobs_env "1" (fun () ->
+      check Alcotest.int "DMP_JOBS=1 stays 1" 1 (Pool.default_jobs ()))
 
 let test_env_jobs_invalid () =
   List.iter
@@ -517,6 +530,8 @@ let () =
           Alcotest.test_case "DMP_JOBS accepted" `Quick test_env_jobs_valid;
           Alcotest.test_case "DMP_JOBS rejected" `Quick
             test_env_jobs_invalid;
+          Alcotest.test_case "default_jobs clamps to core count" `Quick
+            test_default_jobs_clamped;
         ] );
       ( "checkpoint",
         [

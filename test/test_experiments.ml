@@ -487,8 +487,12 @@ let test_disk_cache_corruption_injection () =
         Disk_cache.store_trace cache ~bench ~set trace
       in
       let entries () =
+        (* payload entries only: each also carries a .atime sidecar
+           recording its last use for LRU eviction *)
         Sys.readdir (Disk_cache.dir cache)
-        |> Array.to_list |> List.sort compare
+        |> Array.to_list
+        |> List.filter (fun f -> not (Filename.check_suffix f ".atime"))
+        |> List.sort compare
         |> List.map (Filename.concat (Disk_cache.dir cache))
       in
       let trace_bytes (t : Dmp_exec.Trace.t) = Marshal.to_string t [] in
@@ -540,6 +544,78 @@ let test_disk_cache_corruption_injection () =
       store ();
       check Alcotest.bool "cache recovers after every corruption" true
         (loads_intact ()))
+
+(* The DMP_CACHE_BYTES size cap: least-recently-used entries (ordered
+   by the .atime sidecars, which loads rewrite) are evicted on store
+   until the total fits, and a load of an evicted entry is an ordinary
+   miss — it never raises. *)
+let test_disk_cache_lru_eviction () =
+  with_temp_cache_dir (fun rdir ->
+      let r = Runner.create ~benchmarks:[ Registry.find "li" ]
+          ~max_insts:80_000 ~cache_dir:rdir () in
+      let stats = Runner.baseline r "li" in
+      (* measure one entry's on-disk size with an uncapped cache *)
+      let entry_size =
+        with_temp_cache_dir (fun dir ->
+            let probe = Disk_cache.create ~dir ~max_insts:None () in
+            Disk_cache.store_baseline probe ~bench:"probe"
+              ~set:Input_gen.Reduced stats;
+            Sys.readdir (Disk_cache.dir probe)
+            |> Array.to_list
+            |> List.filter (fun f -> not (Filename.check_suffix f ".atime"))
+            |> List.map (fun f ->
+                   (Unix.stat (Filename.concat (Disk_cache.dir probe) f))
+                     .Unix.st_size)
+            |> List.fold_left ( + ) 0)
+      in
+      with_temp_cache_dir (fun dir ->
+          (* room for three entries and change *)
+          let cap = (3 * entry_size) + (entry_size / 2) in
+          let cache = Disk_cache.create ~dir ~max_bytes:cap ~max_insts:None ()
+          in
+          let store b =
+            Disk_cache.store_baseline cache ~bench:b ~set:Input_gen.Reduced
+              stats
+          in
+          let load b =
+            Disk_cache.load_baseline cache ~bench:b ~set:Input_gen.Reduced
+          in
+          store "a";
+          store "b";
+          store "c";
+          check Alcotest.bool "a live before eviction" true (load "a" <> None);
+          (* that load made "a" the most recently used; "b" is now the
+             oldest access, so the next store must evict "b" *)
+          store "d";
+          check Alcotest.bool "b evicted, load is a clean miss" true
+            (load "b" = None);
+          check Alcotest.bool "recently-used a survives" true
+            (load "a" <> None);
+          check Alcotest.bool "c survives" true (load "c" <> None);
+          check Alcotest.bool "d survives" true (load "d" <> None)))
+
+let test_cache_bytes_env () =
+  let set v = Unix.putenv "DMP_CACHE_BYTES" v in
+  Fun.protect
+    ~finally:(fun () -> set "")
+    (fun () ->
+      set "";
+      check Alcotest.bool "blank = unlimited" true
+        (Disk_cache.env_max_bytes () = Ok None);
+      set "  ";
+      check Alcotest.bool "whitespace = unlimited" true
+        (Disk_cache.env_max_bytes () = Ok None);
+      set "1048576";
+      check Alcotest.bool "positive accepted" true
+        (Disk_cache.env_max_bytes () = Ok (Some 1048576));
+      List.iter
+        (fun bad ->
+          set bad;
+          check Alcotest.bool (Printf.sprintf "%S rejected" bad) true
+            (match Disk_cache.env_max_bytes () with
+            | Error _ -> true
+            | Ok _ -> false))
+        [ "0"; "-5"; "lots"; "1.5" ])
 
 let test_report_render () =
   let fig =
@@ -594,6 +670,10 @@ let () =
             test_disk_cache_corrupt_fallback;
           Alcotest.test_case "corruption injection" `Quick
             test_disk_cache_corruption_injection;
+          Alcotest.test_case "LRU eviction under DMP_CACHE_BYTES" `Slow
+            test_disk_cache_lru_eviction;
+          Alcotest.test_case "DMP_CACHE_BYTES validated" `Quick
+            test_cache_bytes_env;
         ] );
       ( "figures",
         [
