@@ -40,7 +40,11 @@
                           extrapolate (fast, estimated statistics; see
                           the sim-fidelity target for the error)
      --sim-warmup N       sampled mode: warmup events per segment
-     --sim-window N       sampled mode: measured events per segment *)
+     --sim-window N       sampled mode: measured events per segment
+     --no-fused           disable the fused batch scheduler (annotation
+                          dedup, prefix elision, K-way lock-step
+                          kernels); output stays byte-identical, only
+                          the stage timings change *)
 
 open Dmp_experiments
 
@@ -127,6 +131,21 @@ let micro () =
              ignore
                (Dmp_uarch.Sim.run_image ~config:Dmp_uarch.Config.dmp
                   ~annotation ~max_insts:100_000 linked image)));
+      (* The fused kernel at K=2 and K=8 lanes over one image pass:
+         ns/run divided by K against simulate-100k-dmp-image is the
+         per-lane saving from sharing the per-event image traffic. *)
+      Test.make ~name:"simulate-100k-dmp-fused2"
+        (Staged.stage (fun () ->
+             ignore
+               (Dmp_uarch.Sim.run_image_fused ~config:Dmp_uarch.Config.dmp
+                  ~max_insts:100_000 linked image
+                  (List.init 2 (fun _ -> (Some annotation, None))))));
+      Test.make ~name:"simulate-100k-dmp-fused8"
+        (Staged.stage (fun () ->
+             ignore
+               (Dmp_uarch.Sim.run_image_fused ~config:Dmp_uarch.Config.dmp
+                  ~max_insts:100_000 linked image
+                  (List.init 8 (fun _ -> (Some annotation, None))))));
     ]
   in
   let ols =
@@ -170,6 +189,7 @@ type opts = {
   mutable sim_sampling : bool;
   mutable sim_warmup : int;
   mutable sim_window : int;
+  mutable fused : bool;
   mutable repeat : int;
   mutable socket : string;
   mutable clients : int;
@@ -183,6 +203,7 @@ let parse_args args =
       sim_segments = None; sim_sampling = false;
       sim_warmup = Sim_fidelity.default_warmup;
       sim_window = Sim_fidelity.default_window;
+      fused = true;
       repeat = 1; socket = "dmp.sock"; clients = 4; requests = 50 }
   in
   let positive flag rest k =
@@ -247,6 +268,9 @@ let parse_args args =
             go rest')
     | "--sim-sampling" :: rest ->
         o.sim_sampling <- true;
+        go rest
+    | "--no-fused" :: rest ->
+        o.fused <- false;
         go rest
     | "--sim-warmup" :: rest ->
         positive "--sim-warmup" rest (fun n rest' ->
@@ -417,7 +441,8 @@ let () =
                (List.map Dmp_workload.Registry.find)
                o.benchmarks)
           ?cache_dir:(if o.cache then Some "_cache" else None)
-          ?max_insts:o.max_insts ?jobs:o.jobs ~sim_mode:(sim_mode_of o) ()
+          ?max_insts:o.max_insts ?jobs:o.jobs ~sim_mode:(sim_mode_of o)
+          ~fused:o.fused ()
       in
       (* A fresh runner per repeat, so repeats re-run the stages (the
          persistent cache still short-circuits capture/collect where it

@@ -117,6 +117,57 @@ let compile ~size t =
     t;
   table
 
+(* Behavioural fingerprint of a compiled table: a digest of exactly the
+   fields the simulator reads (branch slot, kind, always/return flags,
+   the resolved CFM address/select arrays, the return-CFM select count,
+   and the loop geometry). Selection-time metadata the hardware never
+   sees — [merge_prob], [exact], [avg_iterations] — is deliberately
+   excluded, so two annotations that compile to the same hardware table
+   fingerprint identically even when derived from different profiles.
+   The rendering is integer-only (no float formatting), hence stable
+   across platforms and insertion orders. *)
+module Compiled = struct
+  let render_slot b i (c : compiled) =
+    let d = c.c_diverge in
+    Buffer.add_string b
+      (Printf.sprintf "%d:%s%s%s" i
+         (branch_kind_to_string d.kind)
+         (if d.always_predicate then ":a" else "")
+         (if d.return_cfm then ":r" else ""));
+    Array.iteri
+      (fun j addr ->
+        Buffer.add_string b
+          (Printf.sprintf ";%d=%d" addr c.c_cfm_selects.(j)))
+      c.c_cfm_addrs;
+    Buffer.add_string b (Printf.sprintf "|%d" c.c_ret_selects);
+    (match d.loop with
+    | Some l ->
+        Buffer.add_string b
+          (Printf.sprintf "|L%d,%d,%d" l.body_insts l.exit_target_addr
+             l.loop_select_uops)
+    | None -> ());
+    Buffer.add_char b '\n'
+
+  let fingerprint table =
+    let b = Buffer.create 256 in
+    Buffer.add_string b (string_of_int (Array.length table));
+    Buffer.add_char b '\n';
+    Array.iteri
+      (fun i slot ->
+        match slot with Some c -> render_slot b i c | None -> ())
+      table;
+    Digest.to_hex (Digest.string (Buffer.contents b))
+
+  let equal a b = String.equal (fingerprint a) (fingerprint b)
+
+  let diverge_indices table =
+    let acc = ref [] in
+    for i = Array.length table - 1 downto 0 do
+      if table.(i) <> None then acc := i :: !acc
+    done;
+    !acc
+end
+
 let cfm_index c addr =
   (* CFM lists are tiny (<= Params.max_cfm); a linear scan of the
      sorted array beats binary search at this size. *)

@@ -83,6 +83,26 @@ val compile : size:int -> t -> compiled option array
     be fetched). The result is immutable by convention and safe to
     share across domains. *)
 
+module Compiled : sig
+  val fingerprint : compiled option array -> string
+  (** Hex digest of a canonical, integer-only rendering of exactly the
+      fields the simulator reads from the table (slot index, branch
+      kind, always/return flags, the resolved CFM address/select
+      arrays, the return-CFM select count, loop geometry). Two
+      annotations that compile to behaviourally identical tables — even
+      when built in different orders or carrying different selection
+      metadata ([merge_prob], [exact], [avg_iterations]) — fingerprint
+      identically, so the fingerprint is a sound key for deduplicating
+      simulations of the same (benchmark, configuration). *)
+
+  val equal : compiled option array -> compiled option array -> bool
+  (** Behavioural equality: {!fingerprint} agreement. *)
+
+  val diverge_indices : compiled option array -> int list
+  (** Slot indices holding a compiled diverge branch, ascending — the
+      addresses at which the table can influence a simulation. *)
+end
+
 val is_cfm : compiled -> int -> bool
 (** Membership in [c_cfm_addrs] (linear scan of the sorted array; CFM
     lists have at most [Params.max_cfm] entries). *)

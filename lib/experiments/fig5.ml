@@ -2,25 +2,37 @@
    heuristic selection algorithms (left) and the cost-benefit model
    variants (right). *)
 
+(* Annotations for a labelled variant list. Whenever the label names
+   the same registered variant (every built-in figure list does), the
+   annotation is resolved through the runner's cached selection stage,
+   so the figures and the serving daemon share one memoized selection
+   per (benchmark, input set, algorithm); an unregistered variant falls
+   back to a direct run of the selection compiler. *)
+let annotations ?(set = Dmp_workload.Input_gen.Reduced) runner variants =
+  let names = Runner.names runner in
+  List.map
+    (fun (label, variant) ->
+      ( label,
+        List.map
+          (fun name ->
+            let ann =
+              match Variants.of_string label with
+              | Some v when v = variant ->
+                  Runner.selection runner name set ~algo:label
+              | Some _ | None ->
+                  Variants.annotate variant (Runner.linked runner name)
+                    (Runner.profile runner name set)
+            in
+            (name, ann))
+          names ))
+    variants
+
 let run_variants runner variants =
   let names = Runner.names runner in
   (* Annotations are derived sequentially (selection is cheap and the
      profiles are memoized); the independent DMP simulations — the
      dominant cost — fan out over one batch. *)
-  let per_variant =
-    List.map
-      (fun (label, variant) ->
-        ( label,
-          List.map
-            (fun name ->
-              let linked = Runner.linked runner name in
-              let profile =
-                Runner.profile runner name Dmp_workload.Input_gen.Reduced
-              in
-              (name, Variants.annotate variant linked profile))
-            names ))
-      variants
-  in
+  let per_variant = annotations runner variants in
   let stats =
     Array.of_list
       (Runner.dmp_batch runner

@@ -15,20 +15,10 @@ let run runner =
           names;
     }
   in
-  let per_variant =
-    List.map
-      (fun (label, variant) ->
-        ( label,
-          List.map
-            (fun name ->
-              let linked = Runner.linked runner name in
-              let profile =
-                Runner.profile runner name Dmp_workload.Input_gen.Reduced
-              in
-              (name, Variants.annotate variant linked profile))
-            names ))
-      Variants.fig5_left
-  in
+  (* Same selections as figure 5 (left): resolved through the runner's
+     cached selection stage, and their simulations dedup against
+     figure 5's in the batch scheduler's fingerprint memo. *)
+  let per_variant = Fig5.annotations runner Variants.fig5_left in
   let stats =
     Array.of_list
       (Runner.dmp_batch runner

@@ -38,6 +38,15 @@ type t = {
   mutable coalesced : int;
   mutable requests : int;
   mutable errors : int;
+  (* Response-LRU key audit: run responses are keyed by
+     "run/bench/set/algo", but two algorithms can select behaviourally
+     identical annotations — the table maps each distinct
+     (bench, set, selection fingerprint) to the first algorithm that
+     computed it, and [fp_aliased] counts later run computations whose
+     simulation the runner's fingerprint memo answered without
+     simulating. *)
+  run_fps : (string, string) Hashtbl.t;
+  mutable fp_aliased : int;
   hists : Histogram.t array;
   compute_hook : (string -> unit) option;
 }
@@ -61,6 +70,8 @@ let create ?benchmarks ?max_insts ?cache_dir ?jobs ?mem_budget
     coalesced = 0;
     requests = 0;
     errors = 0;
+    run_fps = Hashtbl.create 32;
+    fp_aliased = 0;
     hists = Array.init Protocol.kind_count (fun _ -> Histogram.create ());
     compute_hook;
   }
@@ -73,6 +84,12 @@ let coalesced t =
   let n = t.coalesced in
   Mutex.unlock t.m;
   n
+
+let fingerprint_audit t =
+  Mutex.lock t.m;
+  let r = (Hashtbl.length t.run_fps, t.fp_aliased) in
+  Mutex.unlock t.m;
+  r
 
 let response_stats t = Mem_cache.stats t.responses
 let histogram t req = t.hists.(Protocol.kind_index req)
@@ -174,6 +191,14 @@ let profile t ~bench ~set =
         (Runner.linked t.runner bench)
         (Runner.profile t.runner bench s))
 
+let audit_fingerprint t ~bench ~set ~algo fp =
+  let fkey = Printf.sprintf "%s/%s/%s" bench set fp in
+  Mutex.lock t.m;
+  (match Hashtbl.find_opt t.run_fps fkey with
+  | Some first -> if first <> algo then t.fp_aliased <- t.fp_aliased + 1
+  | None -> Hashtbl.replace t.run_fps fkey algo);
+  Mutex.unlock t.m
+
 let run t ~bench ~set ~algo =
   let* () = validate_bench t bench in
   let* s = validate_set set in
@@ -182,8 +207,12 @@ let run t ~bench ~set ~algo =
     (Printf.sprintf "run/%s/%s/%s" bench set algo)
     (fun () ->
       let ann = Runner.selection t.runner bench s ~algo in
+      audit_fingerprint t ~bench ~set ~algo
+        (Runner.annotation_fingerprint t.runner bench ann);
       let base = Runner.baseline ~set:s t.runner bench in
-      let dmp = Runner.dmp ~set:s t.runner bench ann in
+      (* Memoized by selection fingerprint: an aliased algorithm's run
+         reuses the earlier simulation's statistics. *)
+      let dmp = Runner.dmp_memo ~set:s t.runner bench ann in
       Render.run_text ~algo ~ann ~base ~dmp)
 
 let stats_text t =
@@ -192,11 +221,15 @@ let stats_text t =
   let requests = t.requests
   and errors = t.errors
   and coalesced = t.coalesced
-  and inflight = Hashtbl.length t.inflight in
+  and inflight = Hashtbl.length t.inflight
+  and fingerprints = Hashtbl.length t.run_fps
+  and fp_aliased = t.fp_aliased in
   Mutex.unlock t.m;
   Printf.bprintf b "== dmp serve stats ==\n";
   Printf.bprintf b "requests=%d errors=%d coalesced=%d inflight=%d jobs=%d\n"
     requests errors coalesced inflight t.jobs;
+  Printf.bprintf b "selections: fingerprints=%d aliased-runs=%d\n" fingerprints
+    fp_aliased;
   Buffer.add_string b
     (Mem_cache.stats_line "responses" (Mem_cache.stats t.responses));
   Buffer.add_char b '\n';

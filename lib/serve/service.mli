@@ -54,6 +54,16 @@ val jobs : t -> int
 val coalesced : t -> int
 (** How many requests joined an in-flight identical computation. *)
 
+val fingerprint_audit : t -> int * int
+(** [(fingerprints, aliased_runs)]: distinct
+    (benchmark, set, selection fingerprint) triples observed across
+    computed run requests, and how many run computations carried a
+    fingerprint first computed under a {e different} algorithm — runs
+    the response LRU keys apart (its key includes the algorithm name)
+    but whose simulation {!Dmp_experiments.Runner.dmp_memo} answered
+    from the fingerprint memo without simulating. Both also appear in
+    {!stats_text} as the ["selections:"] line. *)
+
 val response_stats : t -> Mem_cache.stats
 val histogram : t -> Protocol.request -> Histogram.t
 (** The latency histogram of the request's kind. *)

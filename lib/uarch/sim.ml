@@ -106,12 +106,11 @@ type t = {
   mutable consumed : int;
 }
 
-let make ?(config = Config.baseline) ?annotation ?(max_insts = max_int)
-    linked supply =
+let make_with ~sinfo ?(config = Config.baseline) ?annotation
+    ?(max_insts = max_int) linked supply =
   let annotation =
     match annotation with Some a -> a | None -> Annotation.empty ()
   in
-  let sinfo = Static_info.of_linked linked in
   {
     config;
     linked;
@@ -141,6 +140,10 @@ let make ?(config = Config.baseline) ?annotation ?(max_insts = max_int)
     consumed = 0;
   }
 
+let make ?config ?annotation ?max_insts linked supply =
+  make_with ~sinfo:(Static_info.of_linked linked) ?config ?annotation
+    ?max_insts linked supply
+
 let create_source ?config ?annotation ?max_insts linked source =
   make ?config ?annotation ?max_insts linked (S_source source)
 
@@ -151,13 +154,22 @@ let create ?config ?annotation ?max_insts linked ~input =
 let create_replay ?config ?annotation ?max_insts linked trace =
   create_source ?config ?annotation ?max_insts linked (Source.replay trace)
 
-let create_image ?config ?annotation ?max_insts linked image =
-  let t = make ?config ?annotation ?max_insts linked (S_image image) in
+(* [create_image] with the caller-supplied static-info table: the fused
+   sweep derives it once per kernel and shares it — read-only — across
+   every lane over the same linked program. *)
+let create_image_with ~sinfo ?config ?annotation ?max_insts linked image =
+  let t =
+    make_with ~sinfo ?config ?annotation ?max_insts linked (S_image image)
+  in
   (* One bounds check here licenses the unchecked static-info and
      diverge-table indexing in [fetch_image_cycle]. *)
   if Image.max_addr image >= Static_info.size t.sinfo then
     invalid_arg "Sim.create_image: image addresses exceed the linked program";
   t
+
+let create_image ?config ?annotation ?max_insts linked image =
+  create_image_with ~sinfo:(Static_info.of_linked linked) ?config ?annotation
+    ?max_insts linked image
 
 (* ---------- trace supply ----------
 
@@ -949,8 +961,10 @@ let restore_arch t image ck =
   Cache.import t.hier.Cache.l2 (Checkpoint.section ck "l2");
   core
 
-let resume_image ?config ?annotation ?max_insts linked image ck =
-  let t = create_image ?config ?annotation ?max_insts linked image in
+(* Restore the full machine state (timing included) into a freshly
+   created simulation over the same image — the body of [resume_image],
+   shared with the fused kernel's per-lane checkpoint starts. *)
+let resume_into t image ck =
   let core = restore_arch t image ck in
   t.cycle <- core.(0);
   t.fetch_resume <- core.(1);
@@ -967,6 +981,71 @@ let resume_image ?config ?annotation ?max_insts linked image ck =
   Array.blit reg 0 t.reg_ready 0 (Array.length reg);
   Stats.load t.stats (Checkpoint.section ck "stats");
   t
+
+let resume_image ?config ?annotation ?max_insts linked image ck =
+  resume_into (create_image ?config ?annotation ?max_insts linked image)
+    image ck
+
+(* ---------- fused multi-annotation sweep ----------
+
+   K lanes advance in lock-step strides of consumed events over one
+   shared image pass. Lanes are fully independent machines — each owns
+   its predictor, confidence estimator, caches, ROB and statistics; the
+   sharing is the image buffers, the linked program and one
+   [Static_info] table, all read-only. Each lane therefore executes
+   exactly the [step_cycle] sequence its solo run would, so its
+   statistics are byte-identical to [run_image] (or to
+   [resume_image] + [run_to_completion] for checkpoint-started lanes);
+   the fusion wins by keeping the shared per-event buffers hot across
+   lanes instead of streaming the whole image through the cache once
+   per annotation. *)
+
+let fused_stride = 32_768
+
+let run_image_fused ?config ?max_insts linked image lanes =
+  match lanes with
+  | [] -> []
+  | _ ->
+      let sinfo = Static_info.of_linked linked in
+      let sims =
+        Array.of_list
+          (List.map
+             (fun (annotation, from) ->
+               let t =
+                 create_image_with ~sinfo ?config ?annotation ?max_insts
+                   linked image
+               in
+               match from with None -> t | Some ck -> resume_into t image ck)
+             lanes)
+      in
+      (* Per-lane cycle guards: each lane gets the same [max_sim_cycles]
+         budget its solo [run_to_completion] would. *)
+      let guards = Array.map (fun _ -> 0) sims in
+      let front = ref 0 in
+      let all_done = ref (Array.for_all finished sims) in
+      while not !all_done do
+        front := !front + fused_stride;
+        all_done := true;
+        Array.iteri
+          (fun i t ->
+            let g = ref guards.(i) in
+            (* Once the lane's trace is done, [consumed] stops moving
+               and the stride bound no longer binds: the loop drains the
+               ROB to [finished], exactly like a solo run's tail. *)
+            while
+              (not (finished t))
+              && t.consumed < !front
+              && !g < max_sim_cycles
+            do
+              incr g;
+              step_cycle t
+            done;
+            guards.(i) <- !g;
+            if (not (finished t)) && !g < max_sim_cycles then
+              all_done := false)
+          sims
+      done;
+      Array.to_list (Array.map finalize sims)
 
 (* Capture rule shared by the checkpointing run and the segment stop
    rule (they must trigger at exactly the same machine states): the

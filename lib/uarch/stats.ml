@@ -121,6 +121,7 @@ let scale_round factor t =
   map2 (fun v _ -> int_of_float (Float.round (float_of_int v *. factor))) t t
 
 let to_array t = Array.of_list (List.map snd (fields t))
+let equal a b = to_array a = to_array b
 
 let load t values =
   if Array.length values <> List.length (fields t) then

@@ -49,6 +49,11 @@ val diff : t -> t -> t
 
 val copy : t -> t
 
+val equal : t -> t -> bool
+(** Fieldwise equality of every counter — what "byte-identical
+    statistics" means throughout the fused-sweep and checkpoint
+    equivalence tests. *)
+
 val scale_round : float -> t -> t
 (** Every counter multiplied by the factor and rounded to nearest, as a
     fresh record — extrapolates a sampled window to its full segment. *)

@@ -439,6 +439,103 @@ let test_annotation_round_trip () =
       Helpers.ret_cfm_program ();
     ]
 
+(* ---------- compiled-annotation fingerprint ---------- *)
+
+let compiled_of linked ann = Annotation.compile ~size:(Linked.size linked) ann
+
+(* Rebuild an annotation from its diverge branches, optionally reversing
+   insertion order or rewriting each branch on the way. *)
+let rebuild ?(rev = false) ?(map = fun d -> d) ann =
+  let ds = Annotation.fold (fun d acc -> map d :: acc) ann [] in
+  let ds = if rev then ds else List.rev ds in
+  let a = Annotation.empty () in
+  List.iter (Annotation.add a) ds;
+  a
+
+let test_fingerprint_properties () =
+  let linked = Linked.link (Helpers.freq_hammock_program ()) in
+  let profile =
+    Dmp_profile.Profile.collect linked ~input:(Helpers.uniform_input 2100)
+  in
+  let ann = Select.run linked profile in
+  check Alcotest.bool "selection is non-empty" true
+    (Annotation.diverge_addrs ann <> []);
+  let fp a = Annotation.Compiled.fingerprint (compiled_of linked a) in
+  let base = fp ann in
+  check Alcotest.string "insertion order is irrelevant" base
+    (fp (rebuild ~rev:true ann));
+  (* Selection metadata the simulator never reads must be invisible:
+     merge_prob, exact, avg_iterations. *)
+  let meta =
+    rebuild ann ~map:(fun d ->
+        {
+          d with
+          Annotation.cfms =
+            List.map
+              (fun c ->
+                {
+                  c with
+                  Annotation.merge_prob = 1.0 -. (c.Annotation.merge_prob /. 2.0);
+                  exact = not c.Annotation.exact;
+                })
+              d.Annotation.cfms;
+          loop =
+            Option.map
+              (fun l ->
+                { l with Annotation.avg_iterations = l.Annotation.avg_iterations +. 7.0 })
+              d.Annotation.loop;
+        })
+  in
+  check Alcotest.string "selection metadata is invisible" base (fp meta);
+  check Alcotest.bool "Compiled.equal agrees with the fingerprint" true
+    (Annotation.Compiled.equal (compiled_of linked ann) (compiled_of linked meta));
+  (* Anything the simulator does read must change the fingerprint. *)
+  let tweaked =
+    rebuild ann ~map:(fun d ->
+        {
+          d with
+          Annotation.cfms =
+            List.map
+              (fun c ->
+                { c with Annotation.select_uops = c.Annotation.select_uops + 1 })
+              d.Annotation.cfms;
+          return_cfm = not d.Annotation.return_cfm;
+        })
+  in
+  check Alcotest.bool "behavioural change is visible" true (base <> fp tweaked);
+  check Alcotest.bool "Compiled.equal rejects it" false
+    (Annotation.Compiled.equal (compiled_of linked ann) (compiled_of linked tweaked));
+  let dropped =
+    let keep = List.hd (Annotation.diverge_addrs ann) in
+    let a = Annotation.empty () in
+    Annotation.fold
+      (fun d () -> if d.Annotation.branch_addr <> keep then Annotation.add a d)
+      ann ();
+    a
+  in
+  check Alcotest.bool "dropping a diverge branch is visible" true
+    (base <> fp dropped)
+
+let test_fingerprint_diverge_indices () =
+  let linked = Linked.link (Helpers.freq_hammock_program ()) in
+  let profile =
+    Dmp_profile.Profile.collect linked ~input:(Helpers.uniform_input 2100)
+  in
+  let ann = Select.run linked profile in
+  let size = Linked.size linked in
+  let expected =
+    List.sort compare
+      (List.filter (fun a -> a >= 0 && a < size) (Annotation.diverge_addrs ann))
+  in
+  check
+    Alcotest.(list int)
+    "diverge_indices = in-range diverge addresses, ascending" expected
+    (Annotation.Compiled.diverge_indices (compiled_of linked ann));
+  check
+    Alcotest.(list int)
+    "empty annotation has no indices" []
+    (Annotation.Compiled.diverge_indices (compiled_of linked (Annotation.empty ())))
+
 let test_annotation_parse_errors () =
   List.iter
     (fun text ->
@@ -815,6 +912,10 @@ let () =
           Alcotest.test_case "round trip" `Quick test_annotation_round_trip;
           Alcotest.test_case "parse errors" `Quick
             test_annotation_parse_errors;
+          Alcotest.test_case "fingerprint properties" `Quick
+            test_fingerprint_properties;
+          Alcotest.test_case "fingerprint diverge indices" `Quick
+            test_fingerprint_diverge_indices;
           Alcotest.test_case "compile edge cases" `Quick
             test_compile_edge_cases;
         ] );

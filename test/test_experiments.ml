@@ -334,8 +334,17 @@ let test_disk_cache_trace_round_trip () =
       check Alcotest.bool "dmp stats round-trip" true (d1 = d2);
       check Alcotest.int "warm run does not capture" 0
         (stage_calls r2 "trace (capture)");
-      check Alcotest.int "warm run loads the trace" 1
-        (stage_calls r2 "trace (disk cache)"))
+      (* the decoded image is served by the process-global image memo,
+         so the warm dmp run needs no trace at all; asking for the
+         trace itself still loads the persisted one rather than
+         re-capturing *)
+      check Alcotest.int "warm dmp run needs no trace" 0
+        (stage_calls r2 "trace (disk cache)");
+      ignore (Runner.trace r2 "li" Input_gen.Reduced);
+      check Alcotest.int "explicit trace loads from disk" 1
+        (stage_calls r2 "trace (disk cache)");
+      check Alcotest.int "explicit trace does not capture" 0
+        (stage_calls r2 "trace (capture)"))
 
 let test_disk_cache_sampled_round_trip () =
   let module Sampler = Dmp_sampling.Sampler in
@@ -617,6 +626,164 @@ let test_cache_bytes_env () =
             | Ok _ -> false))
         [ "0"; "-5"; "lots"; "1.5" ])
 
+(* ---------- fused batch scheduler ---------- *)
+
+let fused_runner ?(fused = true) ?(jobs = 1) () =
+  Runner.create
+    ~benchmarks:[ Registry.find "vpr"; Registry.find "li" ]
+    ~max_insts:120_000 ~jobs ~fused ()
+
+(* N behaviourally identical tasks collapse onto one simulation; a
+   repeat batch is answered entirely from the fingerprint memo. The
+   dedup also has to see through selection metadata: an annotation
+   rebuilt with different merge probabilities fingerprints (and
+   simulates) as the original. *)
+let test_batch_dedup_counters () =
+  let r = fused_runner () in
+  let ann =
+    Dmp_core.Select.run (Runner.linked r "li")
+      (Runner.profile r "li" Input_gen.Reduced)
+  in
+  let meta_tweaked =
+    let a = Dmp_core.Annotation.empty () in
+    Dmp_core.Annotation.fold
+      (fun d () ->
+        Dmp_core.Annotation.add a
+          {
+            d with
+            Dmp_core.Annotation.cfms =
+              List.map
+                (fun c -> { c with Dmp_core.Annotation.merge_prob = 0.123 })
+                d.Dmp_core.Annotation.cfms;
+          })
+      ann ();
+    a
+  in
+  let tasks = [ ("li", ann); ("li", meta_tweaked); ("li", ann) ] in
+  let batch = Runner.dmp_batch r tasks in
+  check Alcotest.int "one fused kernel" 1
+    (stage_calls r "dmp (simulate fused)");
+  check Alcotest.int "two dedup hits" 2 (stage_calls r "dmp (dedup hit)");
+  let batch' = Runner.dmp_batch r tasks in
+  check Alcotest.int "repeat batch simulates nothing" 1
+    (stage_calls r "dmp (simulate fused)");
+  check Alcotest.int "repeat batch is all memo hits" 5
+    (stage_calls r "dmp (dedup hit)");
+  let solo = Runner.dmp r "li" ann in
+  List.iter
+    (fun s ->
+      check Alcotest.bool "deduped stats byte-identical to solo" true
+        (stats_bytes s = stats_bytes solo))
+    (batch @ batch')
+
+(* Same task list through the fused scheduler and the legacy
+   one-simulation-per-task batch: byte-identical results in task
+   order, with the fused runner provably simulating less. *)
+let test_fused_matches_unfused_batch () =
+  let mk fused =
+    Runner.create
+      ~benchmarks:[ Registry.find "vpr"; Registry.find "li" ]
+      ~max_insts:120_000 ~jobs:2 ~fused ()
+  in
+  let rf = mk true and ru = mk false in
+  let tasks r =
+    List.concat_map
+      (fun name ->
+        let linked = Runner.linked r name in
+        let p = Runner.profile r name Input_gen.Reduced in
+        let a1 = Dmp_core.Select.run linked p in
+        let a2 = Dmp_core.Select.run ~config:Dmp_core.Select.all_cost linked p in
+        (* duplicate on purpose: the fused batch must dedup it, the
+           unfused batch simulates it again *)
+        [ (name, a1); (name, a2); (name, a1) ])
+      (Runner.names r)
+  in
+  let bf = Runner.dmp_batch rf (tasks rf) in
+  let bu = Runner.dmp_batch ru (tasks ru) in
+  check Alcotest.int "same task count" (List.length bu) (List.length bf);
+  List.iteri
+    (fun i b ->
+      check Alcotest.bool (Printf.sprintf "task %d: fused = unfused" i) true
+        (stats_bytes (List.nth bf i) = stats_bytes b))
+    bu;
+  check Alcotest.bool "fused batch deduped the repeats" true
+    (stage_calls rf "dmp (dedup hit)" >= 2);
+  check Alcotest.int "unfused batch never dedups" 0
+    (stage_calls ru "dmp (dedup hit)")
+
+(* Prefix elision, forced end-to-end: two annotations whose (distinct)
+   diverge branches sit on addresses the capped trace never executes.
+   The planner's predicted savings (2x the full run) exceed the one
+   reference capture, so the batch must answer both from the capture's
+   own statistics without running a single lane — and those statistics
+   must be byte-identical to a plain simulation, since a never-firing
+   annotation cannot alter behaviour. *)
+let test_batch_prefix_elision () =
+  let r = fused_runner () in
+  let linked = Runner.linked r "li" in
+  let img = Runner.image r "li" Input_gen.Reduced in
+  let len = Dmp_exec.Image.length img in
+  let cold =
+    let rec scan a acc =
+      if a < 0 || List.length acc >= 2 then acc
+      else if Dmp_exec.Image.first_index img a >= len then scan (a - 1) (a :: acc)
+      else scan (a - 1) acc
+    in
+    scan (Dmp_ir.Linked.size linked - 1) []
+  in
+  check Alcotest.int "found two never-executed addresses" 2 (List.length cold);
+  let mk addr =
+    let a = Dmp_core.Annotation.empty () in
+    Dmp_core.Annotation.add a
+      {
+        Dmp_core.Annotation.branch_addr = addr;
+        kind = Dmp_core.Annotation.Simple_hammock;
+        cfms =
+          [
+            {
+              Dmp_core.Annotation.cfm_addr = addr;
+              exact = true;
+              merge_prob = 0.5;
+              select_uops = 2;
+            };
+          ];
+        return_cfm = false;
+        always_predicate = false;
+        loop = None;
+      };
+    a
+  in
+  let batch = Runner.dmp_batch r (List.map (fun a -> ("li", mk a)) cold) in
+  check Alcotest.int "one reference capture" 1 (stage_calls r "ckpt (elide)");
+  check Alcotest.int "both tasks answered by elide skip" 2
+    (stage_calls r "dmp (elide skip)");
+  check Alcotest.int "no fused kernel ran" 0
+    (stage_calls r "dmp (simulate fused)");
+  let plain = Runner.dmp r "li" (Dmp_core.Annotation.empty ()) in
+  List.iter
+    (fun s ->
+      check Alcotest.bool "elided stats = plain dmp-config run" true
+        (stats_bytes s = stats_bytes plain))
+    batch
+
+(* The process-global image memo: a second runner over the same
+   (benchmark, set, cap) shares the first runner's decoded image
+   without decoding — physically the same value. *)
+let test_global_image_memo () =
+  let mk () =
+    Runner.create ~benchmarks:[ Registry.find "mcf" ] ~max_insts:90_000 ()
+  in
+  let r1 = mk () in
+  let i1 = Runner.image r1 "mcf" Input_gen.Reduced in
+  check Alcotest.int "first runner decodes once" 1
+    (stage_calls r1 "image (decode)");
+  let r2 = mk () in
+  let i2 = Runner.image r2 "mcf" Input_gen.Reduced in
+  check Alcotest.int "second runner decodes nothing" 0
+    (stage_calls r2 "image (decode)");
+  check Alcotest.bool "physically the same image" true (i1 == i2);
+  ignore (Sys.opaque_identity r1)
+
 let test_report_render () =
   let fig =
     {
@@ -674,6 +841,14 @@ let () =
             test_disk_cache_lru_eviction;
           Alcotest.test_case "DMP_CACHE_BYTES validated" `Quick
             test_cache_bytes_env;
+        ] );
+      ( "fused batch",
+        [
+          Alcotest.test_case "dedup counters" `Slow test_batch_dedup_counters;
+          Alcotest.test_case "fused = unfused" `Slow
+            test_fused_matches_unfused_batch;
+          Alcotest.test_case "prefix elision" `Slow test_batch_prefix_elision;
+          Alcotest.test_case "global image memo" `Slow test_global_image_memo;
         ] );
       ( "figures",
         [

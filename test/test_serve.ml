@@ -331,6 +331,59 @@ let test_service_matches_live () =
         algos)
     benches
 
+(* The response-LRU key audit: run responses are keyed per algorithm,
+   but behaviourally identical selections share one simulation through
+   the runner's fingerprint memo. Whether or not the two algorithms
+   alias on this workload, every computed run must be audited and the
+   simulation count must equal the number of distinct fingerprints. *)
+let test_service_fingerprint_audit () =
+  let svc = small_service () in
+  let run algo = Protocol.Run { bench = "li"; set = "reduced"; algo } in
+  let respond_ok req =
+    match Service.respond svc req with
+    | Ok _, _ -> ()
+    | Error e, _ -> Alcotest.failf "run failed: %s" e
+  in
+  respond_ok (run "all-best-heur");
+  check
+    Alcotest.(pair int int)
+    "one algorithm, one fingerprint" (1, 0)
+    (Service.fingerprint_audit svc);
+  respond_ok (run "all-best-heur");
+  check
+    Alcotest.(pair int int)
+    "cached repeat is not re-audited" (1, 0)
+    (Service.fingerprint_audit svc);
+  respond_ok (run "all-best-cost");
+  let fps, aliased = Service.fingerprint_audit svc in
+  check Alcotest.int "every computed run audited" 2 (fps + aliased);
+  let calls stage =
+    match
+      List.find_opt
+        (fun (s, _, _) -> s = stage)
+        (Runner.timings (Service.runner svc))
+    with
+    | Some (_, c, _) -> c
+    | None -> 0
+  in
+  check Alcotest.int "simulations = distinct fingerprints" fps
+    (calls "dmp (simulate)");
+  check Alcotest.int "aliased runs answered by the memo" aliased
+    (calls "dmp (dedup hit)");
+  match Service.respond svc Protocol.Stats with
+  | Error e, _ -> Alcotest.failf "stats failed: %s" e
+  | Ok text, _ ->
+      let needle =
+        Printf.sprintf "selections: fingerprints=%d aliased-runs=%d" fps aliased
+      in
+      check Alcotest.bool "stats_text reports the audit" true
+        (let len = String.length needle in
+         let n = String.length text in
+         let rec go i =
+           i + len <= n && (String.sub text i len = needle || go (i + 1))
+         in
+         go 0)
+
 let test_service_stats_text () =
   let svc = small_service () in
   ignore
@@ -503,6 +556,8 @@ let () =
           Alcotest.test_case "byte-identical to live CLI" `Slow
             test_service_matches_live;
           Alcotest.test_case "stats text" `Slow test_service_stats_text;
+          Alcotest.test_case "fingerprint audit" `Slow
+            test_service_fingerprint_audit;
         ] );
       ( "server",
         [
