@@ -65,6 +65,7 @@ let micro () =
   in
   let image = Dmp_exec.Image.of_trace trace in
   let annotation = Dmp_core.Select.run linked profile in
+  let oracle_ann = Dmp_mpp.Oracle.annotation linked in
   let ctx = Dmp_core.Context.create linked profile in
   let sampling =
     { Dmp_sampling.Sampler.mode = Dmp_sampling.Sampler.Lbr 16;
@@ -131,6 +132,21 @@ let micro () =
              ignore
                (Dmp_uarch.Sim.run_image ~config:Dmp_uarch.Config.dmp
                   ~annotation ~max_insts:100_000 linked image)));
+      (* The two other merge-point providers on the same image: the
+         online Merge Point Table (training overhead included) and the
+         oracle IPOSDOM annotation under the static machinery. *)
+      Test.make ~name:"simulate-100k-dmp-dynamic"
+        (Staged.stage (fun () ->
+             ignore
+               (Dmp_uarch.Sim.run_image
+                  ~config:
+                    (Dmp_uarch.Config.dmp_dynamic Dmp_mpp.Mpt.default)
+                  ~max_insts:100_000 linked image)));
+      Test.make ~name:"simulate-100k-dmp-oracle"
+        (Staged.stage (fun () ->
+             ignore
+               (Dmp_uarch.Sim.run_image ~config:Dmp_uarch.Config.dmp
+                  ~annotation:oracle_ann ~max_insts:100_000 linked image)));
       (* The fused kernel at K=2 and K=8 lanes over one image pass:
          ns/run divided by K against simulate-100k-dmp-image is the
          per-lane saving from sharing the per-event image traffic. *)

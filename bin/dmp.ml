@@ -28,12 +28,29 @@ let max_insts_arg =
   in
   Arg.(value & opt (some int) None & info [ "max-insts" ] ~doc)
 
+let provider_arg =
+  let doc =
+    "Merge-point provider: " ^ String.concat ", " Providers.names
+    ^ ". static uses the compile-time selection (-a), dynamic simulates \
+       the Merge Point Table predictor, oracle annotates every eligible \
+       branch with its true immediate post-dominator."
+  in
+  Arg.(value & opt string "static" & info [ "provider" ] ~doc)
+
 let lookup_variant name =
   match Variants.of_string name with
   | Some v -> v
   | None ->
       Printf.eprintf "unknown algorithm %s; known: %s\n" name
         (String.concat ", " Variants.names);
+      exit 2
+
+let lookup_provider name =
+  match Providers.of_string name with
+  | Some p -> p
+  | None ->
+      Printf.eprintf "unknown provider %s; known: %s\n" name
+        (String.concat ", " Providers.names);
       exit 2
 
 let lookup_bench name =
@@ -102,8 +119,21 @@ let list_cmd =
       (fun () -> List.iter print_endline Targets.all);
     section (all || sets) "input sets (-s SET)" (fun () ->
         List.iter print_endline [ "reduced"; "train"; "ref" ]);
+    (* Every compile-time selection algorithm is a static merge-point
+       provider; the predictor geometries and the oracle have no
+       selection algorithm of their own, so they print as extra rows
+       with a dash in the algorithm column. *)
     section (all || algos) "selection algorithms (-a ALGO)" (fun () ->
-        List.iter print_endline Variants.names)
+        List.iter
+          (fun n -> Printf.printf "%-14s %s\n" n "static")
+          Variants.names;
+        List.iter
+          (fun (name, p) ->
+            match p with
+            | Providers.Static -> ()
+            | Providers.Dynamic _ | Providers.Oracle ->
+                Printf.printf "%-14s %s\n" "-" name)
+          Providers.all)
   in
   Cmd.v
     (Cmd.info "list"
@@ -120,11 +150,18 @@ let run_cmd =
            & info [ "annotation-file" ]
                ~doc:"Load a serialised annotation instead of selecting.")
   in
-  let run bench set algo max_insts ann_file =
+  let run bench set algo provider max_insts ann_file =
+    let provider_t = lookup_provider provider in
+    (match (provider_t, ann_file) with
+    | (Providers.Dynamic _ | Providers.Oracle), Some _ ->
+        Printf.eprintf
+          "--annotation-file only applies to the static provider\n";
+        exit 2
+    | _ -> ());
     let _, linked, input, profile = pipeline bench set max_insts in
     let ann =
-      match ann_file with
-      | Some file -> (
+      match (provider_t, ann_file) with
+      | Providers.Static, Some file -> (
           let ic = open_in file in
           let n = in_channel_length ic in
           let text = really_input_string ic n in
@@ -134,23 +171,34 @@ let run_cmd =
           | Error m ->
               Printf.eprintf "bad annotation file: %s\n" m;
               exit 2)
-      | None -> Variants.annotate (lookup_variant algo) linked profile
+      | Providers.Static, None ->
+          Variants.annotate (lookup_variant algo) linked profile
+      | (Providers.Dynamic _ | Providers.Oracle), _ -> (
+          match Providers.annotation provider_t linked with
+          | Some a -> a
+          | None -> Dmp_core.Annotation.empty ())
     in
     let base =
       Dmp_uarch.Sim.run ~config:Dmp_uarch.Config.baseline ?max_insts linked
         ~input
     in
     let dmp =
-      Dmp_uarch.Sim.run ~config:Dmp_uarch.Config.dmp ~annotation:ann
-        ?max_insts linked ~input
+      Dmp_uarch.Sim.run
+        ~config:(Providers.config provider_t)
+        ~annotation:ann ?max_insts linked ~input
+    in
+    let algo =
+      match provider_t with
+      | Providers.Static -> algo
+      | Providers.Dynamic _ | Providers.Oracle -> provider
     in
     print_string (Dmp_serve.Render.run_text ~algo ~ann ~base ~dmp)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Profile, select diverge branches, and simulate")
     Term.(
-      const run $ bench_arg $ set_arg $ algo_arg $ max_insts_arg
-      $ ann_file_arg)
+      const run $ bench_arg $ set_arg $ algo_arg $ provider_arg
+      $ max_insts_arg $ ann_file_arg)
 
 (* ---- annotate ---- *)
 
@@ -160,9 +208,26 @@ let annotate_cmd =
            & info [ "o"; "output" ]
                ~doc:"Write the annotation in its serialised form to FILE.")
   in
-  let run bench set algo max_insts out =
+  let run bench set algo provider max_insts out =
+    let provider_t = lookup_provider provider in
     let _, linked, _, profile = pipeline bench set max_insts in
-    let ann = Variants.annotate (lookup_variant algo) linked profile in
+    let ann, algo =
+      match provider_t with
+      | Providers.Static ->
+          (Variants.annotate (lookup_variant algo) linked profile, algo)
+      | Providers.Oracle -> (
+          match Providers.annotation provider_t linked with
+          | Some a -> (a, provider)
+          | None -> assert false)
+      | Providers.Dynamic _ ->
+          (* The predictor builds its table at run time: there is no
+             compile-time annotation to print or serialise. *)
+          Printf.eprintf
+            "provider %s has no compile-time annotation; use `dmp run \
+             --provider %s` to simulate it\n"
+            provider provider;
+          exit 2
+    in
     match out with
     | Some file ->
         let oc = open_out file in
@@ -175,8 +240,8 @@ let annotate_cmd =
   Cmd.v
     (Cmd.info "annotate"
        ~doc:"Show the diverge branches and CFM points the compiler selects")
-    Term.(const run $ bench_arg $ set_arg $ algo_arg $ max_insts_arg
-          $ out_arg)
+    Term.(const run $ bench_arg $ set_arg $ algo_arg $ provider_arg
+          $ max_insts_arg $ out_arg)
 
 (* ---- profile ---- *)
 

@@ -477,3 +477,80 @@ let check ?params ~mode linked profile ann =
   in
   let ctx = Context.create ~params linked profile in
   check_linked linked @ check_context ctx @ check_annotation ctx ~mode ann
+
+(* ---- dynamic merge-point predictions ---- *)
+
+(* The Merge Point Table learns from retired control flow, so every
+   prediction it ever makes must still be a structurally sane merge
+   point: a conditional branch as the key, and a same-function merge
+   address reachable from both successor sides. Unlike exact CFMs the
+   predicted point need not be the IPOSDOM (the trained point is a
+   dynamic reconvergence point, often earlier), so there is no
+   mpp-not-iposdom rule. *)
+let check_predicted_merges linked preds =
+  let out = ref [] in
+  let cfgs = Hashtbl.create 16 in
+  let cfg_of func =
+    match Hashtbl.find_opt cfgs func with
+    | Some cfg -> cfg
+    | None ->
+        let cfg =
+          Cfg.of_func linked.Linked.program.Program.funcs.(func)
+        in
+        Hashtbl.add cfgs func cfg;
+        cfg
+  in
+  List.iter
+    (fun (branch, merge, _conf) ->
+      let err ?func ?block ~a rule msg =
+        out := D.error ?func ?block ~addr:a ~rule msg :: !out
+      in
+      if branch < 0 || branch >= Linked.size linked then
+        err ~a:branch "mpp-branch-out-of-range"
+          (Printf.sprintf "predicted branch address %d outside the program"
+             branch)
+      else if not (Linked.is_conditional_branch linked branch) then
+        err ~a:branch "mpp-branch-not-conditional"
+          (Printf.sprintf
+             "merge point predicted for %d, which is not a conditional \
+              branch"
+             branch)
+      else begin
+        let bf, bb = Linked.block_of_addr linked branch in
+        if merge < 0 || merge >= Linked.size linked then
+          err ~func:bf ~block:bb ~a:merge "mpp-merge-out-of-range"
+            (Printf.sprintf "predicted merge address %d outside the program"
+               merge)
+        else begin
+          let mf, mb = Linked.block_of_addr linked merge in
+          if mf <> bf then
+            err ~func:bf ~block:bb ~a:merge "mpp-merge-foreign-function"
+              (Printf.sprintf
+                 "predicted merge %d lies in function %d, branch in %d"
+                 merge mf bf)
+          else
+            let cfg = cfg_of bf in
+            match Cfg.branch_successors cfg bb with
+            | None ->
+                (* is_conditional_branch held, so the terminator is a
+                   conditional branch; no successors means a malformed
+                   CFG, already caught structurally. *)
+                ()
+            | Some (tk, ft) ->
+                let reach_t = Cfg.reachable_from cfg tk in
+                let reach_nt = Cfg.reachable_from cfg ft in
+                if not (reach_t.(mb) && reach_nt.(mb)) then
+                  err ~func:bf ~block:mb ~a:merge "mpp-merge-unreachable"
+                    (Printf.sprintf
+                       "predicted merge %d not reachable from the %s side \
+                        of branch %d"
+                       merge
+                       (if not (reach_t.(mb) || reach_nt.(mb)) then
+                          "taken or not-taken"
+                        else if not reach_t.(mb) then "taken"
+                        else "not-taken")
+                       branch)
+        end
+      end)
+    preds;
+  List.rev !out

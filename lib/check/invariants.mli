@@ -48,3 +48,16 @@ val check :
     context. [params] defaults to [Params.default] for [Heuristic] mode
     and [Params.for_cost_model] for [Cost] mode, matching
     {!Select.all_heuristic} / {!Select.all_cost}. *)
+
+val check_predicted_merges :
+  Linked.t -> (int * int * int) list -> Diagnostic.t list
+(** Validate the merge points a dynamic Merge Point Table predicted
+    (triples of branch address, merge address, confidence — the
+    {!Dmp_uarch.Sim.merge_predictions} harvest) against the true CFG:
+    the branch must be a conditional branch, the merge must be an
+    in-range address of the same function, reachable from both the
+    taken and not-taken successors. Predicted points are dynamic
+    reconvergence points, not necessarily the IPOSDOM, so exactness is
+    not required. Rules: [mpp-branch-out-of-range],
+    [mpp-branch-not-conditional], [mpp-merge-out-of-range],
+    [mpp-merge-foreign-function], [mpp-merge-unreachable]. *)

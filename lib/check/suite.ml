@@ -87,7 +87,32 @@ let check_program ?max_insts ?(mutate = false) ?gen linked ~input =
         annotated
     @ Oracle.check_profiles ?max_insts linked ~input trace
   in
-  structural @ ann_checks @ oracle
+  (* Dynamic merge-point provider: simulate with the small Merge Point
+     Table, harvest every trained prediction and validate each against
+     the true CFG. With [mutate], the first prediction is corrupted to
+     the program entry (a different function, or at best a block no
+     branch successor reaches) — the checker must object. *)
+  let mpp =
+    let sim =
+      Dmp_uarch.Sim.create_image
+        ~config:(Dmp_uarch.Config.dmp_dynamic Dmp_mpp.Mpt.small)
+        ?max_insts linked image
+    in
+    ignore (Dmp_uarch.Sim.run_to_completion sim);
+    let preds = Dmp_uarch.Sim.merge_predictions sim in
+    let preds =
+      if mutate then
+        match preds with
+        | (branch, _, conf) :: rest -> (branch, -1, conf) :: rest
+        | [] ->
+            (* No trained entry (tiny trace): fabricate a corrupt one so
+               the mutation smoke still bites. *)
+            [ (Linked.entry_addr linked, -1, 1) ]
+      else preds
+    in
+    tag "mpp" (Invariants.check_predicted_merges linked preds)
+  in
+  structural @ ann_checks @ oracle @ mpp
 
 type outcome = { name : string; diagnostics : Diagnostic.t list }
 

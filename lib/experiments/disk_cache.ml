@@ -39,7 +39,7 @@ let env_max_bytes () =
 (* Bump when the emulator, profiler, predictor or simulator change in a
    way that alters profiles or baseline statistics: the fingerprint
    below only sees data that is explicit in the key. *)
-let format_version = 1
+let format_version = 2
 
 let fingerprint ~max_insts =
   let key =

@@ -1,0 +1,35 @@
+(* Merge-point providers for the three-way CFM comparison: the paper's
+   compiled profile-guided tables, the TR-HPS-2020-001 dynamic Merge
+   Point Table, and the oracle IPOSDOM annotation. *)
+
+open Dmp_uarch
+
+type t =
+  | Static
+  | Dynamic of Dmp_mpp.Mpt.config
+  | Oracle
+
+let all =
+  [
+    ("static", Static);
+    ("dynamic", Dynamic Dmp_mpp.Mpt.default);
+    ("dynamic-small", Dynamic Dmp_mpp.Mpt.small);
+    ("oracle", Oracle);
+  ]
+
+let names = List.map fst all
+let of_string name = List.assoc_opt name all
+
+let kind_name = function
+  | Static -> "static"
+  | Dynamic _ -> "dynamic"
+  | Oracle -> "oracle"
+
+let config = function
+  | Static | Oracle -> Config.dmp
+  | Dynamic mcfg -> Config.dmp_dynamic mcfg
+
+let annotation t linked =
+  match t with
+  | Static | Dynamic _ -> None
+  | Oracle -> Some (Dmp_mpp.Oracle.annotation linked)

@@ -1,0 +1,35 @@
+(** Merge-point providers: where a DMP simulation's diverge decisions
+    get their merge points. [Static] is the paper's compiled
+    profile-guided annotation; [Dynamic] is the online Merge Point
+    Table of TR-HPS-2020-001 ({!Dmp_mpp.Mpt}); [Oracle] is the
+    IPOSDOM annotation derived from the true CFG
+    ({!Dmp_mpp.Oracle}, simulated under the static machinery). *)
+
+open Dmp_ir
+open Dmp_core
+open Dmp_uarch
+
+type t =
+  | Static
+  | Dynamic of Dmp_mpp.Mpt.config
+  | Oracle
+
+val all : (string * t) list
+(** ["static"], ["dynamic"] (the default MPT geometry),
+    ["dynamic-small"] (the constrained geometry), ["oracle"]. *)
+
+val names : string list
+val of_string : string -> t option
+
+val kind_name : t -> string
+(** The provider column value: "static", "dynamic" or "oracle". *)
+
+val config : t -> Config.t
+(** The simulator configuration the provider runs under: [Config.dmp]
+    for [Static]/[Oracle], [Config.dmp_dynamic] for [Dynamic]. *)
+
+val annotation : t -> Linked.t -> Annotation.t option
+(** The compile-time annotation the provider needs beyond what the
+    caller selected: [Oracle] derives its own ({!Dmp_mpp.Oracle}),
+    [Dynamic] needs none (Some empty is not returned — the simulation
+    ignores any table), [Static] is the caller's business ([None]). *)

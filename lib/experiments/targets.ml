@@ -2,7 +2,8 @@ open Dmp_workload
 
 let all =
   [ "table1"; "table2"; "fig5l"; "fig5r"; "fig6"; "fig7"; "fig8"; "fig9";
-    "fig10"; "ablations"; "profile-fidelity"; "sim-fidelity" ]
+    "fig10"; "ablations"; "profile-fidelity"; "sim-fidelity";
+    "cfm-comparison" ]
 
 let is_valid t = List.mem t all
 
@@ -20,6 +21,8 @@ let render runner = function
   | "profile-fidelity" ->
       Ok (Profile_fidelity.render (Profile_fidelity.run runner))
   | "sim-fidelity" -> Ok (Sim_fidelity.render (Sim_fidelity.run runner))
+  | "cfm-comparison" ->
+      Ok (Cfm_comparison.render (Cfm_comparison.run runner))
   | t ->
       Error
         (Printf.sprintf "unknown target %s; valid targets: %s" t

@@ -1,0 +1,29 @@
+(** Oracle merge points: the immediate post-dominator (IPOSDOM) of
+    every conditional branch, computed from the true CFG — the
+    perfect-information upper bound both the profile-guided compiler
+    (this paper) and the dynamic predictor (TR-HPS-2020-001)
+    approximate. *)
+
+open Dmp_ir
+open Dmp_core
+
+val merge_points : Linked.t -> (int * int) list
+(** [(branch_addr, merge_addr)] for every conditional branch whose
+    block has an immediate post-dominator, sorted by branch address;
+    [merge_addr] is the first instruction of the IPOSDOM block.
+    Branches whose two sides reach the exit separately (no IPOSDOM)
+    are omitted. *)
+
+val annotation : Linked.t -> Annotation.t
+(** The merge points of {!merge_points} as exact single-CFM hammock
+    diverge annotations, restricted to branches passing the paper's
+    structural hammock gates recomputed on the true CFG: the region
+    between the branch and its IPOSDOM stays within
+    [Params.default.max_instr] instructions and [max_cbr] conditional
+    branches, and neither side can reach the branch again before the
+    merge (loop back-edges go to the loop mechanism, not a hammock).
+    Select-µop counts are derived from the registers actually written
+    between the branch and its merge point (the same dataflow rule the
+    compiler uses). Built against an all-zero profile — the oracle
+    keeps the hardware's structural limits but needs no profile
+    information. *)

@@ -1,5 +1,10 @@
 (* Machine configuration, following Table 1 of the paper. *)
 
+(* Where diverge decisions get their merge points: the compiled
+   annotation table (the paper), or an online Merge Point Table
+   (TR-HPS-2020-001) learning them from retired control flow. *)
+type merge_provider = Static | Dynamic of Dmp_mpp.Mpt.config
+
 type t = {
   (* Front end. *)
   fetch_width : int;
@@ -36,6 +41,7 @@ type t = {
   select_uop_latency : int;
   max_walk_insts : int;  (* wrong-side fetch walker bound *)
   max_loop_extra_iterations : int;
+  merge_provider : merge_provider;
 }
 
 let baseline =
@@ -67,9 +73,13 @@ let baseline =
     select_uop_latency = 1;
     max_walk_insts = 512;
     max_loop_extra_iterations = 3;
+    merge_provider = Static;
   }
 
 let dmp = { baseline with dmp_enabled = true }
+
+let dmp_dynamic mpt =
+  { baseline with dmp_enabled = true; merge_provider = Dynamic mpt }
 
 let min_misp_penalty t = t.front_depth + 1 + t.int_latency
 

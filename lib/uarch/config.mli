@@ -2,6 +2,13 @@
     is the aggressive 8-wide processor; [dmp] is the same machine with
     DMP support enabled. *)
 
+type merge_provider =
+  | Static  (** diverge decisions consult the compiled annotation table *)
+  | Dynamic of Dmp_mpp.Mpt.config
+      (** diverge decisions consult an online Merge Point Table trained
+          from retired control flow (TR-HPS-2020-001); any compiled
+          annotation is ignored *)
+
 type t = {
   fetch_width : int;
   max_branches_per_cycle : int;
@@ -30,10 +37,15 @@ type t = {
   select_uop_latency : int;
   max_walk_insts : int;
   max_loop_extra_iterations : int;
+  merge_provider : merge_provider;
 }
 
 val baseline : t
 val dmp : t
+
+val dmp_dynamic : Dmp_mpp.Mpt.config -> t
+(** The DMP machine with the static annotation table replaced by a
+    dynamic merge-point predictor of the given geometry. *)
 
 val min_misp_penalty : t -> int
 (** Front-end depth plus redirect plus execute latency (25 cycles with

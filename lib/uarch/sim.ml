@@ -30,6 +30,7 @@ open Dmp_ir
 open Dmp_exec
 open Dmp_predictor
 open Dmp_core
+module Mpt = Dmp_mpp.Mpt
 
 type walker = {
   mutable w_pc : int;
@@ -85,6 +86,10 @@ type t = {
   supply : supply;
   predictor : Predictor.t;
   conf : Conf.t;
+  (* Dynamic merge-point predictor (Config.Dynamic provider only):
+     trained on every consumed correct-path event, consulted by
+     [branch_event] instead of [diverge_at]. *)
+  mpt : Mpt.t option;
   hier : Cache.hierarchy;
   stats : Stats.t;
   (* Reorder buffer: completion cycles in fetch order. *)
@@ -122,6 +127,10 @@ let make_with ~sinfo ?(config = Config.baseline) ?annotation
       Conf.create ~log2_entries:config.Config.conf_log2_entries
         ~history_length:config.Config.conf_history_length
         ~threshold:config.Config.conf_threshold ();
+    mpt =
+      (match config.Config.merge_provider with
+      | Config.Static -> None
+      | Config.Dynamic mcfg -> Some (Mpt.create mcfg));
     hier = Cache.hierarchy config;
     stats = Stats.create ();
     rob = Array.make config.Config.rob_size 0;
@@ -508,6 +517,29 @@ let enter_loop_dpred t ~addr ~taken (c : Annotation.compiled)
       | `Exit -> ());
       true
 
+(* A predicted merge point, packaged as a single-CFM compiled diverge
+   so the dpred state machine runs unchanged. The predictor has no
+   dataflow view: the select-µop cost is its configured constant. *)
+let enter_predicted_dpred t ~addr ~taken ~merge (g : Mpt.config)
+    (o : branch_outcome) =
+  let c =
+    {
+      Annotation.c_diverge =
+        {
+          Annotation.branch_addr = addr;
+          kind = Annotation.Simple_hammock;
+          cfms = [];
+          return_cfm = false;
+          always_predicate = false;
+          loop = None;
+        };
+      c_cfm_addrs = [| merge |];
+      c_cfm_selects = [| g.Mpt.select_uops |];
+      c_ret_selects = g.Mpt.select_uops;
+    }
+  in
+  enter_hammock_dpred t ~addr ~taken c o
+
 (* ---------- per-cycle fetch ---------- *)
 
 exception Stop_fetch
@@ -523,6 +555,25 @@ let[@inline] branch_event t ~(in_dpred : dpred option) ~addr ~taken ~target
      predicates one branch at a time). *)
   let handled =
     match (in_dpred, t.mode) with
+    | None, M_normal when t.config.Config.dmp_enabled && t.mpt <> None -> (
+        (* Dynamic provider: the Merge Point Table answers (or not) for
+           every low-confidence conditional branch; the static table is
+           not consulted. No loop mechanism — the MPT has no iteration
+           counts, so loop branches predicate as hammocks when their
+           learned merge point sticks. *)
+        match t.mpt with
+        | Some m when o.b_low_confidence -> (
+            t.stats.Stats.mpp_lookups <- t.stats.Stats.mpp_lookups + 1;
+            match Mpt.predict m ~addr with
+            | Some merge ->
+                t.stats.Stats.mpp_predicted <-
+                  t.stats.Stats.mpp_predicted + 1;
+                if t.stats.Stats.mpp_warmup_retired = 0 then
+                  t.stats.Stats.mpp_warmup_retired <- t.consumed;
+                enter_predicted_dpred t ~addr ~taken ~merge (Mpt.config m) o;
+                true
+            | None -> false)
+        | Some _ | None -> false)
     | None, M_normal when t.config.Config.dmp_enabled -> (
         match Array.unsafe_get t.diverge_at addr with
         | Some c -> (
@@ -608,12 +659,26 @@ let fetch_trace_cycle t (s : Source.t) ~(in_dpred : dpred option) =
            | M_loop l when addr = l.l_exit_target -> t.mode <- M_normal
            | M_loop _ | M_normal | M_dpred _ -> ());
            let info = Static_info.get t.sinfo addr in
+           (* Train the dynamic merge-point predictor on the consumed
+              (architectural) stream; conditional branches train inside
+              their arm, where the direction is known. *)
+           (match t.mpt with
+           | Some m -> (
+               match info.Static_info.klass with
+               | Static_info.K_branch -> ()
+               | Static_info.K_call -> Mpt.observe_call m ~addr
+               | Static_info.K_ret -> Mpt.observe_ret m
+               | _ -> Mpt.observe m ~addr)
+           | None -> ());
            match info.Static_info.klass with
            | Static_info.K_branch ->
                incr branches;
                let taken = Source.taken s in
                let target = Source.p1 s in
                let fall = Source.p2 s in
+               (match t.mpt with
+               | Some m -> Mpt.observe_branch m ~addr ~taken
+               | None -> ());
                let o = process_cond_branch t ~addr ~taken ~info in
                decr slots;
                branch_event t ~in_dpred ~addr ~taken ~target ~fall
@@ -692,6 +757,17 @@ let fetch_image_cycle t (img : Image.t) ~(in_dpred : dpred option) =
            | M_loop l when addr = l.l_exit_target -> t.mode <- M_normal
            | M_loop _ | M_normal | M_dpred _ -> ());
            let info = Array.unsafe_get infos addr in
+           (* Train the dynamic merge-point predictor on the consumed
+              (architectural) stream; conditional branches train inside
+              their arm, where the direction is known. *)
+           (match t.mpt with
+           | Some m -> (
+               match info.Static_info.klass with
+               | Static_info.K_branch -> ()
+               | Static_info.K_call -> Mpt.observe_call m ~addr
+               | Static_info.K_ret -> Mpt.observe_ret m
+               | _ -> Mpt.observe m ~addr)
+           | None -> ());
            match info.Static_info.klass with
            | Static_info.K_branch ->
                incr branches;
@@ -700,6 +776,9 @@ let fetch_image_cycle t (img : Image.t) ~(in_dpred : dpred option) =
                in
                let target = Bigarray.Array1.unsafe_get p1s pos in
                let fall = Bigarray.Array1.unsafe_get p2s pos in
+               (match t.mpt with
+               | Some m -> Mpt.observe_branch m ~addr ~taken
+               | None -> ());
                let o = process_cond_branch t ~addr ~taken ~info in
                decr slots;
                branch_event t ~in_dpred ~addr ~taken ~target ~fall
@@ -881,6 +960,9 @@ let run_image ?config ?annotation ?max_insts linked image =
 
 let stats t = t.stats
 
+let merge_predictions t =
+  match t.mpt with Some m -> Mpt.predictions m | None -> []
+
 (* ---------- checkpoints ----------
 
    A checkpoint captures the full machine state at a safe point: normal
@@ -927,16 +1009,22 @@ let checkpoint t =
         t.rob.(if j >= len then j - len else j))
   in
   Checkpoint.create ~consumed:t.consumed
-    [
-      ("core", core);
-      ("rob", rob);
-      ("reg", Array.copy t.reg_ready);
-      ("stats", Stats.to_array t.stats);
-      ("pred", t.predictor.Predictor.export_state ());
-      ("conf", Conf.export t.conf);
-      ("l1", Cache.export t.hier.Cache.l1);
-      ("l2", Cache.export t.hier.Cache.l2);
-    ]
+    ([
+       ("core", core);
+       ("rob", rob);
+       ("reg", Array.copy t.reg_ready);
+       ("stats", Stats.to_array t.stats);
+       ("pred", t.predictor.Predictor.export_state ());
+       ("conf", Conf.export t.conf);
+       ("l1", Cache.export t.hier.Cache.l1);
+       ("l2", Cache.export t.hier.Cache.l2);
+     ]
+    @
+    (* The merge-point predictor is trained by the consumed stream, so
+       its table belongs with the architectural prefix state. *)
+    match t.mpt with
+    | Some m -> [ ("mpt", Mpt.export m) ]
+    | None -> [])
 
 (* Restore the trace position and the architectural long-lived state
    (predictor, confidence estimator, caches) — everything in a
@@ -959,12 +1047,30 @@ let restore_arch t image ck =
   Conf.import t.conf (Checkpoint.section ck "conf");
   Cache.import t.hier.Cache.l1 (Checkpoint.section ck "l1");
   Cache.import t.hier.Cache.l2 (Checkpoint.section ck "l2");
+  (* A checkpoint captured under the static provider (the sampled
+     mode's shared annotation-independent references) has no "mpt"
+     section: a dynamic-provider restore then starts its predictor
+     cold, which is deterministic and part of the sampling estimate. *)
+  (match t.mpt with
+  | Some m -> (
+      match Checkpoint.section_opt ck "mpt" with
+      | Some snap -> Mpt.import m snap
+      | None -> ())
+  | None -> ());
   core
 
 (* Restore the full machine state (timing included) into a freshly
    created simulation over the same image — the body of [resume_image],
    shared with the fused kernel's per-lane checkpoint starts. *)
 let resume_into t image ck =
+  (* An exact resume must reproduce the capturing run byte-identically,
+     so a dynamic-provider lane cannot silently start its predictor
+     cold from a static-provider checkpoint. *)
+  (match t.mpt with
+  | Some _ when Checkpoint.section_opt ck "mpt" = None ->
+      invalid_arg
+        "Sim.resume_image: checkpoint lacks merge-point predictor state"
+  | Some _ | None -> ());
   let core = restore_arch t image ck in
   t.cycle <- core.(0);
   t.fetch_resume <- core.(1);

@@ -77,6 +77,13 @@ val run_image :
 
 val stats : t -> Stats.t
 
+val merge_predictions : t -> (int * int * int) list
+(** Under a [Config.Dynamic] merge provider, the Merge Point Table's
+    current (branch, merge, confidence) entries
+    ({!Dmp_mpp.Mpt.predictions}); [[]] under the static provider. The
+    invariant checker validates each predicted merge point against the
+    true CFG. *)
+
 val run_image_fused :
   ?config:Config.t -> ?max_insts:int -> Linked.t -> Image.t ->
   (Annotation.t option * Dmp_exec.Checkpoint.t option) list -> Stats.t list

@@ -25,6 +25,10 @@ type t = {
   mutable dpred_cycles : int;
   mutable recovery_cycles : int;
   mutable rob_full_cycles : int;
+  (* Dynamic merge-point predictor (Config.Dynamic provider). *)
+  mutable mpp_lookups : int;
+  mutable mpp_predicted : int;
+  mutable mpp_warmup_retired : int;
 }
 
 let create () =
@@ -53,6 +57,9 @@ let create () =
     dpred_cycles = 0;
     recovery_cycles = 0;
     rob_full_cycles = 0;
+    mpp_lookups = 0;
+    mpp_predicted = 0;
+    mpp_warmup_retired = 0;
   }
 
 let fields t =
@@ -81,6 +88,9 @@ let fields t =
     ("dpred_cycles", t.dpred_cycles);
     ("recovery_cycles", t.recovery_cycles);
     ("rob_full_cycles", t.rob_full_cycles);
+    ("mpp_lookups", t.mpp_lookups);
+    ("mpp_predicted", t.mpp_predicted);
+    ("mpp_warmup_retired", t.mpp_warmup_retired);
   ]
 
 let map2 f a b =
@@ -111,6 +121,9 @@ let map2 f a b =
     dpred_cycles = f a.dpred_cycles b.dpred_cycles;
     recovery_cycles = f a.recovery_cycles b.recovery_cycles;
     rob_full_cycles = f a.rob_full_cycles b.rob_full_cycles;
+    mpp_lookups = f a.mpp_lookups b.mpp_lookups;
+    mpp_predicted = f a.mpp_predicted b.mpp_predicted;
+    mpp_warmup_retired = f a.mpp_warmup_retired b.mpp_warmup_retired;
   }
 
 let merge a b = map2 ( + ) a b
@@ -149,7 +162,10 @@ let load t values =
   t.loop_extra_insts <- values.(20);
   t.dpred_cycles <- values.(21);
   t.recovery_cycles <- values.(22);
-  t.rob_full_cycles <- values.(23)
+  t.rob_full_cycles <- values.(23);
+  t.mpp_lookups <- values.(24);
+  t.mpp_predicted <- values.(25);
+  t.mpp_warmup_retired <- values.(26)
 
 let ipc t =
   if t.cycles = 0 then 0. else float_of_int t.retired /. float_of_int t.cycles

@@ -29,6 +29,15 @@ type t = {
   mutable dpred_cycles : int;
   mutable recovery_cycles : int;
   mutable rob_full_cycles : int;
+  mutable mpp_lookups : int;
+      (** low-confidence diverge decisions that consulted the dynamic
+          merge-point predictor (0 under the static provider) *)
+  mutable mpp_predicted : int;
+      (** lookups the predictor answered, i.e. dpred episodes entered
+          on a {e predicted} merge point *)
+  mutable mpp_warmup_retired : int;
+      (** retired-instruction count at the predictor's first answered
+          lookup — the warm-up distance (0 = never answered) *)
 }
 
 val create : unit -> t

@@ -141,7 +141,7 @@ let test_stats_mismatch_pinpointed () =
     Alcotest.(list (triple string int int))
     "equal stats diff empty" []
     (Oracle.stats_mismatches a b);
-  check Alcotest.int "24 counters diffed" 24
+  check Alcotest.int "27 counters diffed" 27
     (List.length (Dmp_uarch.Stats.fields a));
   a.Dmp_uarch.Stats.cycles <- 7;
   b.Dmp_uarch.Stats.dpred_merges <- 5;

@@ -799,6 +799,48 @@ let test_report_render () =
     (Astring_contains.contains s "amean");
   check Alcotest.bool "mean correct" true (Astring_contains.contains s "2.00")
 
+(* ---------- cfm-comparison ---------- *)
+
+(* The three-way sweep mixes static batches with per-geometry dynamic
+   batches: its rendered report must stay byte-identical across worker
+   counts and with the fused scheduler off. *)
+let test_cfm_comparison_invariance () =
+  let render ~jobs ~fused =
+    let r =
+      Runner.create
+        ~benchmarks:[ Registry.find "li"; Registry.find "compress" ]
+        ~max_insts:60_000 ~jobs ~fused ()
+    in
+    Cfm_comparison.render (Cfm_comparison.run ~periods:[ 1_000 ] r)
+  in
+  let j1 = render ~jobs:1 ~fused:true in
+  let j4 = render ~jobs:4 ~fused:true in
+  let unfused = render ~jobs:4 ~fused:false in
+  check Alcotest.string "-j1 = -j4" j1 j4;
+  check Alcotest.string "fused = unfused" j1 unfused;
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (needle ^ " row present") true
+        (Astring_contains.contains j1 needle))
+    [ "provider"; "static"; "dynamic"; "oracle"; "mpt-128x4"; "mpt-16x2";
+      "stale-1000"; "iposdom" ]
+
+let test_cfm_comparison_warmup_column () =
+  let r =
+    Runner.create ~benchmarks:[ Registry.find "li" ] ~max_insts:40_000 ()
+  in
+  let rows = Cfm_comparison.run ~periods:[ 1_000 ] r in
+  List.iter
+    (fun (row : Cfm_comparison.row) ->
+      match row.Cfm_comparison.warmup with
+      | Some w ->
+          check Alcotest.bool "dynamic rows record a warm-up point" true
+            (row.Cfm_comparison.provider = "dynamic" && w >= 0)
+      | None ->
+          check Alcotest.bool "static/oracle rows have no warm-up" true
+            (row.Cfm_comparison.provider <> "dynamic"))
+    rows
+
 let () =
   Alcotest.run "dmp_experiments"
     [
@@ -849,6 +891,13 @@ let () =
             test_fused_matches_unfused_batch;
           Alcotest.test_case "prefix elision" `Slow test_batch_prefix_elision;
           Alcotest.test_case "global image memo" `Slow test_global_image_memo;
+        ] );
+      ( "cfm comparison",
+        [
+          Alcotest.test_case "jobs/fused invariance" `Slow
+            test_cfm_comparison_invariance;
+          Alcotest.test_case "warm-up column" `Slow
+            test_cfm_comparison_warmup_column;
         ] );
       ( "figures",
         [

@@ -391,6 +391,72 @@ let test_checkpoint_rejects_foreign_shape () =
         (fun () ->
           ignore (Sim.resume_image ~config:small ~annotation:ann linked img ck))
 
+(* Dynamic merge-point provider: the Merge Point Table is part of the
+   checkpoint, so resuming mid-run reproduces the full run exactly —
+   the predictor restarts with its trained state, not cold. *)
+let test_checkpoint_dynamic_mpt_roundtrip () =
+  let input = Helpers.uniform_input 800 in
+  let linked, img, _ =
+    ckpt_setup (Helpers.freq_hammock_program ~iters:600 ()) ~input
+  in
+  let config = Config.dmp_dynamic Dmp_mpp.Mpt.small in
+  let full = Sim.run_image ~config linked img in
+  let ck_stats, ckpts =
+    Sim.run_image_checkpointed ~config ~interval:600 linked img
+  in
+  check Alcotest.string "checkpointing run byte-identical to plain run"
+    (stat_bytes full) (stat_bytes ck_stats);
+  check Alcotest.bool "captured at least one checkpoint" true (ckpts <> []);
+  List.iter
+    (fun ck ->
+      check Alcotest.bool "checkpoint carries the MPT section" true
+        (Dmp_exec.Checkpoint.section_opt ck "mpt" <> None);
+      let t = Sim.resume_image ~config linked img ck in
+      let tail = Sim.run_to_completion t in
+      check Alcotest.string "resume reproduces the final statistics"
+        (stat_bytes full) (stat_bytes tail))
+    ckpts
+
+let test_resume_dynamic_requires_mpt_section () =
+  let input = Helpers.uniform_input 400 in
+  let linked, img, ann =
+    ckpt_setup (Helpers.freq_hammock_program ~iters:300 ()) ~input
+  in
+  (* Checkpoint a static-provider run, then try to resume it under the
+     dynamic provider: the predictor state is missing, which resume
+     (unlike the sampled restore, which deliberately starts cold) must
+     refuse. *)
+  let _, ckpts =
+    Sim.run_image_checkpointed ~config:Config.dmp ~annotation:ann
+      ~interval:400 linked img
+  in
+  match ckpts with
+  | [] -> Alcotest.fail "expected at least one checkpoint"
+  | ck :: _ ->
+      Alcotest.check_raises "missing MPT section rejected"
+        (Invalid_argument
+           "Sim.resume_image: checkpoint lacks merge-point predictor state")
+        (fun () ->
+          ignore
+            (Sim.resume_image
+               ~config:(Config.dmp_dynamic Dmp_mpp.Mpt.small)
+               linked img ck))
+
+let test_dynamic_live_replay_image_agree () =
+  let input = Helpers.uniform_input 600 in
+  let program = Helpers.freq_hammock_program ~iters:400 () in
+  let linked = Linked.link program in
+  let tr = Dmp_exec.Trace.capture linked ~input in
+  let img = Dmp_exec.Image.of_trace tr in
+  let config = Config.dmp_dynamic Dmp_mpp.Mpt.default in
+  let live = Sim.run ~config linked ~input in
+  let replay = Sim.run_replay ~config linked tr in
+  let image = Sim.run_image ~config linked img in
+  check Alcotest.string "live = replay" (stat_bytes live)
+    (stat_bytes replay);
+  check Alcotest.string "replay = image" (stat_bytes replay)
+    (stat_bytes image)
+
 let test_sampled_extrapolates_retired () =
   let input = Helpers.uniform_input 800 in
   let linked, img, ann =
@@ -571,6 +637,12 @@ let () =
           Alcotest.test_case "resume round-trip" `Quick
             test_checkpoint_resume_roundtrip;
           Alcotest.test_case "segment merge" `Quick test_segment_merge_exact;
+          Alcotest.test_case "dynamic MPT round-trip" `Quick
+            test_checkpoint_dynamic_mpt_roundtrip;
+          Alcotest.test_case "dynamic resume needs MPT state" `Quick
+            test_resume_dynamic_requires_mpt_section;
+          Alcotest.test_case "dynamic live=replay=image" `Quick
+            test_dynamic_live_replay_image_agree;
           Alcotest.test_case "foreign shape rejected" `Quick
             test_checkpoint_rejects_foreign_shape;
           Alcotest.test_case "sampled extrapolation" `Quick
