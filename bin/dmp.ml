@@ -360,6 +360,80 @@ let disasm_cmd =
        ~doc:"Encode a benchmark to binary and disassemble the image")
     Term.(const run $ bench_arg)
 
+(* ---- transform ---- *)
+
+let transform_cmd =
+  let module T = Dmp_transform in
+  let passes_arg =
+    Arg.(value & opt string "if-convert,meld"
+           & info [ "passes" ]
+               ~doc:
+                 "Comma-separated pass pipeline: $(b,if-convert), $(b,meld) \
+                  or $(b,none).")
+  in
+  let bias_arg =
+    Arg.(value & opt float 0.05
+           & info [ "bias-threshold" ]
+               ~doc:
+                 "Minimum profiled misprediction rate for conversion; 1.0 \
+                  or higher disables both passes (identity transform).")
+  in
+  let asm_arg =
+    Arg.(value & flag
+           & info [ "asm" ] ~doc:"Dump the transformed program as assembly.")
+  in
+  let run bench set passes bias asm max_insts =
+    let passes =
+      match T.Pass_config.passes_of_string passes with
+      | Ok ps -> ps
+      | Error msg ->
+          Printf.eprintf "bad --passes: %s\n" msg;
+          exit 2
+    in
+    let config = { T.Pass_config.default with T.Pass_config.passes;
+                   bias_threshold = bias } in
+    let _, linked, input, profile = pipeline bench set max_insts in
+    let r = T.Pipeline.run ~config linked profile in
+    Fmt.pr "transform %s: %a@." bench T.Pass_config.pp config;
+    Fmt.pr "%a@." T.Stats.pp r.T.Pipeline.stats;
+    Fmt.pr "changed: %b  fresh regs: %s@." r.T.Pipeline.changed
+      (match r.T.Pipeline.fresh_regs with
+      | [] -> "-"
+      | rs ->
+          String.concat " "
+            (List.map (Fmt.str "%a" Dmp_ir.Reg.pp) rs));
+    if asm then print_string (Dmp_ir.Asm.to_string r.T.Pipeline.program);
+    (* Validation: the transformed program must satisfy the structural
+       invariants and be architecturally equivalent to the original on
+       this input; any violation is an exit-2 failure. *)
+    let diags =
+      (if r.T.Pipeline.changed then
+         Dmp_check.Invariants.check_linked r.T.Pipeline.linked
+       else [])
+      @ Dmp_check.Oracle.check_transform ?max_insts ~original:linked
+          ~transformed:r.T.Pipeline.linked
+          ~ignore_regs:r.T.Pipeline.fresh_regs ~input ()
+    in
+    let errs = Dmp_check.Diagnostic.errors diags in
+    if errs = [] then
+      Printf.printf "validation OK (%d diagnostic%s)\n" (List.length diags)
+        (if List.length diags = 1 then "" else "s")
+    else begin
+      Printf.printf "validation FAIL (%d violation%s)\n" (List.length errs)
+        (if List.length errs = 1 then "" else "s");
+      List.iter (fun d -> Fmt.pr "  %a@." Dmp_check.Diagnostic.pp d) errs;
+      exit 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:
+         "Apply the software-predication pipeline (select-based \
+          if-conversion + control-flow melding) to a benchmark and \
+          validate the rewrite against the equivalence oracle")
+    Term.(const run $ bench_arg $ set_arg $ passes_arg $ bias_arg $ asm_arg
+          $ max_insts_arg)
+
 (* ---- check ---- *)
 
 let check_cmd =
@@ -389,7 +463,17 @@ let check_cmd =
                   before validating; the checker must then fail (exit 2). \
                   For testing the checker itself.")
   in
-  let run benchmarks set max_insts random seed mutate =
+  let mutate_transform_arg =
+    Arg.(value & flag
+           & info [ "mutate-transform-smoke" ]
+               ~doc:
+                 "Swap the operands of every select instruction the \
+                  software-predication transform emits per benchmark \
+                  (exchanging the predicated arms); the equivalence oracle \
+                  must then fail (exit 2). For testing the transform \
+                  oracle itself.")
+  in
+  let run benchmarks set max_insts random seed mutate mutate_transform =
     let set = lookup_set set in
     let specs =
       match benchmarks with
@@ -421,7 +505,9 @@ let check_cmd =
     in
     List.iter
       (fun spec ->
-        report (Check.Suite.check_benchmark ?max_insts ~mutate ~set spec))
+        report
+          (Check.Suite.check_benchmark ?max_insts ~mutate
+             ~mutate_transform ~set spec))
       specs;
     if random > 0 then begin
       let outcomes, gen =
@@ -453,7 +539,7 @@ let check_cmd =
           profiles) over benchmarks and random programs")
     Term.(
       const run $ benchmarks_arg $ set_arg $ max_insts_arg $ random_arg
-      $ seed_arg $ mutate_arg)
+      $ seed_arg $ mutate_arg $ mutate_transform_arg)
 
 (* ---- serve / client ---- *)
 
@@ -650,5 +736,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; annotate_cmd; profile_cmd; cfg_cmd;
-            asm_cmd; disasm_cmd; check_cmd; experiment_cmd; serve_cmd;
-            client_cmd ]))
+            asm_cmd; disasm_cmd; transform_cmd; check_cmd; experiment_cmd;
+            serve_cmd; client_cmd ]))

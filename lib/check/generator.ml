@@ -88,8 +88,45 @@ let hammock_body st ~lo ~hi f ~v ~acc =
   B.label f "join";
   B.nop f
 
+(* Meldable variant of the simple hammock: both arms carry an identical
+   unpredicable [write] plus an identical ALU tail, with differing
+   predicable gaps up front. Software if-conversion must reject the
+   region (the write cannot be predicated), while DARM-style melding
+   hoists the shared suffix and predicates the gaps — this keeps the
+   melding pass demonstrably exercised by the generated corpus. Arm
+   sizes stay past the short-hammock bound so the hardware side still
+   classifies the branch as a plain simple hammock. *)
+let meldable_body st f ~v ~acc =
+  let c = reg 5 in
+  let modulus = ri st 2 3 in
+  let gaps = ri st 2 4 in
+  let shared_tail = ri st 10 14 in
+  let tail_imm = 1 + Random.State.int st 7 in
+  let emit_arm gap_op =
+    for _ = 1 to gaps do
+      gap_op acc (B.imm (1 + Random.State.int st 7))
+    done;
+    B.write f acc;
+    for _ = 1 to shared_tail do
+      B.add f acc acc (B.imm tail_imm)
+    done
+  in
+  B.rem f c v (B.imm modulus);
+  B.branch f Term.Ne c (B.imm 0) ~target:"then" ();
+  B.label f "else";
+  emit_arm (fun d s -> B.sub f d d s);
+  B.jump f "join";
+  B.label f "then";
+  emit_arm (fun d s -> B.add f d d s);
+  B.label f "join";
+  B.nop f
+
 let simple_program st =
-  let f, iters = driver st ~emit_body:(hammock_body st ~lo:12 ~hi:20) in
+  let body =
+    if Random.State.int st 2 = 0 then meldable_body st
+    else hammock_body st ~lo:12 ~hi:20
+  in
+  let f, iters = driver st ~emit_body:body in
   (Program.of_funcs_exn ~main:"main" [ B.finish f ], iters)
 
 let short_program st =

@@ -243,6 +243,117 @@ let check_profiles ?max_insts linked ~input trace =
       p_trace p_rec
   @ coverage @ flow
 
+(* ---- transform equivalence ---- *)
+
+(* A software-predicated program retires a different instruction
+   stream, so unlike the stream checks above there is no lockstep
+   event diff: equivalence is architectural. Both programs replay the
+   same input; the output stream, the retired-store sequence (location
+   and stored value, in retirement order) and — when both runs halt —
+   the final register file (minus the transform's scratch registers)
+   and the final memory image must agree, with the first divergence
+   pinpointed. Under a [max_insts] cap that cuts either run short,
+   only the common prefix of outputs and stores is compared: the two
+   programs make different per-instruction progress, so final-state
+   comparison is only meaningful at a real halt. *)
+
+let rec first_diff i a b =
+  match (a, b) with
+  | [], [] -> None
+  | x :: a', y :: b' -> if x = y then first_diff (i + 1) a' b' else Some i
+  | _ :: _, [] | [], _ :: _ -> Some i
+
+let rec truncate n = function
+  | x :: tl when n > 0 -> x :: truncate (n - 1) tl
+  | _ -> []
+
+let check_transform ?max_insts ?(label = "transform") ~original ~transformed
+    ~ignore_regs ~input () =
+  let run_side linked =
+    let emu = Emulator.create linked ~input in
+    let stores = ref [] in
+    Emulator.iter ?max_insts emu (fun e ->
+        match e.Event.kind with
+        | Event.Mem { is_load = false; location } ->
+            (* The store just retired, so the freshly written value is
+               readable at its location. *)
+            stores := (location, Emulator.mem_load emu location) :: !stores
+        | _ -> ());
+    (emu, List.rev !stores)
+  in
+  let o_emu, o_stores = run_side original in
+  let t_emu, t_stores = run_side transformed in
+  let both_halted = Emulator.halted o_emu && Emulator.halted t_emu in
+  let out = ref [] in
+  let err rule fmt =
+    Printf.ksprintf
+      (fun m ->
+        out := D.error ~rule (Printf.sprintf "[%s] %s" label m) :: !out)
+      fmt
+  in
+  (match max_insts with
+  | None ->
+      if Emulator.halted o_emu <> Emulator.halted t_emu then
+        err "transform-termination"
+          "original %s, transformed %s (retired %d vs %d)"
+          (if Emulator.halted o_emu then "halts" else "runs on")
+          (if Emulator.halted t_emu then "halts" else "runs on")
+          (Emulator.retired o_emu) (Emulator.retired t_emu)
+  | Some _ ->
+      (* Capped runs stop mid-flight at different architectural
+         points; termination cannot be compared. *)
+      ());
+  let compare_seq ~rule ~what o t =
+    let o, t =
+      if both_halted then (o, t)
+      else
+        let n = min (List.length o) (List.length t) in
+        (truncate n o, truncate n t)
+    in
+    match first_diff 0 o t with
+    | None -> ()
+    | Some i ->
+        let show l =
+          match List.nth_opt l i with
+          | Some v -> v
+          | None -> Printf.sprintf "<ended at %d>" (List.length l)
+        in
+        err rule "first diverging %s at index %d: original %s, transformed %s"
+          what i (show o) (show t)
+  in
+  compare_seq ~rule:"transform-output" ~what:"output value"
+    (List.map string_of_int (Emulator.output o_emu))
+    (List.map string_of_int (Emulator.output t_emu));
+  compare_seq ~rule:"transform-stores" ~what:"retired store"
+    (List.map
+       (fun (l, v) -> Printf.sprintf "[%d]<-%d" l v)
+       o_stores)
+    (List.map (fun (l, v) -> Printf.sprintf "[%d]<-%d" l v) t_stores);
+  if both_halted then begin
+    let ignored r = List.exists (Reg.equal r) ignore_regs in
+    let o_regs = Emulator.registers o_emu in
+    let t_regs = Emulator.registers t_emu in
+    (try
+       for r = 0 to Reg.count - 1 do
+         if (not (ignored (Reg.of_int r))) && o_regs.(r) <> t_regs.(r)
+         then begin
+           err "transform-registers"
+             "final r%d: original %d, transformed %d" r o_regs.(r)
+             t_regs.(r);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    compare_seq ~rule:"transform-memory" ~what:"memory binding"
+      (List.map
+         (fun (l, v) -> Printf.sprintf "[%d]=%d" l v)
+         (Emulator.memory_bindings o_emu))
+      (List.map
+         (fun (l, v) -> Printf.sprintf "[%d]=%d" l v)
+         (Emulator.memory_bindings t_emu))
+  end;
+  List.rev !out
+
 let run ?max_insts ?(annotations = []) linked ~input =
   let trace = Trace.capture ?max_insts linked ~input in
   let image = Image.of_trace trace in

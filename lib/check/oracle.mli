@@ -58,6 +58,20 @@ val check_profiles :
     byte-identical serialised counters, and the period-1 reconstruction
     must satisfy flow conservation. *)
 
+val check_transform :
+  ?max_insts:int -> ?label:string -> original:Linked.t ->
+  transformed:Linked.t -> ignore_regs:Reg.t list -> input:int array ->
+  unit -> Diagnostic.t list
+(** Architectural-equivalence diff between a program and its
+    software-predicated rewrite ({!Dmp_transform.Pipeline}) replayed
+    on the same input: output stream, retired-store sequence
+    (location and value, in order), and — when both runs halt — the
+    final register file minus [ignore_regs] (the transform's
+    predicate/scratch residue) and the final memory image. The first
+    divergence of each comparison is pinpointed by index. Under a
+    [max_insts] cap only the common prefix of the sequences is
+    compared (rules ["transform-*"]). *)
+
 val run :
   ?max_insts:int -> ?annotations:(string * Annotation.t) list ->
   Linked.t -> input:int array -> Diagnostic.t list

@@ -46,7 +46,8 @@ let mutate_annotation linked ann =
             [ { mutated with Annotation.cfm_addr = entry_addr } ] };
       Some d.Annotation.branch_addr
 
-let check_program ?max_insts ?(mutate = false) ?gen linked ~input =
+let check_program ?max_insts ?(mutate = false) ?(mutate_transform = false)
+    ?gen linked ~input =
   let trace = Trace.capture ?max_insts linked ~input in
   let image = Image.of_trace trace in
   let profile = Dmp_profile.Profile.collect_trace ?max_insts linked trace in
@@ -112,15 +113,45 @@ let check_program ?max_insts ?(mutate = false) ?gen linked ~input =
     in
     tag "mpp" (Invariants.check_predicted_merges linked preds)
   in
-  structural @ ann_checks @ oracle @ mpp
+  (* Software-predication pipeline: the transformed program must pass
+     the structural invariants and be architecturally equivalent to
+     the original on this input. With [mutate_transform], every
+     emitted select has its operands swapped (the predicated arms
+     exchanged — a deliberately wrong conversion) and the equivalence
+     oracle must object. *)
+  let transform =
+    let res = Dmp_transform.Pipeline.run linked profile in
+    if mutate_transform then
+      match
+        Dmp_transform.Mutate.swap_selects
+          res.Dmp_transform.Pipeline.program
+      with
+      | None ->
+          [ D.error ~rule:"transform-mutation"
+              "mutation smoke requested but the transform emitted no \
+               select instruction to corrupt" ]
+      | Some corrupted ->
+          Oracle.check_transform ?max_insts ~original:linked
+            ~transformed:(Linked.link corrupted)
+            ~ignore_regs:res.Dmp_transform.Pipeline.fresh_regs ~input ()
+    else if res.Dmp_transform.Pipeline.changed then
+      tag "transform"
+        (Invariants.check_linked res.Dmp_transform.Pipeline.linked)
+      @ Oracle.check_transform ?max_insts ~original:linked
+          ~transformed:res.Dmp_transform.Pipeline.linked
+          ~ignore_regs:res.Dmp_transform.Pipeline.fresh_regs ~input ()
+    else []
+  in
+  structural @ ann_checks @ oracle @ mpp @ transform
 
 type outcome = { name : string; diagnostics : Diagnostic.t list }
 
-let check_benchmark ?max_insts ?mutate ~set spec =
+let check_benchmark ?max_insts ?mutate ?mutate_transform ~set spec =
   let linked = Spec.linked spec in
   let input = spec.Spec.input set in
   { name = spec.Spec.name;
-    diagnostics = check_program ?max_insts ?mutate linked ~input }
+    diagnostics =
+      check_program ?max_insts ?mutate ?mutate_transform linked ~input }
 
 let check_random ?max_insts ~n ~seed () =
   let gen = Generator.create ~seed in

@@ -19,19 +19,26 @@ val mutate_annotation : Linked.t -> Annotation.t -> int option
     no hammock CFM. *)
 
 val check_program :
-  ?max_insts:int -> ?mutate:bool -> ?gen:Generator.t -> Linked.t ->
-  input:int array -> Diagnostic.t list
+  ?max_insts:int -> ?mutate:bool -> ?mutate_transform:bool ->
+  ?gen:Generator.t -> Linked.t -> input:int array -> Diagnostic.t list
 (** Capture a trace, profile it, select under every configuration in
-    {!configs}, validate structure and annotations, and run the full
-    differential oracle. With [mutate], the first configuration's
+    {!configs}, validate structure and annotations, run the full
+    differential oracle, and validate the software-predication
+    pipeline ({!Dmp_transform.Pipeline}) against the transform
+    equivalence oracle. With [mutate], the first configuration's
     annotation is corrupted via {!mutate_annotation} first (the result
-    must then contain errors). With [gen], the heuristic annotation's
-    shapes are recorded for coverage guidance. *)
+    must then contain errors). With [mutate_transform], the
+    transformed program's selects get their operands swapped instead
+    (exchanging the predicated arms) — the transform oracle must
+    object. With [gen], the
+    heuristic annotation's shapes are recorded for coverage
+    guidance. *)
 
 type outcome = { name : string; diagnostics : Diagnostic.t list }
 
 val check_benchmark :
-  ?max_insts:int -> ?mutate:bool -> set:Input_gen.set -> Spec.t -> outcome
+  ?max_insts:int -> ?mutate:bool -> ?mutate_transform:bool ->
+  set:Input_gen.set -> Spec.t -> outcome
 
 val check_random :
   ?max_insts:int -> n:int -> seed:int -> unit ->

@@ -23,7 +23,8 @@ let temp_pool = Array.init 20 (fun i -> Reg.of_int (44 + i))
 
 (* An arm is convertible when it is pure straight-line computation. *)
 let pure_instr = function
-  | Instr.Alu _ | Instr.Li _ | Instr.Mov _ | Instr.Nop -> true
+  | Instr.Alu _ | Instr.Li _ | Instr.Mov _ | Instr.Select _ | Instr.Nop ->
+      true
   | Instr.Load _ | Instr.Store _ | Instr.Call _ | Instr.Read _
   | Instr.Write _ -> false
 
@@ -60,6 +61,12 @@ let rename_arm body ~fresh =
           let t = fresh dst in
           Hashtbl.replace map dst t;
           out := Instr.Mov { dst = t; src } :: !out
+      | Instr.Select { dst; cond; if_true; if_false } ->
+          let cond = subst cond and if_true = subst if_true in
+          let if_false = subst_operand if_false in
+          let t = fresh dst in
+          Hashtbl.replace map dst t;
+          out := Instr.Select { dst = t; cond; if_true; if_false } :: !out
       | Instr.Nop -> ()
       | Instr.Load _ | Instr.Store _ | Instr.Call _ | Instr.Read _
       | Instr.Write _ -> assert false)

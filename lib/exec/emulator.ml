@@ -105,6 +105,27 @@ let retired t = t.retired
 let pc t = t.pc
 let output t = List.rev t.output_rev
 
+let registers t = Array.copy t.regs
+
+(* Every non-zero data-memory binding, sorted by location. Zero values
+   are skipped because absent locations read as 0: a machine that wrote
+   0 somewhere and one that never touched it are architecturally
+   indistinguishable. *)
+let memory_bindings t =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun location v -> if v <> 0 then acc := (location, v) :: !acc)
+    t.far_memory;
+  Array.iteri
+    (fun p page ->
+      if page != no_page then
+        Array.iteri
+          (fun i v ->
+            if v <> 0 then acc := (((p lsl page_bits) lor i), v) :: !acc)
+          page)
+    t.pages;
+  List.sort compare !acc
+
 let step t =
   if t.halted then None
   else begin
@@ -145,6 +166,11 @@ let step t =
               { Event.addr; kind = Event.Plain; next = addr + 1 }
           | Instr.Write { src } ->
               t.output_rev <- reg_get t src :: t.output_rev;
+              { Event.addr; kind = Event.Plain; next = addr + 1 }
+          | Instr.Select { dst; cond; if_true; if_false } ->
+              reg_set t dst
+                (if reg_get t cond <> 0 then reg_get t if_true
+                 else operand_value t if_false);
               { Event.addr; kind = Event.Plain; next = addr + 1 }
           | Instr.Nop -> { Event.addr; kind = Event.Plain; next = addr + 1 })
       | Linked.Term tm -> (

@@ -24,3 +24,12 @@ val pc : t -> int
 val output : t -> int list
 val reg_get : t -> Reg.t -> int
 val mem_load : t -> int -> int
+
+val registers : t -> int array
+(** Copy of the architectural register file (indexed by register
+    number). *)
+
+val memory_bindings : t -> (int * int) list
+(** Every non-zero data-memory binding as [(location, value)] pairs
+    sorted by location — the canonical final-memory image used by the
+    transform-equivalence oracle. *)

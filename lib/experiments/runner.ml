@@ -53,6 +53,9 @@ type value =
       (* an annotation-free reference run under the *actual* simulation
          config: its final statistics plus its checkpoints, shared by
          the fused scheduler's prefix elision *)
+  | VTransform of Dmp_transform.Pipeline.result
+      (* the software-predication pipeline's output for one
+         (benchmark, input set, pass config) *)
 
 type timing = { mutable calls : int; mutable seconds : float }
 
@@ -124,6 +127,7 @@ let key_select name set algo =
   Printf.sprintf "select/%s/%s/%s" name (set_str set) algo
 
 let names t = t.order
+let jobs t = t.jobs
 
 let entry t name =
   match Hashtbl.find_opt t.entries name with
@@ -531,6 +535,220 @@ let compile_annotation linked ann =
 let annotation_fingerprint t name ann =
   Dmp_core.Annotation.Compiled.fingerprint
     (compile_annotation (linked t name) ann)
+
+(* ---------- software-predication (transformed-program) stages ----------
+
+   The {!Dmp_transform.Pipeline} is a pure function of
+   (program, profile counters, pass config), so its artifacts cache
+   like every other stage. Each key — and the synthetic benchmark name
+   the disk-cached artifacts persist under — embeds the pass-config
+   fingerprint, so a config change can never alias another pipeline's
+   trace, profile or statistics. The transformed program's own trace /
+   image / profile stages mirror the original ones: captured once per
+   (benchmark, input set, pass config) and replayed by every
+   simulation. *)
+
+module Pass_config = Dmp_transform.Pass_config
+
+let key_transform name set tfp =
+  Printf.sprintf "transform/%s/%s/%s" name (set_str set) tfp
+
+let key_ttrace name set tfp =
+  Printf.sprintf "ttrace/%s/%s/%s" name (set_str set) tfp
+
+let key_timage name set tfp =
+  Printf.sprintf "timage/%s/%s/%s" name (set_str set) tfp
+
+let key_tprofile name set tfp =
+  Printf.sprintf "tprofile/%s/%s/%s" name (set_str set) tfp
+
+let key_tbaseline name set tfp =
+  Printf.sprintf "tbaseline/%s/%s/%s" name (set_str set) tfp
+
+(* The benchmark name transformed-program artifacts persist under in
+   the disk cache: fingerprint-qualified so they can never collide
+   with the original program's entries (or another pass config's). *)
+let sw_bench name tfp = Printf.sprintf "%s+sw-%s" name tfp
+
+(* Caller must hold [e.lock]. *)
+let transform_locked t e set tconfig =
+  let tfp = Pass_config.fingerprint tconfig in
+  let key = key_transform e.spec.Spec.name set tfp in
+  match Mem_cache.find t.mem key with
+  | Some (VTransform r) -> r
+  | Some _ | None ->
+      let linked = linked_locked t e in
+      let p = profile_locked t e set in
+      let r =
+        timed t "transform (run)" (fun () ->
+            Dmp_transform.Pipeline.run ~config:tconfig linked p)
+      in
+      Mem_cache.add t.mem key ~size:(Mem_cache.approx_size r) (VTransform r);
+      r
+
+(* Caller must hold [e.lock]. Same capture / disk-cache discipline as
+   [trace_locked], on the transformed program. *)
+let ttrace_locked t e set tconfig =
+  let name = e.spec.Spec.name in
+  let tfp = Pass_config.fingerprint tconfig in
+  let key = key_ttrace name set tfp in
+  match Mem_cache.find t.mem key with
+  | Some (VTrace tr) -> tr
+  | Some _ | None ->
+      let r = transform_locked t e set tconfig in
+      let bench = sw_bench name tfp in
+      let cached =
+        match t.cache with
+        | None -> None
+        | Some c ->
+            timed t "ttrace (disk cache)" (fun () ->
+                Disk_cache.load_trace c ~bench ~set)
+      in
+      let tr =
+        match cached with
+        | Some tr -> tr
+        | None ->
+            let tr =
+              timed t "ttrace (capture)" (fun () ->
+                  Trace.capture ?max_insts:t.max_insts
+                    r.Dmp_transform.Pipeline.linked
+                    ~input:(e.spec.Spec.input set))
+            in
+            Option.iter
+              (fun c -> Disk_cache.store_trace c ~bench ~set tr)
+              t.cache;
+            tr
+      in
+      Mem_cache.add t.mem key ~size:(Trace.byte_size tr) (VTrace tr);
+      tr
+
+(* Caller must hold [e.lock]. Decoded in-memory only, like the
+   original image (no global memo: the key already pins the pass
+   config, and transformed images are far rarer than registry ones). *)
+let timage_locked t e set tconfig =
+  let key = key_timage e.spec.Spec.name set (Pass_config.fingerprint tconfig) in
+  match Mem_cache.find t.mem key with
+  | Some (VImage img) -> img
+  | Some _ | None ->
+      let tr = ttrace_locked t e set tconfig in
+      let img = timed t "image (decode)" (fun () -> Image.of_trace tr) in
+      Mem_cache.add t.mem key ~size:(Image.byte_size img) (VImage img);
+      img
+
+(* Caller must hold [e.lock]. The transformed program's own edge
+   profile — what a second profile-guided compilation (the combined
+   software + DMP variant) selects from. *)
+let tprofile_locked t e set tconfig =
+  let name = e.spec.Spec.name in
+  let tfp = Pass_config.fingerprint tconfig in
+  let key = key_tprofile name set tfp in
+  match Mem_cache.find t.mem key with
+  | Some (VProfile p) -> p
+  | Some _ | None ->
+      let r = transform_locked t e set tconfig in
+      let tlinked = r.Dmp_transform.Pipeline.linked in
+      let bench = sw_bench name tfp in
+      let cached =
+        match t.cache with
+        | None -> None
+        | Some c ->
+            timed t "tprofile (disk cache)" (fun () ->
+                Disk_cache.load_profile c tlinked ~bench ~set)
+      in
+      let p =
+        match cached with
+        | Some p -> p
+        | None ->
+            let tr = ttrace_locked t e set tconfig in
+            let p =
+              timed t "tprofile (collect)" (fun () ->
+                  Profile.collect_trace ?max_insts:t.max_insts tlinked tr)
+            in
+            Option.iter
+              (fun c -> Disk_cache.store_profile c ~bench ~set p)
+              t.cache;
+            p
+      in
+      Mem_cache.add t.mem key ~size:(Mem_cache.approx_size p) (VProfile p);
+      p
+
+let transform ?(tconfig = Pass_config.default) t name set =
+  let e = entry t name in
+  with_lock e (fun () -> transform_locked t e set tconfig)
+
+let transformed_profile ?(tconfig = Pass_config.default) t name set =
+  let e = entry t name in
+  with_lock e (fun () -> tprofile_locked t e set tconfig)
+
+let transformed_baseline ?(tconfig = Pass_config.default)
+    ?(set = Input_gen.Reduced) t name =
+  let e = entry t name in
+  with_lock e (fun () ->
+      let tfp = Pass_config.fingerprint tconfig in
+      let key = key_tbaseline name set tfp in
+      match Mem_cache.find t.mem key with
+      | Some (VStats s) -> s
+      | Some _ | None ->
+          let r = transform_locked t e set tconfig in
+          let bench = sw_bench name tfp in
+          let cached =
+            match t.cache with
+            | None -> None
+            | Some c ->
+                timed t "tbaseline (disk cache)" (fun () ->
+                    Disk_cache.load_baseline c ~bench ~set)
+          in
+          let s =
+            match cached with
+            | Some s -> s
+            | None ->
+                let img = timage_locked t e set tconfig in
+                let s =
+                  timed t "tbaseline (simulate)" (fun () ->
+                      Sim.run_image ~config:Config.baseline
+                        ?max_insts:t.max_insts
+                        r.Dmp_transform.Pipeline.linked img)
+                in
+                Option.iter
+                  (fun c -> Disk_cache.store_baseline c ~bench ~set s)
+                  t.cache;
+                s
+          in
+          Mem_cache.add t.mem key ~size:(Mem_cache.approx_size s) (VStats s);
+          s)
+
+(* One DMP simulation of the transformed program (the combined
+   software + hardware variant). Memoized under the behavioural
+   annotation fingerprint like [dmp_memo], with the pass-config
+   fingerprint a key component. *)
+let transformed_dmp ?(tconfig = Pass_config.default) ?(set = Input_gen.Reduced)
+    ?(config = Config.dmp) t name annotation =
+  let e = entry t name in
+  with_lock e (fun () ->
+      let r = transform_locked t e set tconfig in
+      let tlinked = r.Dmp_transform.Pipeline.linked in
+      let fp =
+        Dmp_core.Annotation.Compiled.fingerprint
+          (compile_annotation tlinked annotation)
+      in
+      let key =
+        Printf.sprintf "tdmpstats/%s/%s/%s/%s/%s" name (set_str set)
+          (Pass_config.fingerprint tconfig) (config_digest config) fp
+      in
+      match Mem_cache.find t.mem key with
+      | Some (VStats s) ->
+          counted t "dmp (dedup hit)" 1;
+          Stats.copy s
+      | Some _ | None ->
+          let img = timage_locked t e set tconfig in
+          let s =
+            timed t "tdmp (simulate)" (fun () ->
+                Sim.run_image ~config ~annotation ?max_insts:t.max_insts
+                  tlinked img)
+          in
+          Mem_cache.add t.mem key ~size:(Mem_cache.approx_size s)
+            (VStats (Stats.copy s));
+          s)
 
 (* Prefix elision: an annotation-free run and a run under annotation
    [A] evolve through byte-identical machine states until the first

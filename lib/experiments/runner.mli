@@ -71,6 +71,13 @@ val mem_stats : t -> Dmp_exec.Mem_cache.stats
     in-memory stage cache (the daemon's stats request reports them). *)
 
 val names : t -> string list
+
+val jobs : t -> int option
+(** The worker count the runner was created with ([None] = the
+    {!Dmp_exec.Pool.default_jobs} default) — exposed so figure
+    harnesses can spread their own per-benchmark work over a pool of
+    the same width. *)
+
 val linked : t -> string -> Linked.t
 val input : t -> string -> Input_gen.set -> int array
 
@@ -101,6 +108,42 @@ val sampled_profile :
 
 val baseline : ?set:Input_gen.set -> t -> string -> Stats.t
 (** Cached per (benchmark, input set). *)
+
+val transform :
+  ?tconfig:Dmp_transform.Pass_config.t -> t -> string -> Input_gen.set ->
+  Dmp_transform.Pipeline.result
+(** The software-predication pipeline ({!Dmp_transform.Pipeline}) run
+    over the benchmark's linked program under its exact profile. Pure
+    in (program, profile, config), so cached per
+    (benchmark, input set, pass-config fingerprint); stage label
+    ["transform (run)"]. *)
+
+val transformed_profile :
+  ?tconfig:Dmp_transform.Pass_config.t -> t -> string -> Input_gen.set ->
+  Profile.t
+(** The transformed program's own edge/misprediction profile, collected
+    over its captured trace (stage ["tprofile (collect)"]) — what a
+    second profile-guided selection runs on for the combined
+    software + DMP variant. The trace capture (["ttrace (capture)"])
+    and this profile both persist in the disk cache under a
+    pass-fingerprint-qualified benchmark name. *)
+
+val transformed_baseline :
+  ?tconfig:Dmp_transform.Pass_config.t -> ?set:Input_gen.set -> t ->
+  string -> Stats.t
+(** Baseline-machine simulation of the transformed program — the pure
+    software-predication data point. Cached (and disk-persisted) per
+    (benchmark, input set, pass-config fingerprint); stage
+    ["tbaseline (simulate)"]. *)
+
+val transformed_dmp :
+  ?tconfig:Dmp_transform.Pass_config.t -> ?set:Input_gen.set ->
+  ?config:Config.t -> t -> string -> Dmp_core.Annotation.t -> Stats.t
+(** One DMP simulation of the transformed program under [annotation]
+    (selected from {!transformed_profile}) — the combined
+    software + hardware variant. Memoized like {!dmp_memo} with the
+    pass-config fingerprint a key component; stage
+    ["tdmp (simulate)"]. *)
 
 val selection : t -> string -> Input_gen.set -> algo:string -> Dmp_core.Annotation.t
 (** The annotation the named selection algorithm (a {!Variants} name,

@@ -1,0 +1,22 @@
+(** Software predication vs hardware dynamic predication vs both
+    combined, per benchmark: the transformed binary
+    ({!Dmp_transform.Pipeline}) on the baseline machine, the original
+    binary under the all-best-heur annotation on the DMP machine, and
+    the transformed binary re-profiled + re-selected on the DMP
+    machine. Deterministic and byte-identical for every [-j] value. *)
+
+type row = {
+  bench : string;
+  shape : string;
+      (** dominant CFG shape among the benchmark's selected diverge
+          branches (simple / nested / freq / short / ret / loop, or
+          ["none"]) *)
+  tstats : Dmp_transform.Stats.t;
+  base_ipc : float;
+  sw_ipc : float;
+  hw_ipc : float;
+  both_ipc : float;
+}
+
+val run : ?tconfig:Dmp_transform.Pass_config.t -> Runner.t -> row list
+val render : row list -> string

@@ -3,7 +3,7 @@ open Dmp_workload
 let all =
   [ "table1"; "table2"; "fig5l"; "fig5r"; "fig6"; "fig7"; "fig8"; "fig9";
     "fig10"; "ablations"; "profile-fidelity"; "sim-fidelity";
-    "cfm-comparison" ]
+    "cfm-comparison"; "sw-vs-hw" ]
 
 let is_valid t = List.mem t all
 
@@ -23,6 +23,7 @@ let render runner = function
   | "sim-fidelity" -> Ok (Sim_fidelity.render (Sim_fidelity.run runner))
   | "cfm-comparison" ->
       Ok (Cfm_comparison.render (Cfm_comparison.run runner))
+  | "sw-vs-hw" -> Ok (Sw_vs_hw.render (Sw_vs_hw.run runner))
   | t ->
       Error
         (Printf.sprintf "unknown target %s; valid targets: %s" t

@@ -44,6 +44,10 @@ let print_instr buf ins =
   | Instr.Call { callee } -> add "  call %s\n" callee
   | Instr.Read { dst } -> add "  read %s\n" (r dst)
   | Instr.Write { src } -> add "  write %s\n" (r src)
+  | Instr.Select { dst; cond; if_true; if_false } ->
+      add "  sel %s, %s, %s, " (r dst) (r cond) (r if_true);
+      pp_operand buf if_false;
+      add "\n"
   | Instr.Nop -> add "  nop\n"
 
 let print_func buf (f : Func.t) =
@@ -196,6 +200,10 @@ let of_string text =
                   | "call", [ callee ] -> Build.call fn callee
                   | "read", [ d ] -> Build.read fn (parse_reg lineno d)
                   | "write", [ s ] -> Build.write fn (parse_reg lineno s)
+                  | "sel", [ d; c; t; f ] ->
+                      Build.select fn (parse_reg lineno d)
+                        (parse_reg lineno c) (parse_reg lineno t)
+                        (parse_operand lineno f)
                   | "nop", [] -> Build.nop fn
                   | "jmp", [ l ] -> Build.jump fn l
                   | "ret", [] -> Build.ret fn

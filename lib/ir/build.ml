@@ -70,6 +70,10 @@ let store fn src base offset = emit fn (Instr.Store { src; base; offset })
 let call fn callee = emit fn (Instr.Call { callee })
 let read fn dst = emit fn (Instr.Read { dst })
 let write fn src = emit fn (Instr.Write { src })
+
+let select fn dst cond if_true if_false =
+  emit fn (Instr.Select { dst; cond; if_true; if_false })
+
 let nop fn = emit fn Instr.Nop
 
 let nops fn n =

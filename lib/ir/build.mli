@@ -37,6 +37,10 @@ val store : fn -> Reg.t -> Reg.t -> int -> unit
 val call : fn -> string -> unit
 val read : fn -> Reg.t -> unit
 val write : fn -> Reg.t -> unit
+
+val select : fn -> Reg.t -> Reg.t -> Reg.t -> Instr.operand -> unit
+(** [select fn dst cond if_true if_false] — conditional move. *)
+
 val nop : fn -> unit
 
 val nops : fn -> int -> unit

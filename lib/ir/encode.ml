@@ -40,6 +40,7 @@ let op_nop = 23
 let op_jump = 24
 let op_ret = 25
 let op_halt = 26
+let op_select = 27
 let op_branch_base = 32 (* ..37 *)
 
 let alu_ops =
@@ -134,6 +135,16 @@ let encode_slot linked (l : Linked.loc) =
           pack ~op:op_read ~ra:(r dst) ~rb:0 ~rc:0 ~is_imm:false ~payload:0
       | Instr.Write { src } ->
           pack ~op:op_write ~ra:(r src) ~rb:0 ~rc:0 ~is_imm:false ~payload:0
+      | Instr.Select { dst; cond; if_true; if_false } ->
+          (* ra/rb/rc hold dst/cond/if_true; the if_false operand rides
+             in the payload (immediate, or register index). *)
+          let is_imm, payload =
+            match if_false with
+            | Instr.Reg fr -> (false, Reg.to_int fr)
+            | Instr.Imm i -> (true, i)
+          in
+          pack ~op:op_select ~ra:(r dst) ~rb:(r cond) ~rc:(r if_true)
+            ~is_imm ~payload
       | Instr.Nop ->
           pack ~op:op_nop ~ra:0 ~rb:0 ~rc:0 ~is_imm:false ~payload:0)
   | Linked.Term tm -> (
@@ -203,6 +214,14 @@ let decode_word w =
     | x when x = op_call -> D_call payload
     | x when x = op_read -> D_instr (Instr.Read { dst = reg ra })
     | x when x = op_write -> D_instr (Instr.Write { src = reg ra })
+    | x when x = op_select ->
+        let if_false =
+          if is_imm then Instr.Imm payload
+          else Instr.Reg (reg (payload land 0x3f))
+        in
+        D_instr
+          (Instr.Select
+             { dst = reg ra; cond = reg rb; if_true = reg rc; if_false })
     | x when x = op_nop -> D_instr Instr.Nop
     | x when x = op_jump -> D_jump payload
     | x when x = op_ret -> D_ret

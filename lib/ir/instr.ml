@@ -27,6 +27,8 @@ type t =
   | Call of { callee : string }
   | Read of { dst : Reg.t }
   | Write of { src : Reg.t }
+  | Select of { dst : Reg.t; cond : Reg.t; if_true : Reg.t;
+                if_false : operand }
   | Nop
 
 let alu_op_to_string = function
@@ -87,7 +89,7 @@ let eval_alu op a b =
 
 let defs = function
   | Alu { dst; _ } | Load { dst; _ } | Li { dst; _ } | Mov { dst; _ }
-  | Read { dst; _ } ->
+  | Read { dst; _ } | Select { dst; _ } ->
       if Reg.equal dst Reg.zero then [] else [ dst ]
   | Store _ | Call _ | Write _ | Nop -> []
 
@@ -98,6 +100,10 @@ let uses = function
   | Store { src; base; _ } -> [ src; base ]
   | Mov { src; _ } -> [ src ]
   | Write { src; _ } -> [ src ]
+  | Select { cond; if_true; if_false; _ } -> (
+      match if_false with
+      | Reg r -> [ cond; if_true; r ]
+      | Imm _ -> [ cond; if_true ])
   | Li _ | Call _ | Read _ | Nop -> []
 
 let is_memory = function Load _ | Store _ -> true | _ -> false
@@ -120,4 +126,7 @@ let pp ppf = function
   | Call { callee } -> Fmt.pf ppf "call %s" callee
   | Read { dst } -> Fmt.pf ppf "read %a" Reg.pp dst
   | Write { src } -> Fmt.pf ppf "write %a" Reg.pp src
+  | Select { dst; cond; if_true; if_false } ->
+      Fmt.pf ppf "sel %a, %a, %a, %a" Reg.pp dst Reg.pp cond Reg.pp if_true
+        pp_operand if_false
   | Nop -> Fmt.pf ppf "nop"

@@ -37,6 +37,13 @@ type t =
       (** read the next value of the program's input stream (models
           input data; 0 once the stream is exhausted) *)
   | Write of { src : Reg.t }  (** append a value to the output stream *)
+  | Select of { dst : Reg.t; cond : Reg.t; if_true : Reg.t;
+                if_false : operand }
+      (** conditional move: [dst <- if cond <> 0 then if_true else
+          if_false]. The predicated-execution primitive emitted by the
+          software if-conversion and melding passes ({!Dmp_transform});
+          a plain single-cycle ALU-class operation for the
+          micro-architecture. *)
   | Nop
 
 val alu_op_to_string : alu_op -> string

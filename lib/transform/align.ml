@@ -1,0 +1,42 @@
+open Dmp_ir
+
+type step = Shared of Instr.t | Left of Instr.t | Right of Instr.t
+
+(* Classic O(n*m) LCS table; arms are bounded by MAX_INSTR so the
+   quadratic cost is negligible. *)
+let lcs_table a b =
+  let n = Array.length a and m = Array.length b in
+  let t = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      t.(i).(j) <-
+        (if a.(i) = b.(j) then 1 + t.(i + 1).(j + 1)
+         else max t.(i + 1).(j) t.(i).(j + 1))
+    done
+  done;
+  t
+
+let align a b =
+  let n = Array.length a and m = Array.length b in
+  let t = lcs_table a b in
+  let rec walk i j acc =
+    if i >= n && j >= m then List.rev acc
+    else if i < n && j < m && a.(i) = b.(j) then
+      walk (i + 1) (j + 1) (Shared a.(i) :: acc)
+    else if j >= m || (i < n && t.(i + 1).(j) >= t.(i).(j + 1)) then
+      walk (i + 1) j (Left a.(i) :: acc)
+    else walk i (j + 1) (Right b.(j) :: acc)
+  in
+  walk 0 0 []
+
+let shared_count steps =
+  List.fold_left
+    (fun acc s -> match s with Shared _ -> acc + 1 | _ -> acc)
+    0 steps
+
+let similarity a b =
+  let n = Array.length a and m = Array.length b in
+  if n + m = 0 then 0.
+  else
+    let t = lcs_table a b in
+    2. *. float_of_int t.(0).(0) /. float_of_int (n + m)

@@ -1,0 +1,20 @@
+(** Longest-common-subsequence alignment of two instruction
+    sequences, the core of DARM-style melding: aligned (structurally
+    equal) instructions are emitted once, unaligned ones are
+    predicated. *)
+
+open Dmp_ir
+
+type step =
+  | Shared of Instr.t  (** present in both arms at aligned positions *)
+  | Left of Instr.t  (** only in the first (taken) arm *)
+  | Right of Instr.t  (** only in the second (fall-through) arm *)
+
+val align : Instr.t array -> Instr.t array -> step list
+(** An LCS alignment; both sequences' relative orders are preserved.
+    Deterministic: ties prefer consuming the first sequence. *)
+
+val shared_count : step list -> int
+
+val similarity : Instr.t array -> Instr.t array -> float
+(** [2*|LCS| / (|a| + |b|)]; 0 when both arms are empty. *)

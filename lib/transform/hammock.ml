@@ -1,0 +1,55 @@
+open Dmp_ir
+
+type t = {
+  branch : int;
+  cond : Term.cond;
+  src1 : Reg.t;
+  src2 : Instr.operand;
+  taken_arm : int option;
+  fall_arm : int option;
+  join : int;
+}
+
+let pred_counts blocks =
+  let n = Array.length blocks in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i b ->
+      List.iter
+        (fun s -> if s >= 0 && s < n then preds.(s) <- i :: preds.(s))
+        (Block.successors b))
+    blocks;
+  Array.map (fun l -> Array.of_list (List.rev l)) preds
+
+(* An arm block qualifies when the branch is its only way in, it is
+   not the function entry, and it exits with an unconditional jump. *)
+let arm_exit ~preds blocks ~branch a =
+  if a = Func.entry then None
+  else if preds.(a) <> [| branch |] then None
+  else match blocks.(a).Block.term with Term.Jump j -> Some j | _ -> None
+
+let find ~preds blocks i =
+  match blocks.(i).Block.term with
+  | Term.Branch { cond; src1; src2; target; fall }
+    when target <> fall && target <> i && fall <> i -> (
+      let mk ~taken_arm ~fall_arm ~join =
+        if join = i then None
+        else
+          Some
+            { branch = i; cond; src1; src2; taken_arm; fall_arm; join }
+      in
+      let t_exit = arm_exit ~preds blocks ~branch:i target in
+      let f_exit = arm_exit ~preds blocks ~branch:i fall in
+      match (t_exit, f_exit) with
+      | Some jt, Some jf when jt = jf && jt <> target && jt <> fall ->
+          mk ~taken_arm:(Some target) ~fall_arm:(Some fall) ~join:jt
+      | Some jt, _ when jt = fall ->
+          mk ~taken_arm:(Some target) ~fall_arm:None ~join:fall
+      | _, Some jf when jf = target ->
+          mk ~taken_arm:None ~fall_arm:(Some fall) ~join:target
+      | _ -> None)
+  | _ -> None
+
+let arm_body blocks = function
+  | None -> [||]
+  | Some a -> blocks.(a).Block.body

@@ -1,0 +1,34 @@
+(** Hammock-shape detection over a function's (possibly already
+    partially rewritten) block array.
+
+    A hammock is a conditional branch whose two successors re-converge
+    at a single join block after at most one side block per arm:
+    a diamond ([b -> {T, F}], [T -> J], [F -> J]) or a triangle (one
+    edge goes straight to the join). Arm blocks must be entered only
+    from the branch, so flattening them cannot capture another path.
+    Nested hammocks are handled by the passes' fixpoint: converting an
+    inner hammock collapses its arm to a single block, exposing the
+    outer one to this detector on the next sweep. *)
+
+open Dmp_ir
+
+type t = {
+  branch : int;  (** block index of the diverging branch *)
+  cond : Term.cond;
+  src1 : Reg.t;
+  src2 : Instr.operand;
+  taken_arm : int option;  (** [None]: the taken edge goes to the join *)
+  fall_arm : int option;  (** [None]: the fall edge goes to the join *)
+  join : int;
+}
+
+val pred_counts : Block.t array -> int array array
+(** Predecessor block indices (with multiplicity) per block. *)
+
+val find : preds:int array array -> Block.t array -> int -> t option
+(** The hammock rooted at block [i], if its shape qualifies. At least
+    one arm is present ([target <> fall] and the degenerate
+    both-edges-to-join case is rejected as a shape). *)
+
+val arm_body : Block.t array -> int option -> Instr.t array
+(** The arm's instructions; [[||]] for an absent arm. *)

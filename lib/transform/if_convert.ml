@@ -1,0 +1,127 @@
+open Dmp_ir
+
+type bump = {
+  mutable converted : int;
+  mutable selects : int;
+  mutable rejected_shape : int;
+  mutable rejected_profile : int;
+  mutable rejected_size : int;
+  mutable rejected_regs : int;
+}
+
+let to_stats b =
+  { Stats.zero with
+    Stats.converted = b.converted;
+    selects = b.selects;
+    rejected_shape = b.rejected_shape;
+    rejected_profile = b.rejected_profile;
+    rejected_size = b.rejected_size;
+    rejected_regs = b.rejected_regs }
+
+let absorbed_of (st : Region.t) = function
+  | None -> 0
+  | Some a -> st.Region.absorbed.(a)
+
+let sweep ~config ~profile ~branch_addr ~pool ~record_fresh (st : Region.t)
+    =
+  let preds = Hammock.pred_counts st.Region.blocks in
+  let b = { converted = 0; selects = 0; rejected_shape = 0;
+            rejected_profile = 0; rejected_size = 0; rejected_regs = 0 }
+  in
+  let changed = ref false in
+  let n = Array.length st.Region.blocks in
+  for i = 0 to n - 1 do
+    match Hammock.find ~preds st.Region.blocks i with
+    | None -> (
+        match st.Region.blocks.(i).Block.term with
+        | Term.Branch _ -> b.rejected_shape <- b.rejected_shape + 1
+        | _ -> ())
+    | Some h -> (
+        let tb = Hammock.arm_body st.Region.blocks h.Hammock.taken_arm in
+        let fb = Hammock.arm_body st.Region.blocks h.Hammock.fall_arm in
+        if
+          not
+            (Array.for_all Region.predicable tb
+            && Array.for_all Region.predicable fb)
+        then b.rejected_shape <- b.rejected_shape + 1
+        else
+          match
+            Region.pick_regs ~pool ~avoid:(Region.mentioned_regs [ tb; fb ])
+          with
+          | None -> b.rejected_regs <- b.rejected_regs + 1
+          | Some (p, t) -> (
+              let pred =
+                Predicate.materialize ~p h.Hammock.cond h.Hammock.src1
+                  h.Hammock.src2
+              in
+              let eff = Region.effective tb + Region.effective fb in
+              let blk = st.Region.blocks.(i) in
+              let est_size =
+                Array.length blk.Block.body
+                + List.length pred.Predicate.insts
+                + (2 * eff)
+              in
+              let absorbed_cbrs =
+                 1 + st.Region.absorbed.(i)
+                 + absorbed_of st h.Hammock.taken_arm
+                 + absorbed_of st h.Hammock.fall_arm
+              in
+              match
+                Profitability.decide ~config profile ~addr:(branch_addr i)
+                  ~est_size ~absorbed_cbrs
+              with
+              | Profitability.Convert ->
+                  let conv body ~on_taken =
+                    Array.to_list body
+                    |> List.concat_map
+                         (Region.predicated ~pred ~on_taken_path:on_taken
+                            ~tmp:t)
+                  in
+                  let body =
+                    Array.concat
+                      [
+                        blk.Block.body;
+                        Array.of_list pred.Predicate.insts;
+                        Array.of_list (conv tb ~on_taken:true);
+                        Array.of_list (conv fb ~on_taken:false);
+                      ]
+                  in
+                  st.Region.blocks.(i) <-
+                    { blk with Block.body = body;
+                      term = Term.Jump h.Hammock.join };
+                  st.Region.absorbed.(i) <- absorbed_cbrs;
+                  st.Region.changed <- true;
+                  record_fresh p;
+                  record_fresh t;
+                  changed := true;
+                  b.converted <- b.converted + 1;
+                  b.selects <- b.selects + eff
+              | Profitability.Skip_too_large ->
+                  b.rejected_size <- b.rejected_size + 1
+              | Profitability.Skip_too_many_branches ->
+                  b.rejected_size <- b.rejected_size + 1
+              | Profitability.Skip_disabled | Profitability.Skip_cold
+              | Profitability.Skip_well_predicted ->
+                  b.rejected_profile <- b.rejected_profile + 1))
+  done;
+  (to_stats b, !changed)
+
+(* Fixpoint: conversions accumulate across sweeps; the rejection
+   census is taken from the final sweep only (every remaining branch
+   is classified exactly once there). *)
+let run ~config ~profile ~branch_addr ~pool ~record_fresh st =
+  let acc = ref Stats.zero in
+  let rec go fuel =
+    let stats, changed =
+      sweep ~config ~profile ~branch_addr ~pool ~record_fresh st
+    in
+    if changed && fuel > 0 then begin
+      acc :=
+        Stats.add !acc
+          { stats with Stats.rejected_shape = 0; rejected_profile = 0;
+            rejected_size = 0; rejected_regs = 0 };
+      go (fuel - 1)
+    end
+    else Stats.add !acc stats
+  in
+  go (Array.length st.Region.blocks)

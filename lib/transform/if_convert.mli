@@ -1,0 +1,16 @@
+(** Select-based if-conversion: a profile-eligible hammock whose arms
+    are pure straight-line computation is flattened into the branch
+    block — predicate materialisation, then both arms with every
+    write select-guarded — and the branch becomes a jump to the join.
+    Runs to a fixpoint, so nested hammocks collapse inside-out. *)
+
+open Dmp_ir
+
+val run :
+  config:Pass_config.t -> profile:Dmp_profile.Profile.t ->
+  branch_addr:(int -> int) -> pool:Reg.t list ->
+  record_fresh:(Reg.t -> unit) -> Region.t -> Stats.t
+(** [branch_addr block] is the branch's address in the original
+    linked program (profile lookups); [pool] the program-wide free
+    registers; [record_fresh] is told every predicate/scratch register
+    actually claimed. *)

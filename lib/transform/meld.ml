@@ -1,0 +1,158 @@
+open Dmp_ir
+
+type bump = {
+  mutable melded : int;
+  mutable hoisted : int;
+  mutable selects : int;
+  mutable rejected_shape : int;
+  mutable rejected_profile : int;
+  mutable rejected_size : int;
+  mutable rejected_regs : int;
+}
+
+let to_stats b =
+  { Stats.zero with
+    Stats.melded = b.melded;
+    hoisted = b.hoisted;
+    selects = b.selects;
+    rejected_shape = b.rejected_shape;
+    rejected_profile = b.rejected_profile;
+    rejected_size = b.rejected_size;
+    rejected_regs = b.rejected_regs }
+
+let gap_instr = function
+  | Align.Shared _ -> None
+  | Align.Left i | Align.Right i -> Some i
+
+let sweep ~config ~profile ~branch_addr ~pool ~record_fresh (st : Region.t)
+    =
+  let preds = Hammock.pred_counts st.Region.blocks in
+  let b = { melded = 0; hoisted = 0; selects = 0; rejected_shape = 0;
+            rejected_profile = 0; rejected_size = 0; rejected_regs = 0 }
+  in
+  let changed = ref false in
+  let n = Array.length st.Region.blocks in
+  for i = 0 to n - 1 do
+    let reject_shape () = b.rejected_shape <- b.rejected_shape + 1 in
+    match Hammock.find ~preds st.Region.blocks i with
+    | None -> (
+        match st.Region.blocks.(i).Block.term with
+        | Term.Branch _ -> reject_shape ()
+        | _ -> ())
+    | Some { Hammock.taken_arm = None; _ }
+    | Some { Hammock.fall_arm = None; _ } ->
+        (* Melding needs two arms to align; triangles belong to
+           if-conversion. *)
+        reject_shape ()
+    | Some h -> (
+        let tb = Hammock.arm_body st.Region.blocks h.Hammock.taken_arm in
+        let fb = Hammock.arm_body st.Region.blocks h.Hammock.fall_arm in
+        let steps = Align.align tb fb in
+        let shared = Align.shared_count steps in
+        let gaps_pure =
+          List.for_all
+            (fun s ->
+              match gap_instr s with
+              | Some ins -> Region.predicable ins
+              | None -> true)
+            steps
+        in
+        let similarity =
+          2. *. float_of_int shared
+          /. float_of_int (Array.length tb + Array.length fb)
+        in
+        if
+          shared = 0 || (not gaps_pure)
+          || similarity < config.Pass_config.min_similarity
+        then reject_shape ()
+        else
+          match
+            Region.pick_regs ~pool ~avoid:(Region.mentioned_regs [ tb; fb ])
+          with
+          | None -> b.rejected_regs <- b.rejected_regs + 1
+          | Some (p, t) -> (
+              let pred =
+                Predicate.materialize ~p h.Hammock.cond h.Hammock.src1
+                  h.Hammock.src2
+              in
+              let eff_gaps =
+                List.fold_left
+                  (fun acc s ->
+                    match gap_instr s with
+                    | Some ins when Instr.defs ins <> [] -> acc + 1
+                    | _ -> acc)
+                  0 steps
+              in
+              let blk = st.Region.blocks.(i) in
+              let est_size =
+                Array.length blk.Block.body
+                + List.length pred.Predicate.insts
+                + shared + (2 * eff_gaps)
+              in
+              let absorbed_cbrs =
+                1 + st.Region.absorbed.(i)
+                + st.Region.absorbed.(Option.get h.Hammock.taken_arm)
+                + st.Region.absorbed.(Option.get h.Hammock.fall_arm)
+              in
+              match
+                Profitability.decide ~config profile ~addr:(branch_addr i)
+                  ~est_size ~absorbed_cbrs
+              with
+              | Profitability.Convert ->
+                  let melded =
+                    List.concat_map
+                      (function
+                        | Align.Shared ins -> [ ins ]
+                        | Align.Left ins ->
+                            Region.predicated ~pred ~on_taken_path:true
+                              ~tmp:t ins
+                        | Align.Right ins ->
+                            Region.predicated ~pred ~on_taken_path:false
+                              ~tmp:t ins)
+                      steps
+                  in
+                  let body =
+                    Array.concat
+                      [
+                        blk.Block.body;
+                        Array.of_list pred.Predicate.insts;
+                        Array.of_list melded;
+                      ]
+                  in
+                  st.Region.blocks.(i) <-
+                    { blk with Block.body = body;
+                      term = Term.Jump h.Hammock.join };
+                  st.Region.absorbed.(i) <- absorbed_cbrs;
+                  st.Region.changed <- true;
+                  record_fresh p;
+                  record_fresh t;
+                  changed := true;
+                  b.melded <- b.melded + 1;
+                  b.hoisted <- b.hoisted + shared;
+                  b.selects <- b.selects + eff_gaps
+              | Profitability.Skip_too_large ->
+                  b.rejected_size <- b.rejected_size + 1
+              | Profitability.Skip_too_many_branches ->
+                  b.rejected_size <- b.rejected_size + 1
+              | Profitability.Skip_disabled | Profitability.Skip_cold
+              | Profitability.Skip_well_predicted ->
+                  b.rejected_profile <- b.rejected_profile + 1))
+  done;
+  (to_stats b, !changed)
+
+let run ~config ~profile ~branch_addr ~pool ~record_fresh st =
+  let acc = ref Stats.zero in
+  let rec go fuel =
+    let stats, changed =
+      sweep ~config ~profile ~branch_addr ~pool ~record_fresh st
+    in
+    if changed && fuel > 0 then begin
+      acc :=
+        Stats.add !acc
+          { stats with Stats.rejected_shape = 0; rejected_profile = 0;
+            rejected_size = 0; rejected_regs = 0 };
+      go (fuel - 1)
+    end
+    else Stats.add !acc stats
+  in
+  go (Array.length st.Region.blocks)

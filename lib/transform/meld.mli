@@ -1,0 +1,16 @@
+(** DARM-style control-flow melding: the two arms of a diamond
+    hammock are LCS-aligned; aligned (structurally identical)
+    instructions are hoisted once unpredicated, the per-arm gaps are
+    select-guarded like if-conversion. Because a hoisted instruction
+    runs exactly once with the active path's register state, melding
+    also flattens arms with *matching* side effects (stores, calls,
+    I/O) that if-conversion must reject — the gaps alone have to be
+    pure. Gated by arm similarity on top of the shared profitability
+    heuristic; runs to a fixpoint like {!If_convert}. *)
+
+open Dmp_ir
+
+val run :
+  config:Pass_config.t -> profile:Dmp_profile.Profile.t ->
+  branch_addr:(int -> int) -> pool:Reg.t list ->
+  record_fresh:(Reg.t -> unit) -> Region.t -> Stats.t

@@ -1,0 +1,40 @@
+open Dmp_ir
+
+(* Swap the arms of every register-form select. Inverting all the
+   guards of a conversion exchanges the two predicated arms wholesale,
+   so the corruption is observable whenever any converted hammock
+   executes with both branch outcomes — a single swapped select can be
+   masked by a later unconditional redefinition of its destination,
+   which is why the smoke test inverts them all. *)
+let swap_selects (program : Program.t) =
+  let count = ref 0 in
+  let funcs =
+    Array.to_list
+      (Array.map
+         (fun (f : Func.t) ->
+           let blocks =
+             Array.map
+               (fun (blk : Block.t) ->
+                 let body =
+                   Array.map
+                     (fun ins ->
+                       match ins with
+                       | Instr.Select
+                           { dst; cond; if_true; if_false = Instr.Reg fr } ->
+                           incr count;
+                           Instr.Select
+                             { dst; cond; if_true = fr;
+                               if_false = Instr.Reg if_true }
+                       | _ -> ins)
+                     blk.Block.body
+                 in
+                 { blk with Block.body })
+               f.Func.blocks
+           in
+           { f with Func.blocks })
+         program.Program.funcs)
+  in
+  if !count = 0 then None
+  else
+    let main = (Program.main_func program).Func.name in
+    Some (Program.of_funcs_exn ~main funcs)

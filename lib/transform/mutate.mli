@@ -1,0 +1,13 @@
+(** Deliberate miscompilation for the oracle's mutation smoke test: a
+    meld/if-conversion with its select operands swapped commits the
+    wrong path's value, which {!Dmp_check.Oracle.check_transform} must
+    catch. *)
+
+open Dmp_ir
+
+val swap_selects : Program.t -> Program.t option
+(** Swap the [if_true]/[if_false] operands of every select instruction
+    whose false operand is a register — every guard the transform
+    emits has that form, so this exchanges the predicated arms of
+    every conversion. [None] when the program has no such select — the
+    transform never fired. *)

@@ -1,0 +1,54 @@
+type pass = If_convert | Meld
+
+type t = {
+  passes : pass list;
+  bias_threshold : float;
+  min_similarity : float;
+  params : Dmp_core.Params.t;
+}
+
+let default =
+  {
+    passes = [ If_convert; Meld ];
+    bias_threshold = 0.05;
+    min_similarity = 0.5;
+    params = Dmp_core.Params.default;
+  }
+
+let pass_to_string = function If_convert -> "if-convert" | Meld -> "meld"
+
+let passes_to_string = function
+  | [] -> "none"
+  | ps -> String.concat "," (List.map pass_to_string ps)
+
+let passes_of_string s =
+  match String.trim s with
+  | "none" | "" -> Ok []
+  | s ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | w :: tl -> (
+            match String.trim w with
+            | "if-convert" -> go (If_convert :: acc) tl
+            | "meld" -> go (Meld :: acc) tl
+            | w ->
+                Error
+                  (Printf.sprintf
+                     "unknown pass %s (expected if-convert, meld or none)" w))
+      in
+      go [] (String.split_on_char ',' s)
+
+let fingerprint t =
+  let p = t.params in
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "transform-v1|%s|bias=%h|sim=%h|mi=%d|mc=%d"
+          (passes_to_string t.passes)
+          t.bias_threshold t.min_similarity p.Dmp_core.Params.max_instr
+          p.Dmp_core.Params.max_cbr))
+
+let pp ppf t =
+  Fmt.pf ppf "{passes=%s; bias>=%.3f; sim>=%.2f; max_instr=%d; max_cbr=%d}"
+    (passes_to_string t.passes)
+    t.bias_threshold t.min_similarity t.params.Dmp_core.Params.max_instr
+    t.params.Dmp_core.Params.max_cbr

@@ -1,0 +1,47 @@
+(** Configuration of the software-predication pass pipeline.
+
+    The two passes mirror the two software baselines the paper's
+    introduction discusses: select-based if-conversion (full
+    predication of simple hammocks) and DARM-style control-flow
+    melding (alignment + hoisting of structurally similar arms).
+    Both are gated by the same profitability heuristic
+    ({!Profitability}): the hwpgo lesson says converting
+    well-predicted branches only costs, so branches below
+    [bias_threshold] misprediction rate are skipped, and region sizes
+    reuse the paper's MAX_INSTR / MAX_CBR machinery via
+    [params]. *)
+
+type pass = If_convert | Meld
+
+type t = {
+  passes : pass list;  (** applied in order, each to a fixpoint *)
+  bias_threshold : float;
+      (** minimum profiled misprediction rate for conversion; a
+          threshold >= 1.0 disables both passes, making the pipeline
+          the identity transform *)
+  min_similarity : float;
+      (** melding only: minimum [2*|LCS| / (|then| + |else|)] arm
+          similarity *)
+  params : Dmp_core.Params.t;
+      (** [max_instr] bounds the predicated region size,
+          [max_cbr] the number of branches absorbed into one region *)
+}
+
+val default : t
+(** Both passes, [bias_threshold] = 0.05 (the short-hammock
+    [short_min_misp_rate] of the paper), [min_similarity] = 0.5,
+    {!Dmp_core.Params.default}. *)
+
+val pass_to_string : pass -> string
+val passes_to_string : pass list -> string
+
+val passes_of_string : string -> (pass list, string) result
+(** Parse a comma-separated pass list, e.g. ["if-convert,meld"];
+    ["none"] is the empty pipeline. *)
+
+val fingerprint : t -> string
+(** Stable hex digest of every semantic field; cache keys for
+    transformed-program stages embed it so a config change can never
+    alias a cached artifact. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,85 @@
+open Dmp_ir
+
+type result = {
+  program : Program.t;
+  linked : Linked.t;
+  stats : Stats.t;
+  fresh_regs : Reg.t list;
+  changed : bool;
+  config : Pass_config.t;
+}
+
+let free_regs (program : Program.t) =
+  let used = Array.make Reg.count false in
+  used.(Reg.to_int Reg.zero) <- true;
+  Array.iter
+    (fun (f : Func.t) ->
+      Array.iter
+        (fun (blk : Block.t) ->
+          Array.iter
+            (fun ins ->
+              List.iter
+                (fun r -> used.(Reg.to_int r) <- true)
+                (Instr.defs ins @ Instr.uses ins))
+            blk.Block.body;
+          List.iter
+            (fun r -> used.(Reg.to_int r) <- true)
+            (Term.uses blk.Block.term))
+        f.Func.blocks)
+    program.Program.funcs;
+  let pool = ref [] in
+  for r = Reg.count - 1 downto 0 do
+    if not used.(r) then pool := Reg.of_int r :: !pool
+  done;
+  !pool
+
+let run ?(config = Pass_config.default) (linked : Linked.t) profile =
+  let program = linked.Linked.program in
+  let pool = free_regs program in
+  let fresh = Hashtbl.create 8 in
+  let record_fresh r = Hashtbl.replace fresh r () in
+  let stats = ref Stats.zero in
+  let fstates = Array.map Region.of_func program.Program.funcs in
+  List.iter
+    (fun pass ->
+      Array.iteri
+        (fun fi st ->
+          let orig = (Program.func program fi).Func.blocks in
+          let branch_addr bi =
+            Linked.block_addr linked ~func:fi ~block:bi
+            + Array.length orig.(bi).Block.body
+          in
+          let delta =
+            match pass with
+            | Pass_config.If_convert ->
+                If_convert.run ~config ~profile ~branch_addr ~pool
+                  ~record_fresh st
+            | Pass_config.Meld ->
+                Meld.run ~config ~profile ~branch_addr ~pool ~record_fresh
+                  st
+          in
+          stats := Stats.add !stats delta)
+        fstates)
+    config.Pass_config.passes;
+  if not (Array.exists (fun st -> st.Region.changed) fstates) then
+    { program; linked; stats = !stats; fresh_regs = []; changed = false;
+      config }
+  else begin
+    let funcs =
+      Array.to_list
+        (Array.mapi
+           (fun fi st ->
+             let f = Program.func program fi in
+             if st.Region.changed then
+               Region.cleanup { f with Func.blocks = st.Region.blocks }
+             else f)
+           fstates)
+    in
+    let main = (Program.main_func program).Func.name in
+    let program' = Program.of_funcs_exn ~main funcs in
+    let fresh_regs =
+      List.sort Reg.compare (Hashtbl.fold (fun r () acc -> r :: acc) fresh [])
+    in
+    { program = program'; linked = Linked.link program'; stats = !stats;
+      fresh_regs; changed = true; config }
+  end

@@ -1,0 +1,35 @@
+(** The pass pipeline: run every configured pass (each to its own
+    fixpoint) over a linked program under its edge profile.
+
+    The pipeline is a pure function of (program, profile counters,
+    config): no randomness, no iteration-order dependence — the same
+    inputs always produce the structurally identical transformed
+    program, which is what lets the Runner cache transformed artifacts
+    under a config fingerprint and the property suite assert
+    determinism across seeds and job counts. *)
+
+open Dmp_ir
+
+type result = {
+  program : Program.t;  (** transformed (the original when unchanged) *)
+  linked : Linked.t;  (** transformed program, linked *)
+  stats : Stats.t;
+  fresh_regs : Reg.t list;
+      (** predicate/scratch registers the transform claimed; the
+          equivalence oracle excludes them from final-register
+          comparison (they are dead at every join, but hold pass
+          residue) *)
+  changed : bool;
+  config : Pass_config.t;
+}
+
+val run :
+  ?config:Pass_config.t -> Linked.t -> Dmp_profile.Profile.t -> result
+(** When nothing converts (e.g. [bias_threshold >= 1.0]), [program]
+    and [linked] are the originals, physically unchanged. *)
+
+val free_regs : Program.t -> Reg.t list
+(** Registers (r0 excluded) no instruction or terminator of any
+    function mentions: the pool both passes draw predicate and scratch
+    registers from. Program-wide, so a claimed register can never be
+    clobbered across a hoisted call. *)

@@ -1,0 +1,27 @@
+open Dmp_ir
+
+type t = { reg : Reg.t; insts : Instr.t list; taken_when_set : bool }
+
+let materialize ~p cond src1 src2 =
+  let set op taken_when_set =
+    { reg = p;
+      insts = [ Instr.Alu { op; dst = p; src1; src2 } ];
+      taken_when_set }
+  in
+  match cond with
+  | Term.Eq -> set Instr.Seq true
+  | Term.Ne -> set Instr.Sne true
+  | Term.Lt -> set Instr.Slt true
+  | Term.Le -> set Instr.Sle true
+  (* No set-ge/set-gt compare: materialise the complement and let the
+     guard swap its select arms. *)
+  | Term.Ge -> set Instr.Slt false
+  | Term.Gt -> set Instr.Sle false
+
+let guard t ~on_taken_path ~dst ~tmp =
+  if t.taken_when_set = on_taken_path then
+    Instr.Select
+      { dst; cond = t.reg; if_true = tmp; if_false = Instr.Reg dst }
+  else
+    Instr.Select
+      { dst; cond = t.reg; if_true = dst; if_false = Instr.Reg tmp }

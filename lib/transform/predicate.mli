@@ -1,0 +1,30 @@
+(** Predicate materialisation and the select-guard idiom shared by
+    both passes.
+
+    The branch condition is computed once into a fresh register [p] as
+    a 0/1 value using the ISA's set-compare operations. [Ge]/[Gt] have
+    no direct set-compare; rather than spend an extra xor, [p] is
+    computed as the *negated* condition and the guard swaps the select
+    arms ([taken_when_set] records which way [p] points).
+
+    A predicated instruction [d <- f(...)] becomes
+    [t <- f(...); sel d, p, ...] — the compute lands in the scratch
+    register and the select commits it only on the instruction's own
+    path, so sequentially composing both predicated arms preserves
+    each path's architectural state (wrong-path computes are
+    discarded by their selects). *)
+
+open Dmp_ir
+
+type t = {
+  reg : Reg.t;  (** the predicate register *)
+  insts : Instr.t list;  (** instructions that materialise it *)
+  taken_when_set : bool;
+      (** [true]: [reg <> 0] means the branch would have been taken *)
+}
+
+val materialize : p:Reg.t -> Term.cond -> Reg.t -> Instr.operand -> t
+
+val guard : t -> on_taken_path:bool -> dst:Reg.t -> tmp:Reg.t -> Instr.t
+(** The select committing [tmp] into [dst] exactly when execution
+    would have reached this instruction's arm. *)

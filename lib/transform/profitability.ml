@@ -1,0 +1,28 @@
+type verdict =
+  | Convert
+  | Skip_disabled
+  | Skip_cold
+  | Skip_well_predicted
+  | Skip_too_large
+  | Skip_too_many_branches
+
+let decide ~(config : Pass_config.t) profile ~addr ~est_size ~absorbed_cbrs =
+  let params = config.Pass_config.params in
+  if config.Pass_config.bias_threshold >= 1.0 then Skip_disabled
+  else if Dmp_profile.Profile.executed profile ~addr = 0 then Skip_cold
+  else if
+    Dmp_profile.Profile.misp_rate profile ~addr
+    < config.Pass_config.bias_threshold
+  then Skip_well_predicted
+  else if est_size > params.Dmp_core.Params.max_instr then Skip_too_large
+  else if absorbed_cbrs > params.Dmp_core.Params.max_cbr then
+    Skip_too_many_branches
+  else Convert
+
+let to_string = function
+  | Convert -> "convert"
+  | Skip_disabled -> "disabled"
+  | Skip_cold -> "cold"
+  | Skip_well_predicted -> "well-predicted"
+  | Skip_too_large -> "too-large"
+  | Skip_too_many_branches -> "too-many-branches"

@@ -1,0 +1,26 @@
+(** The profitability gate shared by both passes.
+
+    A software-predicated region pays the both-arms cost on every
+    execution, so converting a branch the hardware predictor already
+    handles is a pure loss (the hwpgo lesson): only branches at or
+    above the configured misprediction-rate threshold convert, and
+    only when the resulting straight-line region respects the paper's
+    MAX_INSTR / MAX_CBR limits. *)
+
+type verdict =
+  | Convert
+  | Skip_disabled  (** bias threshold >= 1.0: pipeline is the identity *)
+  | Skip_cold  (** branch never executed under the profile *)
+  | Skip_well_predicted  (** misprediction rate below the threshold *)
+  | Skip_too_large  (** estimated region size exceeds MAX_INSTR *)
+  | Skip_too_many_branches  (** absorbed branches would exceed MAX_CBR *)
+
+val decide :
+  config:Pass_config.t -> Dmp_profile.Profile.t -> addr:int ->
+  est_size:int -> absorbed_cbrs:int -> verdict
+(** [addr] is the branch's address in the original linked program;
+    [est_size] the estimated instruction count of the flattened
+    region; [absorbed_cbrs] the conditional branches the region would
+    swallow (this branch included). *)
+
+val to_string : verdict -> string

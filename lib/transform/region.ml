@@ -1,0 +1,96 @@
+open Dmp_ir
+
+type t = {
+  mutable blocks : Block.t array;
+  absorbed : int array;
+  mutable changed : bool;
+}
+
+let of_func (f : Func.t) =
+  {
+    blocks = Array.copy f.Func.blocks;
+    absorbed = Array.make (Array.length f.Func.blocks) 0;
+    changed = false;
+  }
+
+let predicable = function
+  | Instr.Alu _ | Instr.Li _ | Instr.Mov _ | Instr.Select _ | Instr.Load _
+  | Instr.Nop ->
+      true
+  | Instr.Store _ | Instr.Call _ | Instr.Read _ | Instr.Write _ -> false
+
+let effective body =
+  Array.fold_left
+    (fun acc ins -> if Instr.defs ins = [] then acc else acc + 1)
+    0 body
+
+let with_dst ins t =
+  match ins with
+  | Instr.Alu { op; dst = _; src1; src2 } ->
+      Instr.Alu { op; dst = t; src1; src2 }
+  | Instr.Load { dst = _; base; offset } ->
+      Instr.Load { dst = t; base; offset }
+  | Instr.Li { dst = _; imm } -> Instr.Li { dst = t; imm }
+  | Instr.Mov { dst = _; src } -> Instr.Mov { dst = t; src }
+  | Instr.Select { dst = _; cond; if_true; if_false } ->
+      Instr.Select { dst = t; cond; if_true; if_false }
+  | Instr.Store _ | Instr.Call _ | Instr.Read _ | Instr.Write _
+  | Instr.Nop ->
+      invalid_arg "Region.with_dst: instruction has no destination"
+
+let predicated ~pred ~on_taken_path ~tmp ins =
+  match Instr.defs ins with
+  | [ d ] ->
+      [ with_dst ins tmp; Predicate.guard pred ~on_taken_path ~dst:d ~tmp ]
+  | _ ->
+      (* A predicable instruction without a destination (nop, or a
+         write to the discarding r0) has no architectural effect. *)
+      []
+
+let mentioned_regs bodies =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun body ->
+      Array.iter
+        (fun ins ->
+          List.iter
+            (fun r -> Hashtbl.replace seen r ())
+            (Instr.defs ins @ Instr.uses ins))
+        body)
+    bodies;
+  Hashtbl.fold (fun r () acc -> r :: acc) seen []
+
+let pick_regs ~pool ~avoid =
+  match List.filter (fun r -> not (List.mem r avoid)) pool with
+  | p :: t :: _ -> Some (p, t)
+  | _ -> None
+
+let cleanup (f : Func.t) =
+  let blocks = f.Func.blocks in
+  let n = Array.length blocks in
+  let keep = Array.make n false in
+  let rec visit i =
+    if not keep.(i) then begin
+      keep.(i) <- true;
+      List.iter visit (Block.successors blocks.(i))
+    end
+  in
+  visit Func.entry;
+  let map = Array.make n (-1) in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    if keep.(i) then begin
+      map.(i) <- !next;
+      incr next
+    end
+  done;
+  let kept = ref [] in
+  for i = n - 1 downto 0 do
+    if keep.(i) then
+      kept :=
+        { blocks.(i) with
+          Block.term = Term.map_label (fun l -> map.(l)) blocks.(i).Block.term
+        }
+        :: !kept
+  done;
+  { f with Func.blocks = Array.of_list !kept }

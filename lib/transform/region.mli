@@ -1,0 +1,51 @@
+(** Shared rewriting machinery for the two passes: per-function
+    mutable state, the predicable-instruction test, the
+    compute-into-scratch + select-commit expansion, fresh-register
+    selection, and dead-block cleanup. *)
+
+open Dmp_ir
+
+type t = {
+  mutable blocks : Block.t array;
+      (** current blocks; indices stay stable until {!cleanup}, so a
+          block still ending in a conditional branch is untouched and
+          keeps its original profile address *)
+  absorbed : int array;
+      (** conditional branches each block has swallowed, for the
+          MAX_CBR gate on nested conversion *)
+  mutable changed : bool;
+}
+
+val of_func : Func.t -> t
+
+val predicable : Instr.t -> bool
+(** Safe to execute on the wrong path with its destination guarded by
+    a select: register-only computation and loads (memory semantics
+    are total). Stores, calls and I/O are not; melding may still hoist
+    those when both arms agree on them. *)
+
+val effective : Instr.t array -> int
+(** Instructions with an architectural effect (a real destination):
+    what predication actually has to emit selects for. *)
+
+val predicated :
+  pred:Predicate.t -> on_taken_path:bool -> tmp:Reg.t -> Instr.t ->
+  Instr.t list
+(** [d <- f(...)] becomes [tmp <- f(...); sel d, ...]; instructions
+    with no architectural effect vanish. *)
+
+val mentioned_regs : Instr.t array list -> Reg.t list
+(** Every register an instruction sequence reads or writes. *)
+
+val pick_regs :
+  pool:Reg.t list -> avoid:Reg.t list -> (Reg.t * Reg.t) option
+(** Predicate and scratch registers for one conversion: the two
+    lowest-numbered pool registers not mentioned by the region being
+    predicated (nested regions contain earlier conversions' predicate
+    and scratch registers, so each nesting level claims its own
+    pair). *)
+
+val cleanup : Func.t -> Func.t
+(** Drop unreachable blocks (flattened arms) and renumber. Only
+    called on functions a pass actually changed, so an untouched
+    function round-trips physically identical. *)

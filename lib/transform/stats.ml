@@ -1,0 +1,33 @@
+type t = {
+  converted : int;
+  melded : int;
+  hoisted : int;
+  selects : int;
+  rejected_shape : int;
+  rejected_profile : int;
+  rejected_size : int;
+  rejected_regs : int;
+}
+
+let zero =
+  { converted = 0; melded = 0; hoisted = 0; selects = 0; rejected_shape = 0;
+    rejected_profile = 0; rejected_size = 0; rejected_regs = 0 }
+
+let add a b =
+  {
+    converted = a.converted + b.converted;
+    melded = a.melded + b.melded;
+    hoisted = a.hoisted + b.hoisted;
+    selects = a.selects + b.selects;
+    rejected_shape = a.rejected_shape + b.rejected_shape;
+    rejected_profile = a.rejected_profile + b.rejected_profile;
+    rejected_size = a.rejected_size + b.rejected_size;
+    rejected_regs = a.rejected_regs + b.rejected_regs;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "converted=%d melded=%d hoisted=%d selects=%d rejected: shape=%d \
+     profile=%d size=%d regs=%d"
+    t.converted t.melded t.hoisted t.selects t.rejected_shape
+    t.rejected_profile t.rejected_size t.rejected_regs

@@ -1,0 +1,19 @@
+(** Counters accumulated by the pass pipeline: what was rewritten and
+    why the rest was not. *)
+
+type t = {
+  converted : int;  (** hammocks flattened by if-conversion *)
+  melded : int;  (** hammocks flattened by melding *)
+  hoisted : int;  (** aligned instructions emitted once by melding *)
+  selects : int;  (** select instructions emitted by both passes *)
+  rejected_shape : int;
+      (** branch is not a simple/nested hammock, or an arm has an
+          unpredicable side effect *)
+  rejected_profile : int;  (** branch predicted too well (hwpgo gate) *)
+  rejected_size : int;  (** region exceeds MAX_INSTR or MAX_CBR *)
+  rejected_regs : int;  (** no free registers for predicate/scratch *)
+}
+
+val zero : t
+val add : t -> t -> t
+val pp : t Fmt.t

@@ -36,7 +36,7 @@ let info_of_loc linked (l : Linked.loc) =
         match ins with
         | Instr.Alu { op = Instr.Mul; _ } -> K_mul
         | Instr.Alu { op = Instr.Div | Instr.Rem; _ } -> K_div
-        | Instr.Alu _ | Instr.Li _ | Instr.Mov _ -> K_int
+        | Instr.Alu _ | Instr.Li _ | Instr.Mov _ | Instr.Select _ -> K_int
         | Instr.Load _ -> K_load
         | Instr.Store _ -> K_store
         | Instr.Call _ -> K_call

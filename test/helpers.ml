@@ -176,7 +176,21 @@ let random_program rand_state ~nblocks =
    (program, input) pairs biased toward the paper's structural shapes —
    simple / nested / frequently / short hammocks, return CFMs, diverge
    loops. Property tests use it when they need selection to actually
-   fire, which the fully irregular CFGs above rarely achieve. *)
+   fire, which the fully irregular CFGs above rarely achieve.
+
+   Memoized per (seed, count): the generator is deterministic, so the
+   stream is a pure function of its arguments, and several suites ask
+   for the same prefixes — each suite runs single-threaded, so a plain
+   table suffices. *)
+let generated_cache :
+    (int * int, (Dmp_ir.Program.t * int array) list) Hashtbl.t =
+  Hashtbl.create 8
+
 let generated_programs ~seed n =
-  let gen = Dmp_check.Generator.create ~seed in
-  List.init n (fun _ -> Dmp_check.Generator.next gen)
+  match Hashtbl.find_opt generated_cache (seed, n) with
+  | Some programs -> programs
+  | None ->
+      let gen = Dmp_check.Generator.create ~seed in
+      let programs = List.init n (fun _ -> Dmp_check.Generator.next gen) in
+      Hashtbl.replace generated_cache (seed, n) programs;
+      programs
